@@ -1,0 +1,219 @@
+package fairness
+
+// Benchmark harness: one benchmark per experiment (the paper has no
+// numbered tables/figures; its evaluation is the set of theorems and
+// lemmas indexed E01..E12 in DESIGN.md), plus substrate micro-benchmarks.
+// Each experiment benchmark regenerates its paper-vs-measured rows at the
+// quick configuration and reports the headline measured value as a
+// custom metric, so `go test -bench=.` reprints the whole evaluation.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/experiments"
+	"repro/internal/gmw"
+	"repro/internal/ot"
+)
+
+func benchExperiment(b *testing.B, run func(experiments.Config) (experiments.Result, error)) {
+	b.Helper()
+	cfg := experiments.QuickConfig()
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = experiments.QuickConfig().Seed + int64(i)
+		res, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if !row.Pass {
+			b.Errorf("%s %q: paper %s %v, measured %v (%s)",
+				last.ID, row.Label, row.Dir, row.Paper, row.Measured, row.Note)
+		}
+	}
+	if len(last.Rows) > 0 {
+		b.ReportMetric(last.Rows[0].Measured, "utility")
+	}
+}
+
+func BenchmarkE01ContractSigning(b *testing.B) {
+	benchExperiment(b, experiments.E01ContractSigning)
+}
+
+func BenchmarkE02TwoPartyUpper(b *testing.B) {
+	benchExperiment(b, experiments.E02TwoPartyUpper)
+}
+
+func BenchmarkE03TwoPartyLower(b *testing.B) {
+	benchExperiment(b, experiments.E03TwoPartyLower)
+}
+
+func BenchmarkE04ReconRounds(b *testing.B) {
+	benchExperiment(b, experiments.E04ReconstructionRounds)
+}
+
+func BenchmarkE05MultiUpper(b *testing.B) {
+	benchExperiment(b, experiments.E05MultiPartyUpper)
+}
+
+func BenchmarkE06MultiLower(b *testing.B) {
+	benchExperiment(b, experiments.E06MultiPartyLower)
+}
+
+func BenchmarkE07BalancedSum(b *testing.B) {
+	benchExperiment(b, experiments.E07BalancedSum)
+}
+
+func BenchmarkE08GMWUnbalanced(b *testing.B) {
+	benchExperiment(b, experiments.E08GMWUnbalanced)
+}
+
+func BenchmarkE09Separations(b *testing.B) {
+	benchExperiment(b, experiments.E09Separations)
+}
+
+func BenchmarkE10CorruptionCost(b *testing.B) {
+	benchExperiment(b, experiments.E10CorruptionCost)
+}
+
+func BenchmarkE11GordonKatz(b *testing.B) {
+	benchExperiment(b, experiments.E11GordonKatz)
+}
+
+func BenchmarkE12Separation(b *testing.B) {
+	benchExperiment(b, experiments.E12PartialFairnessSeparation)
+}
+
+func BenchmarkE13Ablations(b *testing.B) {
+	benchExperiment(b, experiments.E13Ablations)
+}
+
+func BenchmarkE14AttackGame(b *testing.B) {
+	benchExperiment(b, experiments.E14AttackGame)
+}
+
+func BenchmarkE15SubstrateGap(b *testing.B) {
+	benchExperiment(b, experiments.E15SubstrateGap)
+}
+
+// Substrate micro-benchmarks.
+
+func BenchmarkSubstrateEngineRun2SFE(b *testing.B) {
+	proto := NewOptimalTwoParty(Swap())
+	inputs := []Value{uint64(111), uint64(222)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(proto, inputs, Passive{}, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateEngineRunNSFE(b *testing.B) {
+	for _, n := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			fn, err := Concat(n, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			proto := NewOptimalMultiParty(fn)
+			inputs := make([]Value, n)
+			for i := range inputs {
+				inputs[i] = uint64(i)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(proto, inputs, Passive{}, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSubstrateLockAbortRun(b *testing.B) {
+	proto := NewOptimalTwoParty(Swap())
+	inputs := []Value{uint64(111), uint64(222)}
+	adv := NewLockAbort(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(proto, inputs, adv, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateGordonKatzRun(b *testing.B) {
+	proto, err := NewPolyDomain(ANDFunction(), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := []Value{uint64(1), uint64(1)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(proto, inputs, Passive{}, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateGMWDealerOT(b *testing.B) {
+	circ, err := circuit.MillionairesCircuit(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eval, err := gmw.NewEvaluator(circ, 2, ot.Dealer{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs, err := gmw.InputsFromGlobal(circ, make([]bool, 32), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Evaluate(rng, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateGMWNaorPinkasOT(b *testing.B) {
+	circ, err := circuit.AndCircuit()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eval, err := gmw.NewEvaluator(circ, 2, ot.NaorPinkas{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs, err := gmw.InputsFromGlobal(circ, []bool{true, true}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Evaluate(rng, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateClassify(b *testing.B) {
+	proto := NewOptimalTwoParty(Swap())
+	tr, err := Run(proto, []Value{uint64(1), uint64(2)}, Passive{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Classify(tr)
+	}
+}

@@ -1,0 +1,161 @@
+// Command circuitc builds the library's boolean circuits, reports their
+// statistics (gate counts, AND depth — the GMW online round cost), and
+// imports/exports Bristol-fashion circuit files.
+//
+// Usage:
+//
+//	circuitc -fn millionaires:16            # stats to stdout
+//	circuitc -fn max:4x8 -o max.bristol     # export
+//	circuitc -in adder.bristol              # import + stats
+//
+// Functions: and, xor, millionaires:BITS, swap:BITS, equality:BITS,
+// concat:NxBITS, max:NxBITS, sum:NxBITS.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "circuitc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("circuitc", flag.ContinueOnError)
+	fn := fs.String("fn", "", "library function to build (see usage)")
+	in := fs.String("in", "", "Bristol file to import instead of -fn")
+	out := fs.String("o", "", "write the circuit to this Bristol file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		circ *circuit.Circuit
+		err  error
+		name string
+	)
+	switch {
+	case *in != "":
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			return ferr
+		}
+		defer func() { _ = f.Close() }()
+		circ, err = circuit.ReadBristol(f)
+		name = *in
+	case *fn != "":
+		circ, err = buildFn(*fn)
+		name = *fn
+	default:
+		return fmt.Errorf("need -fn or -in")
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "circuit  : %s\n", name)
+	fmt.Fprintf(stdout, "inputs   : %d wires (%d parties)\n", circ.NumInputs, numParties(circ))
+	fmt.Fprintf(stdout, "gates    : %d total, %d AND\n", len(circ.Gates), circ.NumAndGates())
+	fmt.Fprintf(stdout, "outputs  : %d wires\n", len(circ.Outputs))
+	fmt.Fprintf(stdout, "AND depth: %d (GMW online rounds: %d)\n", circ.AndDepth(), circ.AndDepth()+1)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := circuit.WriteBristol(f, circ); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "written  : %s\n", *out)
+	}
+	return nil
+}
+
+func numParties(c *circuit.Circuit) int {
+	max := 0
+	for _, o := range c.InputOwner {
+		if o+1 > max {
+			max = o + 1
+		}
+	}
+	return max
+}
+
+// buildFn parses specs like "millionaires:16" or "max:4x8".
+func buildFn(spec string) (*circuit.Circuit, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	parseBits := func(def int) (int, error) {
+		if arg == "" {
+			return def, nil
+		}
+		var b int
+		if _, err := fmt.Sscanf(arg, "%d", &b); err != nil {
+			return 0, fmt.Errorf("bad bits %q: %w", arg, err)
+		}
+		return b, nil
+	}
+	parseNxB := func() (int, int, error) {
+		var n, b int
+		if _, err := fmt.Sscanf(arg, "%dx%d", &n, &b); err != nil {
+			return 0, 0, fmt.Errorf("want NxBITS, got %q: %w", arg, err)
+		}
+		return n, b, nil
+	}
+	switch name {
+	case "and":
+		return circuit.AndCircuit()
+	case "xor":
+		return circuit.XorCircuit()
+	case "millionaires":
+		b, err := parseBits(16)
+		if err != nil {
+			return nil, err
+		}
+		return circuit.MillionairesCircuit(b)
+	case "swap":
+		b, err := parseBits(16)
+		if err != nil {
+			return nil, err
+		}
+		return circuit.SwapCircuit(b)
+	case "equality":
+		b, err := parseBits(16)
+		if err != nil {
+			return nil, err
+		}
+		return circuit.EqualityCircuit(b)
+	case "concat":
+		n, b, err := parseNxB()
+		if err != nil {
+			return nil, err
+		}
+		return circuit.ConcatCircuit(n, b)
+	case "max":
+		n, b, err := parseNxB()
+		if err != nil {
+			return nil, err
+		}
+		return circuit.MaxCircuit(n, b)
+	case "sum":
+		n, b, err := parseNxB()
+		if err != nil {
+			return nil, err
+		}
+		return circuit.SumCircuit(n, b)
+	default:
+		return nil, fmt.Errorf("unknown function %q", name)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildFnSpecs(t *testing.T) {
+	good := []string{
+		"and", "xor", "millionaires", "millionaires:8", "swap:4",
+		"equality:6", "concat:3x4", "max:4x6", "sum:2x5",
+	}
+	for _, spec := range good {
+		if _, err := buildFn(spec); err != nil {
+			t.Errorf("buildFn(%q): %v", spec, err)
+		}
+	}
+	bad := []string{"", "nope", "millionaires:x", "max:4", "max:0x4", "concat:1x4"}
+	for _, spec := range bad {
+		if _, err := buildFn(spec); err == nil {
+			t.Errorf("buildFn(%q) succeeded", spec)
+		}
+	}
+}
+
+func TestRunExportImport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "m8.bristol")
+	if err := run([]string{"-fn", "millionaires:8", "-o", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, os.Stdout); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"-fn", "bogus"}, os.Stdout); err == nil {
+		t.Error("bogus function accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent/file"}, os.Stdout); err == nil {
+		t.Error("missing file accepted")
+	}
+}

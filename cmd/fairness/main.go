@@ -1,0 +1,132 @@
+// Command fairness runs the paper-reproduction experiments (E01..E12)
+// and prints one paper-vs-measured table per theorem/lemma.
+//
+// Usage:
+//
+//	fairness [-quick] [-runs N] [-sup N] [-seed S] [-exp E05[,E07]]
+//
+// The default configuration matches EXPERIMENTS.md; -quick runs a fast
+// smoke sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("fairness", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "use the fast smoke-test configuration")
+	runs := fs.Int("runs", 0, "override Monte-Carlo runs per measurement")
+	supRuns := fs.Int("sup", 0, "override per-strategy runs in sup searches")
+	seed := fs.Int64("seed", 0, "override the experiment seed")
+	only := fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+	format := fs.String("format", "text", "output format: text or markdown")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *supRuns > 0 {
+		cfg.SupRuns = *supRuns
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			selected[id] = true
+		}
+	}
+
+	fmt.Printf("utility-based fairness reproduction (runs=%d sup=%d seed=%d γ=%+v)\n\n",
+		cfg.Runs, cfg.SupRuns, cfg.Seed, cfg.Gamma)
+
+	allPass := true
+	for _, e := range experiments.All() {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			return 1
+		}
+		if *format == "markdown" {
+			printMarkdown(res)
+		} else {
+			printResult(res)
+		}
+		if !res.Pass() {
+			allPass = false
+		}
+	}
+	if !allPass {
+		fmt.Println("RESULT: some rows FAILED")
+		return 1
+	}
+	fmt.Println("RESULT: all experiments consistent with the paper")
+	return 0
+}
+
+func printResult(res experiments.Result) {
+	fmt.Printf("%s — %s\n", res.ID, res.Title)
+	fmt.Printf("    claim: %s\n", res.Claim)
+	fmt.Printf("    %-46s %10s %2s %10s %8s  %s\n", "quantity", "paper", "", "measured", "status", "note")
+	for _, row := range res.Rows {
+		status := "ok"
+		if !row.Pass {
+			status = "FAIL"
+		}
+		ci := ""
+		if row.CI > 0 {
+			ci = fmt.Sprintf("±%.3f", row.CI)
+		}
+		fmt.Printf("    %-46s %10.4f %2s %10.4f %8s  %s %s\n",
+			row.Label, row.Paper, row.Dir, row.Measured, status, ci, row.Note)
+	}
+	fmt.Println()
+}
+
+// printMarkdown renders one experiment as a GitHub-flavored table, the
+// format used by EXPERIMENTS.md.
+func printMarkdown(res experiments.Result) {
+	fmt.Printf("## %s — %s\n\n", res.ID, res.Title)
+	fmt.Printf("*%s*\n\n", res.Claim)
+	fmt.Println("| quantity | paper | | measured | status |")
+	fmt.Println("|---|---:|:-:|---:|:-:|")
+	for _, row := range res.Rows {
+		status := "ok"
+		if !row.Pass {
+			status = "**FAIL**"
+		}
+		measured := fmt.Sprintf("%.4f", row.Measured)
+		if row.CI > 0 {
+			measured += fmt.Sprintf(" ± %.3f", row.CI)
+		}
+		dir := row.Dir
+		if dir == "<=" {
+			dir = "≤"
+		} else if dir == ">=" {
+			dir = "≥"
+		}
+		fmt.Printf("| %s | %.4f | %s | %s | %s |\n", row.Label, row.Paper, dir, measured, status)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunSelectedQuick(t *testing.T) {
+	if code := run([]string{"-quick", "-runs", "60", "-sup", "40", "-exp", "E01"}); code != 0 {
+		t.Errorf("exit code %d", code)
+	}
+}
+
+func TestRunUnknownExperimentSelectsNothing(t *testing.T) {
+	// An unknown ID simply selects no experiments; everything vacuously
+	// passes.
+	if code := run([]string{"-quick", "-exp", "E99"}); code != 0 {
+		t.Errorf("exit code %d", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}); code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunSeedOverride(t *testing.T) {
+	if code := run([]string{"-quick", "-seed", "7", "-runs", "60", "-sup", "40", "-exp", "E04"}); code != 0 {
+		t.Errorf("exit code %d", code)
+	}
+}
+
+func TestRunMarkdownFormat(t *testing.T) {
+	if code := run([]string{"-quick", "-runs", "60", "-sup", "40", "-exp", "E04", "-format", "markdown"}); code != 0 {
+		t.Errorf("exit code %d", code)
+	}
+}

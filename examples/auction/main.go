@@ -1,0 +1,72 @@
+// Auction: a five-party sealed-bid auction computing the winning price
+// with ΠOpt-nSFE, with a corruption sweep showing the Lemma 11 utility
+// profile (t·γ10 + (n−t)·γ11)/n and a comparison against the honest-
+// majority Π_GMW^{1/2}, whose fairness collapses at t = ⌈n/2⌉.
+//
+//	go run ./examples/auction
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	fairness "repro"
+)
+
+func main() {
+	const n = 5
+	fn, err := fairness.MaxFn(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proto := fairness.NewOptimalMultiParty(fn)
+
+	// One honest auction.
+	bids := []fairness.Value{uint64(310), uint64(455), uint64(290), uint64(505), uint64(470)}
+	trace, err := fairness.Run(proto, bids, fairness.Passive{}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== sealed-bid auction with ΠOpt-nSFE ==")
+	fmt.Printf("bids: %v\n", bids)
+	fmt.Printf("winning price: %v (event %v)\n\n", trace.ExpectedOutput, fairness.Classify(trace).Event)
+
+	// Corruption sweep: how much can a bidding ring of size t gain?
+	gamma := fairness.StandardPayoff()
+	sampler := func(r *rand.Rand) []fairness.Value {
+		in := make([]fairness.Value, n)
+		for i := range in {
+			in[i] = uint64(r.Intn(1000))
+		}
+		return in
+	}
+	fmt.Println("== bidding-ring sweep (lock-and-abort coalitions) ==")
+	fmt.Printf("%-4s %-12s %-12s\n", "t", "measured", "paper (tγ10+(n−t)γ11)/n")
+	for t := 1; t < n; t++ {
+		ids := make([]fairness.PartyID, t)
+		for i := range ids {
+			ids[i] = fairness.PartyID(i + 1)
+		}
+		rep, err := fairness.EstimateUtility(proto, fairness.NewLockAbort(ids...),
+			gamma, sampler, 1200, int64(t))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4d %-12s %.4f\n", t, rep.Utility.String(),
+			fairness.MultiPartyTBound(gamma, n, t))
+	}
+
+	// Against the traditionally fair GMW-1/2, a coalition of ⌈n/2⌉ = 3
+	// takes everything.
+	gmw := fairness.NewGMWHalf(fn)
+	rep, err := fairness.EstimateUtility(gmw, fairness.NewLockAbort(1, 2, 3),
+		gamma, sampler, 1200, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nΠ_GMW^{1/2} under a 3-of-5 ring: utility %s — full γ10 = %.1f.\n",
+		rep.Utility, gamma.G10)
+	fmt.Println("ΠOpt-nSFE degrades gracefully where traditional fairness falls off")
+	fmt.Println("a cliff (Lemma 17); it is also utility-balanced (Lemma 14).")
+}

@@ -1,0 +1,57 @@
+// Network: run the paper's protocols over real TCP connections. Every
+// party is a client speaking gob frames to a round-synchronizing host on
+// the loopback interface — the same protocol machines as the in-memory
+// fairness engine, across a genuine serialization boundary.
+//
+//	go run ./examples/network
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fairness "repro"
+)
+
+func main() {
+	fairness.RegisterContractGobTypes()
+	fairness.RegisterTwoPartyGobTypes()
+	fairness.RegisterMultiPartyGobTypes()
+
+	fmt.Println("== Π2 contract signing over TCP ==")
+	outs, err := fairness.RunOverTCP(fairness.Pi2{},
+		[]fairness.Value{uint64(0xA11CE), uint64(0xB0B)}, fairness.GobCodec{}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for id := fairness.PartyID(1); id <= 2; id++ {
+		fmt.Printf("party %d output: %+v\n", id, outs[id].Value)
+	}
+
+	fmt.Println("\n== ΠOpt-2SFE (millionaires) over TCP ==")
+	outs, err = fairness.RunOverTCP(fairness.NewOptimalTwoParty(fairness.Millionaires()),
+		[]fairness.Value{uint64(52_000), uint64(47_500)}, fairness.GobCodec{}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("party 1: alice richer = %v\nparty 2: alice richer = %v\n",
+		outs[1].Value, outs[2].Value)
+
+	fmt.Println("\n== ΠOpt-nSFE (5-party max) over TCP ==")
+	fn, err := fairness.MaxFn(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	outs, err = fairness.RunOverTCP(fairness.NewOptimalMultiParty(fn),
+		[]fairness.Value{uint64(310), uint64(455), uint64(290), uint64(505), uint64(470)},
+		fairness.GobCodec{}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for id := fairness.PartyID(1); id <= 5; id++ {
+		fmt.Printf("party %d winning price: %v\n", id, outs[id].Value)
+	}
+	fmt.Println("\nSame machines, real sockets: the fairness engine's protocols are")
+	fmt.Println("ordinary message-driven state machines. Adversarial measurements")
+	fmt.Println("stay in the in-memory engine, where rushing and corruption live.")
+}

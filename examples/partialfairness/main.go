@@ -1,0 +1,62 @@
+// Partial fairness: the Gordon–Katz 1/p-secure protocol for AND under the
+// Section 5 payoff vector ~γ = (0, 0, 1, 0), swept over p — followed by
+// the Π̃ separation: a protocol that passes the Gordon–Katz definitions
+// while leaking an honest input with probability 1/4.
+//
+//	go run ./examples/partialfairness
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	fairness "repro"
+)
+
+func main() {
+	gamma := fairness.GordonKatzPayoff()
+	worst := fairness.FixedInputs(uint64(1), uint64(1)) // x = (1,1): output = counterparty's bit
+
+	fmt.Println("== Gordon–Katz poly-domain protocol for AND, utility vs p ==")
+	fmt.Printf("payoff γ = (0,0,1,0): utility = Pr[adversary-only output]\n\n")
+	fmt.Printf("%-4s %-10s %-14s %-10s\n", "p", "rounds", "measured", "bound 1/p")
+	for _, p := range []int{2, 4, 8, 16} {
+		proto, err := fairness.NewPolyDomain(fairness.ANDFunction(), p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := fairness.EstimateUtility(proto, fairness.NewLockAbort(1),
+			gamma, worst, 3000, int64(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4d %-10d %-14s %.4f\n", p, proto.NumRounds(), rep.Utility.String(), 1.0/float64(p))
+	}
+
+	fmt.Println("\n== the Π̃ separation (Lemmas 26/27) ==")
+	pitilde, err := fairness.NewPitilde()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// 1/2-security holds…
+	rep, err := fairness.EstimateUtility(pitilde, fairness.NewLockAbort(1), gamma, worst, 3000, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("utility of the best abort attack: %s (≤ 1/2: 1/2-secure)\n", rep.Utility)
+
+	// …but the first-message deviation extracts p1's input.
+	leak, err := fairness.EstimateUtility(pitilde, fairness.NewLeakExtractor(), gamma,
+		func(r *rand.Rand) []fairness.Value {
+			return []fairness.Value{uint64(r.Intn(2)), uint64(0)}
+		}, 3000, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified input extractions:       %.4f of runs (paper: 1/4)\n", leak.PrivacyBreaches)
+	fmt.Println("\nΠ̃ is 1/2-secure and \"fully private\" by the Gordon–Katz")
+	fmt.Println("definitions, yet leaks x1 outright — no simulator for F_sfe^$ can")
+	fmt.Println("produce that trace. Utility-based fairness strictly implies")
+	fmt.Println("1/p-security (Section 5).")
+}

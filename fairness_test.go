@@ -1,0 +1,125 @@
+package fairness
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The facade tests double as end-to-end smoke tests of the public API.
+
+func swapSampler(r *rand.Rand) []Value {
+	return []Value{uint64(r.Intn(1 << 16)), uint64(r.Intn(1 << 16))}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	gamma := StandardPayoff()
+	if err := gamma.ValidateFairPlus(); err != nil {
+		t.Fatal(err)
+	}
+	proto := NewOptimalTwoParty(Swap())
+	rep, err := EstimateUtility(proto, NewAgen(), gamma, swapSampler, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := TwoPartyOptimalBound(gamma)
+	if !rep.Utility.MatchesWithin(bound, 0.07) {
+		t.Errorf("Agen utility %v, want ≈ %v", rep.Utility, bound)
+	}
+}
+
+func TestFacadeRunAndClassify(t *testing.T) {
+	proto := NewOptimalTwoParty(Millionaires())
+	tr, err := Run(proto, []Value{uint64(9), uint64(4)}, Passive{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := Classify(tr)
+	if oc.Event != E01 {
+		t.Errorf("passive event = %v, want E01", oc.Event)
+	}
+	if !tr.AllHonestDelivered() {
+		t.Error("honest run should deliver")
+	}
+	if !ValuesEqualForTest(tr.ExpectedOutput, uint64(1)) {
+		t.Errorf("9 > 4 should output 1, got %v", tr.ExpectedOutput)
+	}
+}
+
+// ValuesEqualForTest avoids exporting sim.ValuesEqual just for tests.
+func ValuesEqualForTest(a, b Value) bool { return a == b }
+
+func TestFacadeComparison(t *testing.T) {
+	gamma := StandardPayoff()
+	sampler := func(r *rand.Rand) []Value {
+		return []Value{uint64(r.Int63()), uint64(r.Int63())}
+	}
+	sup1, err := SupUtility(Pi1{}, TwoPartySpace(Pi1{}.NumRounds()), gamma, sampler, 120, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup2, err := SupUtility(Pi2{}, TwoPartySpace(Pi2{}.NumRounds()), gamma, sampler, 120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Compare(sup2.BestReport.Utility, sup1.BestReport.Utility, 0.08) != StrictlyFairer {
+		t.Errorf("Π2 should be strictly fairer (sup2 %v, sup1 %v)",
+			sup2.BestReport.Utility, sup1.BestReport.Utility)
+	}
+}
+
+func TestFacadeMultiParty(t *testing.T) {
+	fn, err := Concat(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := NewOptimalMultiParty(fn)
+	gamma := StandardPayoff()
+	sampler := func(r *rand.Rand) []Value {
+		return []Value{uint64(r.Intn(256)), uint64(r.Intn(256)), uint64(r.Intn(256))}
+	}
+	rep, err := EstimateUtility(proto, NewAllButMixer(3), gamma, sampler, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Utility.MatchesWithin(MultiPartyOptimalBound(gamma, 3), 0.07) {
+		t.Errorf("utility %v, want ≈ %v", rep.Utility, MultiPartyOptimalBound(gamma, 3))
+	}
+}
+
+func TestFacadeGordonKatz(t *testing.T) {
+	proto, err := NewPolyDomain(ANDFunction(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EstimateUtility(proto, NewLockAbort(1), GordonKatzPayoff(),
+		FixedInputs(uint64(1), uint64(1)), 600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Utility.LeqWithin(0.25, 0.04) {
+		t.Errorf("GK p=4 utility %v, want ≤ 1/4", rep.Utility)
+	}
+}
+
+func TestFacadeBoundsConsistent(t *testing.T) {
+	g := StandardPayoff()
+	if TwoPartyOptimalBound(g) != MultiPartyOptimalBound(g, 2) {
+		t.Error("two-party bound should equal n=2 multi-party bound")
+	}
+	if GordonKatzBound(g, 1) != g.G10 {
+		t.Error("p=1 GK bound should be γ10")
+	}
+	if IdealBound(g) != g.G11 {
+		t.Error("ideal bound should be γ11 for Γ+fair")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	if len(Experiments()) != 15 {
+		t.Errorf("expected 15 experiments, got %d", len(Experiments()))
+	}
+	cfg := QuickExperimentConfig()
+	if cfg.Runs <= 0 || cfg.SupRuns <= 0 {
+		t.Error("quick config must have positive run counts")
+	}
+}

@@ -1,0 +1,95 @@
+// Package adversary is the attack-strategy library for the fairness
+// experiments. It implements the proof adversaries of the paper —
+// the one-sided lock-and-abort strategies A1/A2 (Lemma 7), their mixture
+// Agen (Theorem 4), the multi-party A_ī (Lemma 12) and the pair
+// Â_t/Ā_{n−t} (Lemma 15) — plus generic building blocks (static
+// corruption with honest execution, abort-at-round sweeps, setup
+// aborters) used to approximate sup_A u_A(Π, A) over a documented
+// strategy space.
+package adversary
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// driver manages the corrupted parties' machines, running them honestly
+// on demand. Strategies embed it and decide when to stop.
+type driver struct {
+	ctx      *sim.AdvContext
+	machines map[sim.PartyID]sim.Party
+}
+
+func (d *driver) reset(ctx *sim.AdvContext) {
+	d.ctx = ctx
+	d.machines = make(map[sim.PartyID]sim.Party)
+}
+
+func (d *driver) add(id sim.PartyID, m sim.Party) {
+	if m != nil {
+		d.machines[id] = m
+	}
+}
+
+// ids returns the corrupted party IDs in deterministic order.
+func (d *driver) ids() []sim.PartyID {
+	out := make([]sim.PartyID, 0, len(d.machines))
+	for id := range d.machines {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// stepHonest advances every corrupted machine one round on its delivered
+// inbox and returns their outgoing messages, exactly as honest execution
+// would.
+func (d *driver) stepHonest(round int, inboxes map[sim.PartyID][]sim.Message) []sim.Message {
+	var out []sim.Message
+	for _, id := range d.ids() {
+		msgs, err := d.machines[id].Round(round, inboxes[id])
+		if err != nil {
+			continue // a defective machine just goes silent
+		}
+		for _, m := range msgs {
+			m.From = id
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// lookahead plays a cloned machine forward assuming every *other* party
+// goes silent: from round start..last it receives only its own broadcasts
+// and self-addressed messages (a party always hears its own broadcast).
+// It returns the machine's final output.
+func lookahead(m sim.Party, id sim.PartyID, start, last int, pending []sim.Message) (sim.Value, bool) {
+	clone := m.Clone()
+	inbox := pending
+	for r := start; r <= last; r++ {
+		out, err := clone.Round(r, inbox)
+		if err != nil {
+			return nil, false
+		}
+		inbox = nil
+		for _, msg := range out {
+			if msg.To == sim.Broadcast || msg.To == id {
+				msg.From = id
+				inbox = append(inbox, msg)
+			}
+		}
+	}
+	return clone.Output()
+}
+
+// filterFor selects the messages addressed to id (directly or broadcast).
+func filterFor(id sim.PartyID, msgs []sim.Message) []sim.Message {
+	var out []sim.Message
+	for _, m := range msgs {
+		if m.To == id || m.To == sim.Broadcast {
+			out = append(out, m)
+		}
+	}
+	return out
+}

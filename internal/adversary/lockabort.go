@@ -1,0 +1,232 @@
+package adversary
+
+import (
+	"repro/internal/sim"
+)
+
+// LockAbort is the paper's proof adversary family A1/A2 (Lemma 7) and its
+// multi-party generalization A_ī (Lemma 12): corrupt a fixed set, behave
+// honestly, and in every round — *before* sending the round's messages —
+// check whether the corrupted coalition already "holds the actual
+// output", i.e. whether running the corrupted machines forward with every
+// honest party silent (but the coalition still exchanging messages among
+// itself) produces the true evaluation result. The moment the output is
+// locked, record it and abort: the corrupted parties go silent.
+//
+// Two lock checks run each round, both on clones (the live machines are
+// never disturbed):
+//
+//  1. delivered lock: feed the clones this round's delivered inboxes,
+//     then play the coalition forward in isolation;
+//  2. rushing lock: after the round is played honestly, additionally feed
+//     the honest messages of the current round (already observed by the
+//     rushing adversary) plus the coalition's own just-sent messages.
+//
+// A rushing lock also means the adversary learns the output, but the
+// honest messages involved are already on the wire, so aborting cannot
+// retract them — which is why those runs end in E11 rather than E10.
+type LockAbort struct {
+	Static
+	aborted bool
+}
+
+var _ sim.Adversary = (*LockAbort)(nil)
+
+// NewLockAbort corrupts the given parties and plays lock-and-abort.
+func NewLockAbort(targets ...sim.PartyID) *LockAbort {
+	return &LockAbort{Static: Static{Targets: targets}}
+}
+
+// NewAllBut returns the Lemma 12 strategy A_ī for an n-party protocol:
+// corrupt everyone except spared.
+func NewAllBut(n int, spared sim.PartyID) *LockAbort {
+	targets := make([]sim.PartyID, 0, n-1)
+	for id := sim.PartyID(1); id <= sim.PartyID(n); id++ {
+		if id != spared {
+			targets = append(targets, id)
+		}
+	}
+	return NewLockAbort(targets...)
+}
+
+// Reset implements sim.Adversary.
+func (l *LockAbort) Reset(ctx *sim.AdvContext) {
+	l.Static.Reset(ctx)
+	l.aborted = false
+}
+
+// ObserveSetup implements sim.Adversary: setup is never aborted —
+// aborting the hybrid can only yield γ00/γ01, never γ10 (the setup
+// outputs reveal nothing before the reconstruction rounds).
+func (l *LockAbort) ObserveSetup(map[sim.PartyID]sim.Value) bool { return false }
+
+// Act implements sim.Adversary.
+func (l *LockAbort) Act(round int, inboxes map[sim.PartyID][]sim.Message, rushed []sim.Message) []sim.Message {
+	last := l.ctx.Protocol.NumRounds() + 1
+	if l.aborted {
+		return nil
+	}
+
+	// Delivered-lock check: would the coalition, after processing this
+	// round's inboxes, reach the true output with all honest parties
+	// silent?
+	if v, ok := coalitionLookahead(l.machines, round, inboxes, last, l.ctx.TrueOutput); ok {
+		l.learnedVal, l.learnedOK = v, true
+		l.aborted = true
+		// Abort before sending this round's messages; still let the live
+		// machines consume their inboxes so any later inspection starts
+		// from a consistent state.
+		l.consume(round, inboxes)
+		return nil
+	}
+
+	// No delivered lock: compute the round honestly, but don't commit to
+	// sending yet — the adversary is rushing, so it may inspect the
+	// honest round-r messages first.
+	out := l.stepHonest(round, inboxes)
+	l.noteOutputs()
+
+	// Rushing lock: if the already-observed honest messages of this
+	// round lock the output for the coalition *without* our own round-r
+	// messages, withhold them and abort — the honest sends cannot be
+	// retracted, so we learn either way, and withholding denies the
+	// honest parties whatever our messages would have given them. (This
+	// is exactly the Lemma 10 attack on single-reconstruction-round
+	// protocols.)
+	seed := routeToCorrupted(l.machines, rushed)
+	if v, ok := coalitionLookahead(l.machines, round+1, seed, last, l.ctx.TrueOutput); ok {
+		l.learnedVal, l.learnedOK = v, true
+		l.aborted = true
+		return nil
+	}
+	return out
+}
+
+// consume advances the live machines on their inboxes, discarding sends.
+func (l *LockAbort) consume(round int, inboxes map[sim.PartyID][]sim.Message) {
+	for _, id := range l.ids() {
+		_, _ = l.machines[id].Round(round, inboxes[id])
+	}
+}
+
+// routeToCorrupted builds per-machine inboxes from a message batch:
+// direct messages go to their corrupted recipient, broadcasts to every
+// corrupted machine.
+func routeToCorrupted(machines map[sim.PartyID]sim.Party, msgs []sim.Message) map[sim.PartyID][]sim.Message {
+	out := make(map[sim.PartyID][]sim.Message, len(machines))
+	for _, m := range msgs {
+		if m.To == sim.Broadcast {
+			for id := range machines {
+				out[id] = append(out[id], m)
+			}
+			continue
+		}
+		if _, ok := machines[m.To]; ok {
+			out[m.To] = append(out[m.To], m)
+		}
+	}
+	return out
+}
+
+// coalitionLookahead clones every machine and plays the coalition forward
+// from startRound through last, feeding seed as the startRound inboxes
+// and thereafter delivering only intra-coalition messages (honest parties
+// are silent). It reports whether any clone reaches the target output —
+// Lemma 12's "some p_j would provide output if the execution continued
+// without p_i" test, restricted to the *actual* output so that
+// default-input fallbacks don't count (as in A1's check).
+func coalitionLookahead(machines map[sim.PartyID]sim.Party, startRound int,
+	seed map[sim.PartyID][]sim.Message, last int, target sim.Value) (sim.Value, bool) {
+	clones := make(map[sim.PartyID]sim.Party, len(machines))
+	for id, m := range machines {
+		clones[id] = m.Clone()
+	}
+	inboxes := seed
+	for r := startRound; r <= last; r++ {
+		var produced []sim.Message
+		for id, c := range clones {
+			msgs, err := c.Round(r, inboxes[id])
+			if err != nil {
+				continue
+			}
+			for _, m := range msgs {
+				m.From = id
+				produced = append(produced, m)
+			}
+		}
+		for _, c := range clones {
+			if v, ok := c.Output(); ok && sim.ValuesEqual(v, target) {
+				return v, true
+			}
+		}
+		inboxes = routeToCorrupted(clones, produced)
+	}
+	return nil, false
+}
+
+// Mixer draws one sub-strategy uniformly at random per run: the paper's
+// Agen (Theorem 4) is Mixer{A1, A2}, and the Lemma 13 multi-party
+// adversary is Mixer{A_1̄, …, A_n̄}.
+type Mixer struct {
+	// Strategies is the pool to draw from.
+	Strategies []sim.Adversary
+	active     sim.Adversary
+}
+
+var _ sim.Adversary = (*Mixer)(nil)
+
+// NewMixer builds a uniform mixture.
+func NewMixer(strategies ...sim.Adversary) *Mixer {
+	return &Mixer{Strategies: strategies}
+}
+
+// NewAgen is the Theorem 4 adversary for two-party protocols: corrupt p1
+// or p2 uniformly at random and play lock-and-abort.
+func NewAgen() *Mixer {
+	return NewMixer(NewLockAbort(1), NewLockAbort(2))
+}
+
+// NewAllButMixer is the Lemma 13 adversary: pick i uniformly and corrupt
+// everyone else.
+func NewAllButMixer(n int) *Mixer {
+	strategies := make([]sim.Adversary, n)
+	for i := 0; i < n; i++ {
+		strategies[i] = NewAllBut(n, sim.PartyID(i+1))
+	}
+	return NewMixer(strategies...)
+}
+
+// Reset implements sim.Adversary: picks this run's strategy.
+func (m *Mixer) Reset(ctx *sim.AdvContext) {
+	m.active = m.Strategies[ctx.RNG.Intn(len(m.Strategies))]
+	m.active.Reset(ctx)
+}
+
+// InitialCorruptions implements sim.Adversary.
+func (m *Mixer) InitialCorruptions() []sim.PartyID { return m.active.InitialCorruptions() }
+
+// SubstituteInput implements sim.Adversary.
+func (m *Mixer) SubstituteInput(id sim.PartyID, orig sim.Value) sim.Value {
+	return m.active.SubstituteInput(id, orig)
+}
+
+// ObserveSetup implements sim.Adversary.
+func (m *Mixer) ObserveSetup(outputs map[sim.PartyID]sim.Value) bool {
+	return m.active.ObserveSetup(outputs)
+}
+
+// CorruptBefore implements sim.Adversary.
+func (m *Mixer) CorruptBefore(round int) []sim.PartyID { return m.active.CorruptBefore(round) }
+
+// OnCorrupt implements sim.Adversary.
+func (m *Mixer) OnCorrupt(id sim.PartyID, p sim.Party, setupOut sim.Value) {
+	m.active.OnCorrupt(id, p, setupOut)
+}
+
+// Act implements sim.Adversary.
+func (m *Mixer) Act(round int, inboxes map[sim.PartyID][]sim.Message, rushed []sim.Message) []sim.Message {
+	return m.active.Act(round, inboxes, rushed)
+}
+
+// Learned implements sim.Adversary.
+func (m *Mixer) Learned() (sim.Value, bool) { return m.active.Learned() }

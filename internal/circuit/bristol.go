@@ -1,0 +1,285 @@
+package circuit
+
+// Bristol-fashion circuit interchange format, the de-facto standard for
+// sharing boolean circuits between MPC implementations
+// (https://homes.esat.kuleuven.be/~nsmart/MPC/):
+//
+//	<#gates> <#wires>
+//	<#input-values> <bits-of-input-1> ... <bits-of-input-niv>
+//	<#output-values> <bits-of-output-1> ... <bits-of-output-nov>
+//	<blank line>
+//	<#in> <#out> <in-wires...> <out-wire> <GATE>
+//
+// with GATE ∈ {XOR, AND, INV}. Input value i is owned by party i−1 (the
+// two- or n-party convention matches our InputOwner labels); output
+// wires are the last wires of the file in order.
+//
+// Our internal representation requires gate g to drive wire
+// NumInputs+g; Bristol allows arbitrary output-wire numbering, so the
+// importer renumbers wires while preserving semantics.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrBristolFormat is wrapped by all Bristol parse errors.
+var ErrBristolFormat = errors.New("circuit: invalid Bristol format")
+
+// WriteBristol serializes the circuit in Bristol fashion. Input values
+// are grouped by owning party (each party's wires must be contiguous,
+// which the Builder guarantees); all outputs form one output value.
+func WriteBristol(w io.Writer, c *Circuit) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	// Group contiguous input wires by owner.
+	var groups []int // bits per input value
+	for i := 0; i < c.NumInputs; {
+		owner := c.InputOwner[i]
+		j := i
+		for j < c.NumInputs && c.InputOwner[j] == owner {
+			j++
+		}
+		groups = append(groups, j-i)
+		i = j
+	}
+	// Verify owners do not reappear (non-contiguous ownership cannot be
+	// represented in the per-party header).
+	seen := map[int]bool{}
+	cursor := 0
+	for _, gsize := range groups {
+		owner := c.InputOwner[cursor]
+		if seen[owner] {
+			return fmt.Errorf("%w: party %d owns non-contiguous input wires", ErrBristolFormat, owner)
+		}
+		seen[owner] = true
+		cursor += gsize
+	}
+
+	// Bristol requires the output wires to be the final wires of the
+	// numbering, in order. If the circuit's outputs are not already in
+	// that position, relocate them with double-inverter passthroughs.
+	numOut := len(c.Outputs)
+	relocate := false
+	for i, o := range c.Outputs {
+		if o != c.NumWires()-numOut+i {
+			relocate = true
+			break
+		}
+	}
+	numGates, numWires := len(c.Gates), c.NumWires()
+	if relocate {
+		numGates += 2 * numOut
+		numWires += 2 * numOut
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", numGates, numWires)
+	fmt.Fprintf(bw, "%d", len(groups))
+	for _, gsize := range groups {
+		fmt.Fprintf(bw, " %d", gsize)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "1 %d\n\n", numOut)
+	for g, gate := range c.Gates {
+		out := c.NumInputs + g
+		switch gate.Kind {
+		case KindXor:
+			fmt.Fprintf(bw, "2 1 %d %d %d XOR\n", gate.A, gate.B, out)
+		case KindAnd:
+			fmt.Fprintf(bw, "2 1 %d %d %d AND\n", gate.A, gate.B, out)
+		case KindNot:
+			fmt.Fprintf(bw, "1 1 %d %d INV\n", gate.A, out)
+		default:
+			return fmt.Errorf("%w: unknown gate kind %d", ErrBristolFormat, int(gate.Kind))
+		}
+	}
+	if relocate {
+		base := c.NumWires()
+		for i, o := range c.Outputs {
+			fmt.Fprintf(bw, "1 1 %d %d INV\n", o, base+i)
+		}
+		for i := range c.Outputs {
+			fmt.Fprintf(bw, "1 1 %d %d INV\n", base+i, base+numOut+i)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBristol parses a Bristol-fashion circuit. Output wires are taken
+// per the header: the last Σ output-bits wires of the numbering, in
+// ascending order (the standard convention).
+func ReadBristol(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	next := func() ([]string, error) {
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) > 0 {
+				return fields, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	ints := func(fields []string) ([]int, error) {
+		out := make([]int, len(fields))
+		for i, f := range fields {
+			var v int
+			if _, err := fmt.Sscanf(f, "%d", &v); err != nil {
+				return nil, fmt.Errorf("%w: bad integer %q", ErrBristolFormat, f)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	header, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header", ErrBristolFormat)
+	}
+	hv, err := ints(header)
+	if err != nil || len(hv) != 2 {
+		return nil, fmt.Errorf("%w: header needs <#gates> <#wires>", ErrBristolFormat)
+	}
+	numGates, numWires := hv[0], hv[1]
+	if numGates < 0 || numWires <= 0 || numGates > numWires {
+		return nil, fmt.Errorf("%w: implausible sizes %d/%d", ErrBristolFormat, numGates, numWires)
+	}
+
+	inLine, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing input header", ErrBristolFormat)
+	}
+	iv, err := ints(inLine)
+	if err != nil || len(iv) < 1 || len(iv) != iv[0]+1 {
+		return nil, fmt.Errorf("%w: malformed input header", ErrBristolFormat)
+	}
+	var inputBits, totalIn int
+	owners := []int{}
+	for party, bits := range iv[1:] {
+		if bits <= 0 {
+			return nil, fmt.Errorf("%w: input value with %d bits", ErrBristolFormat, bits)
+		}
+		for k := 0; k < bits; k++ {
+			owners = append(owners, party)
+		}
+		totalIn += bits
+	}
+	inputBits = totalIn
+
+	outLine, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing output header", ErrBristolFormat)
+	}
+	ov, err := ints(outLine)
+	if err != nil || len(ov) < 1 || len(ov) != ov[0]+1 {
+		return nil, fmt.Errorf("%w: malformed output header", ErrBristolFormat)
+	}
+	totalOut := 0
+	for _, bits := range ov[1:] {
+		if bits <= 0 {
+			return nil, fmt.Errorf("%w: output value with %d bits", ErrBristolFormat, bits)
+		}
+		totalOut += bits
+	}
+	if totalOut > numWires {
+		return nil, fmt.Errorf("%w: %d output bits exceed %d wires", ErrBristolFormat, totalOut, numWires)
+	}
+
+	// Parse gates; renumber output wires to our convention (gate g
+	// drives wire inputBits+g) via a translation map.
+	trans := make(map[int]int, numWires) // bristol wire -> internal wire
+	for wi := 0; wi < inputBits; wi++ {
+		trans[wi] = wi
+	}
+	gates := make([]Gate, 0, numGates)
+	lookup := func(w int) (int, error) {
+		v, ok := trans[w]
+		if !ok {
+			return 0, fmt.Errorf("%w: wire %d used before defined", ErrBristolFormat, w)
+		}
+		return v, nil
+	}
+	for gi := 0; gi < numGates; gi++ {
+		fields, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("%w: missing gate %d", ErrBristolFormat, gi)
+		}
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("%w: short gate line %v", ErrBristolFormat, fields)
+		}
+		kindName := fields[len(fields)-1]
+		nums, err := ints(fields[:len(fields)-1])
+		if err != nil {
+			return nil, err
+		}
+		nin, nout := nums[0], nums[1]
+		if nout != 1 || len(nums) != 2+nin+nout {
+			return nil, fmt.Errorf("%w: gate arity mismatch %v", ErrBristolFormat, fields)
+		}
+		outWire := nums[len(nums)-1]
+		if _, dup := trans[outWire]; dup {
+			return nil, fmt.Errorf("%w: wire %d defined twice", ErrBristolFormat, outWire)
+		}
+		var gate Gate
+		switch kindName {
+		case "XOR", "AND":
+			if nin != 2 {
+				return nil, fmt.Errorf("%w: %s needs 2 inputs", ErrBristolFormat, kindName)
+			}
+			a, err := lookup(nums[2])
+			if err != nil {
+				return nil, err
+			}
+			b, err := lookup(nums[3])
+			if err != nil {
+				return nil, err
+			}
+			gate = Gate{Kind: KindXor, A: a, B: b}
+			if kindName == "AND" {
+				gate.Kind = KindAnd
+			}
+		case "INV", "NOT":
+			if nin != 1 {
+				return nil, fmt.Errorf("%w: INV needs 1 input", ErrBristolFormat)
+			}
+			a, err := lookup(nums[2])
+			if err != nil {
+				return nil, err
+			}
+			gate = Gate{Kind: KindNot, A: a}
+		default:
+			return nil, fmt.Errorf("%w: unsupported gate %q", ErrBristolFormat, kindName)
+		}
+		trans[outWire] = inputBits + len(gates)
+		gates = append(gates, gate)
+	}
+
+	// Outputs: the last totalOut Bristol wires, ascending.
+	outputs := make([]int, 0, totalOut)
+	for w := numWires - totalOut; w < numWires; w++ {
+		v, ok := trans[w]
+		if !ok {
+			return nil, fmt.Errorf("%w: output wire %d undefined", ErrBristolFormat, w)
+		}
+		outputs = append(outputs, v)
+	}
+
+	c := &Circuit{
+		NumInputs:  inputBits,
+		InputOwner: owners,
+		Gates:      gates,
+		Outputs:    outputs,
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBristolFormat, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,194 @@
+package circuit
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, c *Circuit) *Circuit {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBristol(&buf, c); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadBristol(&buf)
+	if err != nil {
+		t.Fatalf("read: %v\n%s", err, buf.String())
+	}
+	return got
+}
+
+func equivalent(t *testing.T, a, b *Circuit, trials int, seed int64) {
+	t.Helper()
+	if a.NumInputs != b.NumInputs || len(a.Outputs) != len(b.Outputs) {
+		t.Fatalf("shape mismatch: %d/%d inputs, %d/%d outputs",
+			a.NumInputs, b.NumInputs, len(a.Outputs), len(b.Outputs))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		in := make([]bool, a.NumInputs)
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		wa, err := a.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := b.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("trial %d output %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestBristolRoundTripLibrary(t *testing.T) {
+	builders := map[string]func() (*Circuit, error){
+		"and":          AndCircuit,
+		"xor":          XorCircuit,
+		"millionaires": func() (*Circuit, error) { return MillionairesCircuit(8) },
+		"swap":         func() (*Circuit, error) { return SwapCircuit(6) },
+		"equality":     func() (*Circuit, error) { return EqualityCircuit(5) },
+		"max3":         func() (*Circuit, error) { return MaxCircuit(3, 4) },
+		"sum3":         func() (*Circuit, error) { return SumCircuit(3, 4) },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			c, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := roundTrip(t, c)
+			equivalent(t, c, got, 50, 7)
+			// Owners preserved.
+			for i, o := range c.InputOwner {
+				if got.InputOwner[i] != o {
+					t.Fatalf("owner of wire %d: %d vs %d", i, got.InputOwner[i], o)
+				}
+			}
+		})
+	}
+}
+
+func TestReadBristolHandWritten(t *testing.T) {
+	// A 2-gate circuit computing (x ∧ y) ⊕ z with shuffled wire numbers.
+	src := `2 5
+3 1 1 1
+1 1
+
+2 1 0 1 3 AND
+2 1 3 2 4 XOR
+`
+	c, err := ReadBristol(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs != 3 || len(c.Gates) != 2 || len(c.Outputs) != 1 {
+		t.Fatalf("shape: %+v", c)
+	}
+	for _, tc := range []struct {
+		x, y, z, want bool
+	}{
+		{true, true, false, true},
+		{true, true, true, false},
+		{false, true, true, true},
+		{false, false, false, false},
+	} {
+		out, err := c.Eval([]bool{tc.x, tc.y, tc.z})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != tc.want {
+			t.Errorf("(%v∧%v)⊕%v = %v, want %v", tc.x, tc.y, tc.z, out[0], tc.want)
+		}
+	}
+}
+
+func TestReadBristolINV(t *testing.T) {
+	src := `1 3
+2 1 1
+1 1
+
+1 1 0 2 INV
+`
+	c, err := ReadBristol(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Eval([]bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != false {
+		t.Error("INV(true) != false")
+	}
+}
+
+func TestReadBristolErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"bad header":        "x y\n",
+		"short header":      "3\n1 1\n1 1\n",
+		"bad input header":  "1 3\n2 1\n1 1\n1 1 0 2 INV\n",
+		"bad output header": "1 3\n2 1 1\n2 1\n1 1 0 2 INV\n",
+		"zero-bit input":    "1 3\n2 1 0\n1 1\n1 1 0 2 INV\n",
+		"missing gate":      "2 5\n3 1 1 1\n1 1\n2 1 0 1 3 AND\n",
+		"unknown gate":      "1 3\n2 1 1\n1 1\n2 1 0 1 2 NAND\n",
+		"forward ref":       "1 3\n2 1 1\n1 1\n1 1 9 2 INV\n",
+		"dup wire":          "2 4\n2 1 1\n1 1\n1 1 0 2 INV\n1 1 1 2 INV\n",
+		"arity":             "1 3\n2 1 1\n1 1\n2 1 0 2 INV\n",
+		"too many outputs":  "1 3\n2 1 1\n1 9\n1 1 0 2 INV\n",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadBristol(strings.NewReader(src)); !errors.Is(err, ErrBristolFormat) {
+				t.Errorf("err = %v, want ErrBristolFormat", err)
+			}
+		})
+	}
+}
+
+func TestWriteBristolNonContiguousOwners(t *testing.T) {
+	c := &Circuit{
+		NumInputs:  3,
+		InputOwner: []int{0, 1, 0}, // party 0 split around party 1
+		Outputs:    []int{0},
+	}
+	var buf bytes.Buffer
+	if err := WriteBristol(&buf, c); !errors.Is(err, ErrBristolFormat) {
+		t.Errorf("err = %v, want ErrBristolFormat", err)
+	}
+}
+
+func TestWriteBristolInvalidCircuit(t *testing.T) {
+	c := &Circuit{NumInputs: 1, InputOwner: []int{0}, Outputs: []int{9}}
+	if err := WriteBristol(&bytes.Buffer{}, c); err == nil {
+		t.Error("invalid circuit serialized")
+	}
+}
+
+func TestBristolDoubleRoundTripStable(t *testing.T) {
+	c, err := MillionairesCircuit(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := roundTrip(t, c)
+	twice := roundTrip(t, once)
+	var b1, b2 bytes.Buffer
+	if err := WriteBristol(&b1, once); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBristol(&b2, twice); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("Bristol serialization not a fixpoint after one round trip")
+	}
+}

@@ -1,0 +1,123 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBristol exercises the parser against arbitrary inputs: it must
+// never panic, and anything it accepts must validate and survive a
+// write/read round trip.
+func FuzzReadBristol(f *testing.F) {
+	seeds := []string{
+		"2 5\n3 1 1 1\n1 1\n\n2 1 0 1 3 AND\n2 1 3 2 4 XOR\n",
+		"1 3\n2 1 1\n1 1\n\n1 1 0 2 INV\n",
+		"0 1\n1 1\n1 1\n\n",
+		"",
+		"garbage",
+		"2 5\n3 1 1 1\n1 1\n\n2 1 0 1 3 NAND\n",
+	}
+	mil, err := MillionairesCircuit(4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBristol(&buf, mil); err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, buf.String())
+
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ReadBristol(strings.NewReader(src))
+		if err != nil {
+			return // rejected input: fine
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid circuit: %v", err)
+		}
+		// Accepted circuits must survive a round trip semantically.
+		var out bytes.Buffer
+		if err := WriteBristol(&out, c); err != nil {
+			// Non-contiguous owners are unwritable; everything else must
+			// serialize.
+			if !strings.Contains(err.Error(), "non-contiguous") {
+				t.Fatalf("re-serialize: %v", err)
+			}
+			return
+		}
+		c2, err := ReadBristol(&out)
+		if err != nil {
+			t.Fatalf("re-parse: %v\n%s", err, out.String())
+		}
+		if c2.NumInputs != c.NumInputs || len(c2.Outputs) != len(c.Outputs) {
+			t.Fatalf("round trip changed shape: %d/%d inputs, %d/%d outputs",
+				c.NumInputs, c2.NumInputs, len(c.Outputs), len(c2.Outputs))
+		}
+		// Evaluate both on a fixed input pattern.
+		in := make([]bool, c.NumInputs)
+		for i := range in {
+			in[i] = i%2 == 0
+		}
+		o1, err1 := c.Eval(in)
+		o2, err2 := c2.Eval(in)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("eval divergence: %v vs %v", err1, err2)
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("output %d differs after round trip", i)
+			}
+		}
+	})
+}
+
+// FuzzBuilderEval cross-checks random builder programs against a direct
+// reference evaluation.
+func FuzzBuilderEval(f *testing.F) {
+	f.Add(uint16(0x1234), uint8(3))
+	f.Add(uint16(0xffff), uint8(7))
+	f.Fuzz(func(t *testing.T, program uint16, inBits uint8) {
+		n := int(inBits%6) + 2
+		b := NewBuilder()
+		wires := b.Inputs(0, n)
+		// Interpret `program` as a sequence of gate ops over the wire pool.
+		p := program
+		for step := 0; step < 8; step++ {
+			op := p & 3
+			a := wires[int(p>>2)%len(wires)]
+			c := wires[int(p>>5)%len(wires)]
+			p = p>>3 | p<<13
+			switch op {
+			case 0:
+				wires = append(wires, b.Xor(a, c))
+			case 1:
+				wires = append(wires, b.And(a, c))
+			case 2:
+				wires = append(wires, b.Not(a))
+			default:
+				wires = append(wires, b.Or(a, c))
+			}
+		}
+		b.Output(wires[len(wires)-1])
+		circ, err := b.Build()
+		if err != nil {
+			t.Fatalf("builder produced invalid circuit: %v", err)
+		}
+		in := make([]bool, n)
+		for i := range in {
+			in[i] = program&(1<<uint(i)) != 0
+		}
+		if _, err := circ.Eval(in); err != nil {
+			t.Fatalf("eval: %v", err)
+		}
+		// Layers must cover exactly the AND gates.
+		total := 0
+		for _, layer := range circ.Layers() {
+			total += len(layer)
+		}
+		if total != circ.NumAndGates() {
+			t.Fatalf("layers cover %d of %d AND gates", total, circ.NumAndGates())
+		}
+	})
+}

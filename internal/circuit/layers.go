@@ -1,0 +1,45 @@
+package circuit
+
+// Layering for round-structured evaluation: the GMW online phase opens
+// the Beaver-masked inputs of all AND gates in one topological layer in a
+// single communication round, so a circuit's round complexity is its
+// AND depth.
+
+// Layers partitions the gate indices into topological layers by AND
+// depth: layer k contains exactly the AND gates whose inputs depend on
+// k−1 earlier AND layers; XOR/NOT gates are free (absorbed between
+// layers). The returned slice has one entry per layer, each listing gate
+// indices (into c.Gates) of that layer's AND gates, in ascending order.
+func (c *Circuit) Layers() [][]int {
+	// depth[w] = number of AND layers wire w depends on.
+	depth := make([]int, c.NumWires())
+	var layers [][]int
+	for g, gate := range c.Gates {
+		w := c.NumInputs + g
+		switch gate.Kind {
+		case KindNot:
+			depth[w] = depth[gate.A]
+		case KindXor:
+			depth[w] = maxInt(depth[gate.A], depth[gate.B])
+		case KindAnd:
+			d := maxInt(depth[gate.A], depth[gate.B])
+			depth[w] = d + 1
+			for len(layers) <= d {
+				layers = append(layers, nil)
+			}
+			layers[d] = append(layers[d], g)
+		}
+	}
+	return layers
+}
+
+// AndDepth is the circuit's multiplicative depth — the number of
+// communication rounds the GMW online phase needs before output reveal.
+func (c *Circuit) AndDepth() int { return len(c.Layers()) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+package circuit
+
+import "testing"
+
+func TestLayersSimple(t *testing.T) {
+	// z = (a ∧ b) ∧ (c ∧ d): two layer-0 ANDs feeding one layer-1 AND.
+	b := NewBuilder()
+	a := b.Input(0)
+	x := b.Input(0)
+	c := b.Input(1)
+	d := b.Input(1)
+	ab := b.And(a, x)
+	cd := b.And(c, d)
+	b.Output(b.And(ab, cd))
+	circ, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := circ.Layers()
+	if len(layers) != 2 {
+		t.Fatalf("layers = %v", layers)
+	}
+	if len(layers[0]) != 2 || len(layers[1]) != 1 {
+		t.Errorf("layer sizes = %d,%d", len(layers[0]), len(layers[1]))
+	}
+	if circ.AndDepth() != 2 {
+		t.Errorf("AndDepth = %d", circ.AndDepth())
+	}
+}
+
+func TestLayersXorFree(t *testing.T) {
+	// XOR chains do not add depth.
+	b := NewBuilder()
+	x := b.Input(0)
+	y := b.Input(1)
+	v := b.Xor(x, y)
+	for i := 0; i < 5; i++ {
+		v = b.Xor(v, x)
+	}
+	b.Output(b.And(v, y))
+	circ, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if circ.AndDepth() != 1 {
+		t.Errorf("AndDepth = %d, want 1", circ.AndDepth())
+	}
+}
+
+func TestLayersNoAnds(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input(0)
+	y := b.Input(1)
+	b.Output(b.Xor(x, y))
+	circ, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := circ.Layers(); len(got) != 0 {
+		t.Errorf("layers = %v, want none", got)
+	}
+	if circ.AndDepth() != 0 {
+		t.Error("AndDepth of XOR circuit should be 0")
+	}
+}
+
+func TestLayersCoverAllAndGates(t *testing.T) {
+	circ, err := MaxCircuit(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := circ.Layers()
+	seen := map[int]bool{}
+	total := 0
+	for _, layer := range layers {
+		for _, g := range layer {
+			if circ.Gates[g].Kind != KindAnd {
+				t.Fatalf("gate %d in layers is not AND", g)
+			}
+			if seen[g] {
+				t.Fatalf("gate %d in two layers", g)
+			}
+			seen[g] = true
+			total++
+		}
+	}
+	if total != circ.NumAndGates() {
+		t.Errorf("layers cover %d AND gates, circuit has %d", total, circ.NumAndGates())
+	}
+	// Layer ordering: every AND gate's operand wires must be producible
+	// from strictly earlier layers (checked implicitly by depth
+	// construction; spot-check monotone gate indices within layers).
+	for _, layer := range layers {
+		for i := 1; i < len(layer); i++ {
+			if layer[i] <= layer[i-1] {
+				t.Fatal("layer gate indices not ascending")
+			}
+		}
+	}
+}
+
+func TestMillionairesDepthLinear(t *testing.T) {
+	// The ripple comparator has AND depth linear in the bit width.
+	c8, err := MillionairesCircuit(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c16, err := MillionairesCircuit(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c16.AndDepth() <= c8.AndDepth() {
+		t.Errorf("depths: 8-bit %d, 16-bit %d", c8.AndDepth(), c16.AndDepth())
+	}
+}

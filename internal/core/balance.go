@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// Utility-balanced fairness (Definition 5), φ-fairness (Definition 21),
+// corruption costs and ideal ~γ^C-fairness (Definitions 19–20, Theorem 6).
+
+// PerTUtilities holds u_A(Π, A_t) for the best t-adversary, t = 1..n−1
+// (index 0 ↔ t = 1). The t = 0 and t = n cases are excluded from balance
+// sums, as in Definition 5 (their utilities are γ01 and γ11 by
+// definition for every protocol).
+type PerTUtilities []float64
+
+// Sum returns Σ_t u_A(Π, A_t).
+func (p PerTUtilities) Sum() float64 { return mathx.SumFloat(p) }
+
+// ErrBadT is returned for out-of-range corruption counts.
+var ErrBadT = errors.New("core: corruption count t out of range")
+
+// At returns the utility of the best t-adversary (1 ≤ t ≤ n−1).
+func (p PerTUtilities) At(t int) (float64, error) {
+	if t < 1 || t > len(p) {
+		return 0, fmt.Errorf("%w: t=%d with n-1=%d", ErrBadT, t, len(p))
+	}
+	return p[t-1], nil
+}
+
+// IsUtilityBalanced reports whether the per-t utilities meet the
+// utility-balanced criterion: their sum does not exceed the optimal value
+// (n−1)(γ10+γ11)/2 by more than tol. By Lemmas 14 and 16 this sum is both
+// achievable and unimprovable, so "≤ bound + tol" characterizes balance
+// (the paper: exceeding the bound non-negligibly ⇒ not utility-balanced).
+func IsUtilityBalanced(p PerTUtilities, g Payoff, tol float64) bool {
+	n := len(p) + 1
+	return mathx.LessOrApprox(p.Sum(), BalancedSumBound(g, n), tol)
+}
+
+// CostFn is a corruption-cost function c: [n] → R with C(I) = c(|I|),
+// the symmetric case of Theorem 6.
+type CostFn func(t int) float64
+
+// ZeroCost is the free-corruption cost function.
+func ZeroCost(int) float64 { return 0 }
+
+// LinearCost charges perParty per corruption.
+func LinearCost(perParty float64) CostFn {
+	return func(t int) float64 { return perParty * float64(t) }
+}
+
+// OptimalCost is the optimal cost function of Theorem 6 in the explicit
+// form of Lemma 22: c(t) = φ(t) − s(t) with φ(t) = u_A(Π, A_t) the best
+// t-adversary's cost-free utility and s(t) = IdealBound(g) the payoff of
+// the best t-adversary against the fully fair dummy protocol. Under this
+// cost, the cost-adjusted utility u(t) − c(t) equals the ideal payoff
+// exactly, so Π is ideally ~γ^C-fair, and by Theorem 6(2) no protocol is
+// ideally fair under a strictly dominated (cheaper) cost function.
+func OptimalCost(p PerTUtilities, g Payoff) CostFn {
+	ideal := IdealBound(g)
+	return func(t int) float64 {
+		u, err := p.At(t)
+		if err != nil {
+			return 0
+		}
+		return u - ideal
+	}
+}
+
+// UtilityWithCost is the cost-adjusted payoff of Equation (5) for a
+// symmetric cost function: u − c(t).
+func UtilityWithCost(u float64, t int, c CostFn) float64 {
+	return u - c(t)
+}
+
+// Dominates reports whether c1 weakly dominates c2 on t = 1..n−1
+// (Definition 20): c1(t) ≥ c2(t) − tol everywhere.
+func Dominates(c1, c2 CostFn, n int, tol float64) bool {
+	for t := 1; t <= n-1; t++ {
+		if !mathx.GreaterOrApprox(c1(t), c2(t), tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlyDominates reports whether c1(t) > c2(t) + tol for every t
+// (Definition 20's strict version).
+func StrictlyDominates(c1, c2 CostFn, n int, tol float64) bool {
+	for t := 1; t <= n-1; t++ {
+		if c1(t) <= c2(t)+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPhiFair reports whether the measured per-t utilities satisfy
+// Definition 21: u_A(Π, A_t) ≤ φ(t) + tol for every t.
+func IsPhiFair(p PerTUtilities, phi func(int) float64, tol float64) bool {
+	for t := 1; t <= len(p); t++ {
+		u, err := p.At(t)
+		if err != nil {
+			return false
+		}
+		if !mathx.LessOrApprox(u, phi(t), tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIdeallyCFair checks ideal ~γ^C-fairness (Definition 19 via Lemma 22)
+// for a symmetric cost function: the cost-adjusted utility of the best
+// t-adversary, u(t) − c(t), must not exceed s(t), the payoff of the best
+// t-adversary against the dummy F_sfe-hybrid protocol Φ. For ~γ ∈ Γ+fair
+// and t ≥ 1, s(t) = γ11 = IdealBound(g) (against the fully fair
+// functionality the best the adversary can do is let the run complete).
+func IsIdeallyCFair(p PerTUtilities, g Payoff, c CostFn, tol float64) bool {
+	ideal := IdealBound(g)
+	for t := 1; t <= len(p); t++ {
+		u, err := p.At(t)
+		if err != nil {
+			return false
+		}
+		if !mathx.LessOrApprox(u-c(t), ideal, tol) {
+			return false
+		}
+	}
+	return true
+}

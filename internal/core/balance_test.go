@@ -1,0 +1,126 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestPerTUtilities(t *testing.T) {
+	p := PerTUtilities{0.6, 0.7, 0.8} // n = 4
+	if got := p.Sum(); math.Abs(got-2.1) > 1e-12 {
+		t.Errorf("Sum = %v", got)
+	}
+	u, err := p.At(2)
+	if err != nil || u != 0.7 {
+		t.Errorf("At(2) = %v, %v", u, err)
+	}
+	if _, err := p.At(0); !errors.Is(err, ErrBadT) {
+		t.Errorf("At(0) err = %v", err)
+	}
+	if _, err := p.At(4); !errors.Is(err, ErrBadT) {
+		t.Errorf("At(4) err = %v", err)
+	}
+}
+
+func TestIsUtilityBalanced(t *testing.T) {
+	g := StandardPayoff() // balanced bound for n=4: 3·1.5/2 = 2.25
+	balanced := PerTUtilities{
+		MultiPartyTBound(g, 4, 1),
+		MultiPartyTBound(g, 4, 2),
+		MultiPartyTBound(g, 4, 3),
+	}
+	if !IsUtilityBalanced(balanced, g, 0.01) {
+		t.Errorf("ΠOpt-nSFE per-t utilities (sum %v) should be balanced (bound %v)",
+			balanced.Sum(), BalancedSumBound(g, 4))
+	}
+	// The Lemma 17 even-n GMW utilities: t≥n/2 earn γ10, t<n/2 earn γ11.
+	gmw := PerTUtilities{g.G11, g.G10, g.G10}
+	if IsUtilityBalanced(gmw, g, 0.01) {
+		t.Errorf("even-n GMW utilities (sum %v) must NOT be balanced (bound %v)",
+			gmw.Sum(), BalancedSumBound(g, 4))
+	}
+}
+
+func TestCostFunctions(t *testing.T) {
+	if ZeroCost(5) != 0 {
+		t.Error("ZeroCost")
+	}
+	c := LinearCost(0.25)
+	if c(4) != 1.0 {
+		t.Errorf("LinearCost(0.25)(4) = %v", c(4))
+	}
+	g := StandardPayoff() // IdealBound = 0.5
+	p := PerTUtilities{0.6, 0.7, 0.8}
+	fc := OptimalCost(p, g)
+	if math.Abs(fc(2)-0.2) > 1e-12 {
+		t.Errorf("OptimalCost(2) = %v, want u(2)−γ11 = 0.2", fc(2))
+	}
+	if fc(0) != 0 || fc(9) != 0 {
+		t.Error("out-of-range cost should be 0")
+	}
+	if got := UtilityWithCost(0.9, 2, fc); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("UtilityWithCost = %v", got)
+	}
+}
+
+func TestDominance(t *testing.T) {
+	c1 := LinearCost(0.5)
+	c2 := LinearCost(0.25)
+	if !Dominates(c1, c2, 4, 0) {
+		t.Error("0.5t should dominate 0.25t")
+	}
+	if Dominates(c2, c1, 4, 0) {
+		t.Error("0.25t should not dominate 0.5t")
+	}
+	if !StrictlyDominates(c1, c2, 4, 0) {
+		t.Error("0.5t should strictly dominate 0.25t")
+	}
+	if StrictlyDominates(c1, c1, 4, 0) {
+		t.Error("no strict self-dominance")
+	}
+	if !Dominates(c1, c1, 4, 1e-9) {
+		t.Error("weak self-dominance")
+	}
+}
+
+func TestIsPhiFair(t *testing.T) {
+	g := StandardPayoff()
+	p := PerTUtilities{
+		MultiPartyTBound(g, 4, 1),
+		MultiPartyTBound(g, 4, 2),
+		MultiPartyTBound(g, 4, 3),
+	}
+	phi := func(t int) float64 { return MultiPartyTBound(g, 4, t) }
+	if !IsPhiFair(p, phi, 0.001) {
+		t.Error("per-t bounds should be φ-fair for φ = the bounds themselves")
+	}
+	tooTight := func(int) float64 { return 0.1 }
+	if IsPhiFair(p, tooTight, 0.001) {
+		t.Error("φ ≡ 0.1 should fail")
+	}
+}
+
+func TestIsIdeallyCFair(t *testing.T) {
+	g := StandardPayoff() // IdealBound = γ11 = 0.5
+	p := PerTUtilities{0.625, 0.75, 0.875}
+	// Theorem 6(1) via Lemma 22: with c(t) = u(t) − s(t) the protocol is
+	// ideally γ^C-fair because u(t) − c(t) = γ11 exactly.
+	opt := OptimalCost(p, g)
+	if !IsIdeallyCFair(p, g, opt, 1e-9) {
+		t.Error("optimal cost should make the protocol ideally fair")
+	}
+	// Zero cost: u(t) > γ11 for every t here, so not ideally fair.
+	if IsIdeallyCFair(p, g, ZeroCost, 1e-9) {
+		t.Error("free corruption should not be ideally fair for these utilities")
+	}
+	// The Theorem 6(2) shape: a strictly dominated (cheaper) cost
+	// function fails ideal fairness for the same utilities.
+	lower := func(t int) float64 { return opt(t) - 0.2 }
+	if IsIdeallyCFair(p, g, lower, 1e-9) {
+		t.Error("strictly dominated cost function should fail ideal fairness")
+	}
+	if !StrictlyDominates(opt, lower, 4, 0) {
+		t.Error("fixture: optimal cost should strictly dominate the lowered cost")
+	}
+}

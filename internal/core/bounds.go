@@ -1,0 +1,108 @@
+package core
+
+// Closed-form bounds from the paper, used to validate the measured
+// utilities in EXPERIMENTS.md.
+
+// TwoPartyOptimalBound is (γ10 + γ11)/2 — the exact optimal-fairness
+// value for general two-party SFE (Theorems 3 and 4): ΠOpt-2SFE's best
+// attacker earns at most this, and for the swap function no protocol does
+// better.
+func TwoPartyOptimalBound(g Payoff) float64 {
+	return (g.G10 + g.G11) / 2
+}
+
+// TwoPartyLowerPairSum is γ10 + γ11 — Lemma 7's bound on the *sum* of the
+// utilities of the two one-sided strategies A1 and A2 against any secure
+// swap protocol.
+func TwoPartyLowerPairSum(g Payoff) float64 {
+	return g.G10 + g.G11
+}
+
+// MultiPartyTBound is (t·γ10 + (n−t)·γ11)/n — Lemma 11's bound on any
+// t-adversary against ΠOpt-nSFE.
+func MultiPartyTBound(g Payoff, n, t int) float64 {
+	return (float64(t)*g.G10 + float64(n-t)*g.G11) / float64(n)
+}
+
+// MultiPartyOptimalBound is ((n−1)·γ10 + γ11)/n — the sup over t of
+// Lemma 11 (t = n−1), matched by the Lemma 13 lower bound for the
+// concatenation function.
+func MultiPartyOptimalBound(g Payoff, n int) float64 {
+	return MultiPartyTBound(g, n, n-1)
+}
+
+// BalancedSumBound is (n−1)(γ10 + γ11)/2 — Lemma 14's bound on the sum of
+// best-t-adversary utilities for t = 1..n−1, tight by Lemma 16; the
+// defining quantity of utility-balanced fairness (Definition 5).
+func BalancedSumBound(g Payoff, n int) float64 {
+	return float64(n-1) * (g.G10 + g.G11) / 2
+}
+
+// GMWEvenNSumLowerBound is the Lemma 17 lower bound for Π_GMW^{1/2} with
+// an even number of parties: the sum of best t-adversary utilities is at
+// least (n−1)(γ10+γ11)/2 + (γ10−γ11)/2, strictly above the balanced
+// bound. (For n/2 ≤ t ≤ n−1 the best adversary earns γ10; for t < n/2 it
+// earns γ11.)
+func GMWEvenNSumLowerBound(g Payoff, n int) float64 {
+	if n%2 != 0 {
+		return BalancedSumBound(g, n)
+	}
+	half := n / 2
+	return float64(n-half)*g.G10 + float64(half-1)*g.G11
+}
+
+// IdealBound is the utility of the best adversary against the fully fair
+// functionality F_sfe (the dummy protocol Φ of Definition 19): it may
+// complete (E11), abort losing the output (E00), or stay out (E01); for
+// ~γ ∈ Γ+fair the best choice is E11, i.e. γ11.
+func IdealBound(g Payoff) float64 {
+	return maxf(g.G11, maxf(g.G00, g.G01))
+}
+
+// GordonKatzBound is ((p−1)·γ11 + γ10)/p — the utility ceiling achieved
+// by the Gordon–Katz 1/p-secure protocols (Section 5): fairness holds
+// with probability (p−1)/p (event E11 at best) and fails with
+// probability 1/p (event E10).
+func GordonKatzBound(g Payoff, p int) float64 {
+	return (float64(p-1)*g.G11 + g.G10) / float64(p)
+}
+
+// Lemma18SumLowerBound is the sum (3n−1)γ10/(2n) + (n+1)γ11/(2n) of the
+// single-corruption and (n−1)-corruption attackers' utilities against the
+// Lemma 18 protocol — strictly above 2/(n−1)·BalancedSumBound's per-pair
+// share, witnessing that optimal fairness does not imply utility balance.
+func Lemma18SumLowerBound(g Payoff, n int) float64 {
+	nn := float64(n)
+	return ((3*nn-1)*g.G10 + (nn+1)*g.G11) / (2 * nn)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GKFirstHitExact is the exact success probability of the first-hit abort
+// against a Gordon–Katz iterated-reveal protocol with a uniform switch
+// round i* over r iterations and per-round fake-hit probability h (the
+// chance a pre-switch value coincides with the real output):
+//
+//	Pr[E10] = (1/r)·Σ_{k=1..r} (1−h)^{k−1} = (1−(1−h)^r)/(r·h),
+//
+// which is ≤ 1/(r·h); with r = p/h this is the 1/p bound of Theorems
+// 23/24. Used to cross-check the Monte-Carlo measurements exactly.
+func GKFirstHitExact(r int, h float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	if h <= 0 {
+		return 1.0 / float64(r) // only the real value ever hits
+	}
+	acc := 1.0
+	q := 1 - h
+	for k := 1; k < r; k++ {
+		acc = acc*q + 1
+	}
+	return acc / float64(r)
+}

@@ -1,0 +1,120 @@
+// Package core implements the paper's utility-based fairness machinery:
+// payoff vectors over the fairness events E00/E01/E10/E11 (Section 3),
+// Monte-Carlo estimation of the attacker utility u_A(Π, A) (Equations 1–2),
+// the relative-fairness relation and optimality notions (Definitions 1–2),
+// utility-balanced fairness (Definition 5), corruption costs and ideal
+// ~γ^C-fairness (Definitions 19–21, Theorem 6), and the closed-form bounds
+// proved in Sections 4–5 for cross-checking measured values.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Event indexes the four fairness events of Section 3, Step 2. The first
+// bit answers "did the adversary learn noticeable information about the
+// corrupted parties' output?" and the second "did honest parties learn
+// their output?".
+type Event int
+
+// The four events E_ij.
+const (
+	// E00: neither the adversary nor the honest parties receive outputs.
+	E00 Event = iota + 1
+	// E01: only the honest parties receive the output (also covers runs
+	// with no corruption).
+	E01
+	// E10: the adversary receives the output and aborts before any honest
+	// party does — the canonical fairness breach.
+	E10
+	// E11: both sides receive the output (also covers full corruption).
+	E11
+)
+
+// String renders the event in the paper's notation.
+func (e Event) String() string {
+	switch e {
+	case E00:
+		return "E00"
+	case E01:
+		return "E01"
+	case E10:
+		return "E10"
+	case E11:
+		return "E11"
+	default:
+		return fmt.Sprintf("Event(%d)", int(e))
+	}
+}
+
+// Events lists all four events in canonical order.
+func Events() []Event { return []Event{E00, E01, E10, E11} }
+
+// Payoff is the vector ~γ = (γ00, γ01, γ10, γ11) assigning the attacker's
+// reward for provoking each event.
+type Payoff struct {
+	G00, G01, G10, G11 float64
+}
+
+// Validation errors for the payoff classes.
+var (
+	ErrNotFair = errors.New(
+		"core: payoff not in Γfair (need 0 = γ01 ≤ min{γ00, γ11} and max{γ00, γ11} < γ10)")
+	ErrNotFairPlus = errors.New(
+		"core: payoff not in Γ+fair (need 0 = γ01 ≤ γ00 ≤ γ11 < γ10)")
+)
+
+// Of returns the payoff of an event.
+func (p Payoff) Of(e Event) float64 {
+	switch e {
+	case E00:
+		return p.G00
+	case E01:
+		return p.G01
+	case E10:
+		return p.G10
+	case E11:
+		return p.G11
+	default:
+		return 0
+	}
+}
+
+// ValidateFair checks membership in Γfair (Section 3):
+//
+//	0 = γ01 ≤ min{γ00, γ11} and max{γ00, γ11} < γ10.
+func (p Payoff) ValidateFair() error {
+	if p.G01 != 0 || p.G00 < 0 || p.G11 < 0 || p.G10 <= p.G00 || p.G10 <= p.G11 {
+		return fmt.Errorf("%w: got %+v", ErrNotFair, p)
+	}
+	return nil
+}
+
+// ValidateFairPlus checks membership in Γ+fair (Section 4.2), which
+// additionally assumes the attacker prefers learning the output:
+//
+//	0 = γ01 ≤ γ00 ≤ γ11 < γ10.
+func (p Payoff) ValidateFairPlus() error {
+	if err := p.ValidateFair(); err != nil {
+		return errors.Join(ErrNotFairPlus, err)
+	}
+	if p.G00 > p.G11 {
+		return fmt.Errorf("%w: γ00=%v > γ11=%v", ErrNotFairPlus, p.G00, p.G11)
+	}
+	return nil
+}
+
+// StandardPayoff is the payoff vector used by default in the experiments:
+// γ = (0, 0, 1, 1/2) ∈ Γ+fair. Any Γ+fair vector gives the same ordering
+// of the protocols studied here; this one makes the bounds easy to read
+// ((γ10+γ11)/2 = 3/4, etc.).
+func StandardPayoff() Payoff { return Payoff{G00: 0, G01: 0, G10: 1, G11: 0.5} }
+
+// GordonKatzPayoff is the vector ~γ = (0, 0, 1, 0) used in Section 5 to
+// relate utility-based fairness to 1/p-security: the utility then equals
+// Pr[E10]. Note it is in Γfair but not Γ+fair (γ11 = γ00).
+//
+// (Strictly, Γfair requires γ11 < γ10, satisfied; γ00 ≤ γ11 fails for
+// Γ+fair only if γ00 > γ11 — here both are 0, so it is in Γ+fair too.)
+func GordonKatzPayoff() Payoff { return Payoff{G00: 0, G01: 0, G10: 1, G11: 0} }

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestEventString(t *testing.T) {
+	tests := []struct {
+		e    Event
+		want string
+	}{
+		{E00, "E00"}, {E01, "E01"}, {E10, "E10"}, {E11, "E11"}, {Event(42), "Event(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.e.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestEventsOrder(t *testing.T) {
+	es := Events()
+	if len(es) != 4 || es[0] != E00 || es[3] != E11 {
+		t.Errorf("Events() = %v", es)
+	}
+}
+
+func TestPayoffOf(t *testing.T) {
+	p := Payoff{G00: 1, G01: 2, G10: 3, G11: 4}
+	if p.Of(E00) != 1 || p.Of(E01) != 2 || p.Of(E10) != 3 || p.Of(E11) != 4 {
+		t.Error("Of mismatch")
+	}
+	if p.Of(Event(9)) != 0 {
+		t.Error("unknown event should pay 0")
+	}
+}
+
+func TestValidateFair(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Payoff
+		ok   bool
+	}{
+		{"standard", StandardPayoff(), true},
+		{"gordon-katz", GordonKatzPayoff(), true},
+		{"gamma01 nonzero", Payoff{G01: 0.1, G10: 1}, false},
+		{"gamma10 not max", Payoff{G00: 2, G10: 1, G11: 0.5}, false},
+		{"gamma10 equals gamma11", Payoff{G10: 1, G11: 1}, false},
+		{"negative gamma00", Payoff{G00: -1, G10: 1}, false},
+		{"negative gamma11", Payoff{G11: -1, G10: 1}, false},
+		{"all-zero", Payoff{}, false},
+		{"valid asymmetric", Payoff{G00: 0.9, G01: 0, G10: 1, G11: 0.2}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.ValidateFair()
+			if tt.ok && err != nil {
+				t.Errorf("ValidateFair() = %v, want nil", err)
+			}
+			if !tt.ok && !errors.Is(err, ErrNotFair) {
+				t.Errorf("ValidateFair() = %v, want ErrNotFair", err)
+			}
+		})
+	}
+}
+
+func TestValidateFairPlus(t *testing.T) {
+	if err := StandardPayoff().ValidateFairPlus(); err != nil {
+		t.Errorf("standard payoff should be Γ+fair: %v", err)
+	}
+	// γ00 > γ11: in Γfair but not Γ+fair.
+	p := Payoff{G00: 0.9, G01: 0, G10: 1, G11: 0.2}
+	if err := p.ValidateFair(); err != nil {
+		t.Fatalf("fixture should be Γfair: %v", err)
+	}
+	if err := p.ValidateFairPlus(); !errors.Is(err, ErrNotFairPlus) {
+		t.Errorf("ValidateFairPlus() = %v, want ErrNotFairPlus", err)
+	}
+	// Not even Γfair.
+	if err := (Payoff{G01: 1}).ValidateFairPlus(); !errors.Is(err, ErrNotFairPlus) {
+		t.Error("invalid payoff should fail Γ+fair")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	g := StandardPayoff() // γ10=1, γ11=0.5
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+	if got := TwoPartyOptimalBound(g); !approx(got, 0.75) {
+		t.Errorf("TwoPartyOptimalBound = %v, want 0.75", got)
+	}
+	if got := TwoPartyLowerPairSum(g); !approx(got, 1.5) {
+		t.Errorf("TwoPartyLowerPairSum = %v, want 1.5", got)
+	}
+	if got := MultiPartyTBound(g, 5, 2); !approx(got, (2*1+3*0.5)/5) {
+		t.Errorf("MultiPartyTBound(5,2) = %v", got)
+	}
+	if got := MultiPartyOptimalBound(g, 5); !approx(got, (4*1+0.5)/5) {
+		t.Errorf("MultiPartyOptimalBound(5) = %v", got)
+	}
+	if got := BalancedSumBound(g, 5); !approx(got, 4*1.5/2) {
+		t.Errorf("BalancedSumBound(5) = %v", got)
+	}
+	if got := IdealBound(g); !approx(got, 0.5) {
+		t.Errorf("IdealBound = %v, want γ11", got)
+	}
+	if got := GordonKatzBound(g, 4); !approx(got, (3*0.5+1)/4) {
+		t.Errorf("GordonKatzBound(4) = %v", got)
+	}
+	// For p=1 (no fairness at all) the bound is γ10.
+	if got := GordonKatzBound(g, 1); !approx(got, 1) {
+		t.Errorf("GordonKatzBound(1) = %v, want γ10", got)
+	}
+}
+
+func TestGMWEvenNSumLowerBound(t *testing.T) {
+	g := StandardPayoff()
+	// n=4: t=2,3 earn γ10; t=1 earns γ11 → 2·1 + 1·0.5 = 2.5, strictly
+	// above the balanced bound 3·1.5/2 = 2.25.
+	got := GMWEvenNSumLowerBound(g, 4)
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("GMWEvenNSumLowerBound(4) = %v, want 2.5", got)
+	}
+	if got <= BalancedSumBound(g, 4) {
+		t.Error("even-n GMW bound must exceed the balanced bound")
+	}
+	// Odd n: reduces to the balanced bound.
+	if GMWEvenNSumLowerBound(g, 5) != BalancedSumBound(g, 5) {
+		t.Error("odd n should give the balanced bound")
+	}
+}
+
+func TestLemma18SumLowerBound(t *testing.T) {
+	g := StandardPayoff()
+	// n=4: (3·4−1)·1/(2·4) + (4+1)·0.5/(2·4) = 11/8 + 2.5/8 = 13.5/8.
+	got := Lemma18SumLowerBound(g, 4)
+	want := (11.0 + 2.5) / 8.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Lemma18SumLowerBound(4) = %v, want %v", got, want)
+	}
+	// It must exceed the two-adversary share of the balanced optimum,
+	// 2·(γ10+γ11)/2·... i.e. the pair bound γ10+γ11 = 1.5? The paper's
+	// point: the two utilities sum above what a balanced protocol allows
+	// for the same pair (t=1 plus t=n−1 contribute (γ10+γ11) in the
+	// balanced optimum by Lemma 15's tightness).
+	if got <= TwoPartyLowerPairSum(g)+1e-12 {
+		t.Errorf("Lemma18 sum %v should exceed pair bound %v", got, TwoPartyLowerPairSum(g))
+	}
+}
+
+func TestGKFirstHitExact(t *testing.T) {
+	// Closed form vs direct series.
+	direct := func(r int, h float64) float64 {
+		sum := 0.0
+		for k := 1; k <= r; k++ {
+			sum += math.Pow(1-h, float64(k-1))
+		}
+		return sum / float64(r)
+	}
+	for _, tc := range []struct {
+		r int
+		h float64
+	}{{4, 0.5}, {8, 0.5}, {16, 0.25}, {32, 0.125}} {
+		got := GKFirstHitExact(tc.r, tc.h)
+		want := direct(tc.r, tc.h)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("r=%d h=%v: %v vs %v", tc.r, tc.h, got, want)
+		}
+		// And the 1/(r·h) ceiling.
+		if got > 1/(float64(tc.r)*tc.h)+1e-12 {
+			t.Errorf("r=%d h=%v: %v exceeds 1/(r·h)", tc.r, tc.h, got)
+		}
+	}
+	if GKFirstHitExact(0, 0.5) != 0 {
+		t.Error("r=0")
+	}
+	if GKFirstHitExact(10, 0) != 0.1 {
+		t.Error("h=0 should give 1/r")
+	}
+}

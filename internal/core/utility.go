@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// InputSampler draws one input vector per run — it plays the role of the
+// environment Z choosing inputs. Lower-bound experiments use the input
+// distribution from the corresponding proof (the least favorable
+// environment of Equation 2).
+type InputSampler func(r *rand.Rand) []sim.Value
+
+// FixedInputs returns a sampler that always produces the given vector.
+func FixedInputs(vals ...sim.Value) InputSampler {
+	return func(*rand.Rand) []sim.Value { return append([]sim.Value(nil), vals...) }
+}
+
+// ErrNoRuns is returned when a utility estimate is requested with runs<=0.
+var ErrNoRuns = errors.New("core: need at least one run")
+
+// UtilityReport summarizes a Monte-Carlo utility estimation.
+type UtilityReport struct {
+	// Utility estimates u_A(Π, A) = Σ γ_ij · Pr[E_ij].
+	Utility stats.Estimate
+	// EventFreq holds the empirical Pr[E_ij].
+	EventFreq map[Event]float64
+	// CorrectnessViolations is the fraction of runs in which an honest
+	// party output a wrong value.
+	CorrectnessViolations float64
+	// PrivacyBreaches is the fraction of runs with a verified input
+	// extraction.
+	PrivacyBreaches float64
+	// MeanCorrupted is the average number of corrupted parties.
+	MeanCorrupted float64
+	// Runs is the sample count.
+	Runs int
+}
+
+// String renders the report compactly.
+func (r UtilityReport) String() string {
+	return fmt.Sprintf("u=%s events[E00=%.3f E01=%.3f E10=%.3f E11=%.3f]",
+		r.Utility, r.EventFreq[E00], r.EventFreq[E01], r.EventFreq[E10], r.EventFreq[E11])
+}
+
+// EstimateUtility measures the attacker utility of strategy adv against
+// proto under payoff gamma by repeated seeded simulation: the empirical
+// version of Equation (2) for a fixed (adversary, environment) pair.
+func EstimateUtility(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
+	sampler InputSampler, runs int, seed int64) (UtilityReport, error) {
+	if runs <= 0 {
+		return UtilityReport{}, ErrNoRuns
+	}
+	seeder := rand.New(rand.NewSource(seed))
+	samples := make([]float64, 0, runs)
+	events := make(map[Event]int, 4)
+	violations, breaches, corrupted := 0, 0, 0
+	for i := 0; i < runs; i++ {
+		inputs := sampler(seeder)
+		tr, err := sim.Run(proto, inputs, adv, seeder.Int63())
+		if err != nil {
+			return UtilityReport{}, fmt.Errorf("core: run %d: %w", i, err)
+		}
+		oc := Classify(tr)
+		events[oc.Event]++
+		if oc.CorrectnessViolation {
+			violations++
+		}
+		if oc.PrivacyBreach {
+			breaches++
+		}
+		corrupted += oc.Corrupted
+		samples = append(samples, gamma.Of(oc.Event))
+	}
+	est, err := stats.MeanEstimate(samples)
+	if err != nil {
+		return UtilityReport{}, err
+	}
+	freq := make(map[Event]float64, 4)
+	for _, e := range Events() {
+		freq[e] = float64(events[e]) / float64(runs)
+	}
+	return UtilityReport{
+		Utility:               est,
+		EventFreq:             freq,
+		CorrectnessViolations: float64(violations) / float64(runs),
+		PrivacyBreaches:       float64(breaches) / float64(runs),
+		MeanCorrupted:         float64(corrupted) / float64(runs),
+		Runs:                  runs,
+	}, nil
+}
+
+// NamedAdversary pairs a strategy with a label for sup-utility searches.
+type NamedAdversary struct {
+	Name string
+	Adv  sim.Adversary
+}
+
+// SupReport is the result of a sup-utility search over a strategy space.
+type SupReport struct {
+	// Best is the label of the utility-maximizing strategy.
+	Best string
+	// BestReport is its utility report.
+	BestReport UtilityReport
+	// All holds every strategy's report, keyed by label.
+	All map[string]UtilityReport
+}
+
+// SupUtility approximates sup_A u_A(Π, A) over a finite strategy space —
+// the left-hand side of Definition 1 restricted to the documented
+// strategies (which, for the protocols studied here, include the
+// proof-optimal attackers).
+func SupUtility(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
+	sampler InputSampler, runs int, seed int64) (SupReport, error) {
+	if len(advs) == 0 {
+		return SupReport{}, errors.New("core: empty strategy space")
+	}
+	rep := SupReport{All: make(map[string]UtilityReport, len(advs))}
+	bestU := -1e18
+	for i, na := range advs {
+		r, err := EstimateUtility(proto, na.Adv, gamma, sampler, runs, seed+int64(i)*7919)
+		if err != nil {
+			return SupReport{}, fmt.Errorf("core: strategy %q: %w", na.Name, err)
+		}
+		rep.All[na.Name] = r
+		if r.Utility.Mean > bestU {
+			bestU = r.Utility.Mean
+			rep.Best = na.Name
+			rep.BestReport = r
+		}
+	}
+	return rep, nil
+}
+
+// Relation is the outcome of comparing two protocols' sup-utilities under
+// the relative-fairness relation of Definition 1.
+type Relation int
+
+// Comparison outcomes. AtLeastAsFair(A,B) means Π_A ⪰γ Π_B.
+const (
+	// StrictlyFairer: Π_A's best attacker earns noticeably less.
+	StrictlyFairer Relation = iota + 1
+	// EquallyFair: the sup-utilities agree within tolerance.
+	EquallyFair
+	// StrictlyLessFair: Π_A's best attacker earns noticeably more.
+	StrictlyLessFair
+)
+
+// String names the relation.
+func (r Relation) String() string {
+	switch r {
+	case StrictlyFairer:
+		return "strictly fairer"
+	case EquallyFair:
+		return "equally fair"
+	case StrictlyLessFair:
+		return "strictly less fair"
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Compare orders protocol A versus protocol B by their estimated
+// sup-utilities with tolerance tol (the empirical stand-in for the
+// negligible slack in Definition 1).
+func Compare(supA, supB stats.Estimate, tol float64) Relation {
+	switch {
+	case supA.Mean < supB.Mean-tol:
+		return StrictlyFairer
+	case supA.Mean > supB.Mean+tol:
+		return StrictlyLessFair
+	default:
+		return EquallyFair
+	}
+}
+
+// AtLeastAsFair reports Π_A ⪰γ Π_B: sup u(Π_A) ≤ sup u(Π_B) + tol.
+func AtLeastAsFair(supA, supB stats.Estimate, tol float64) bool {
+	return Compare(supA, supB, tol) != StrictlyLessFair
+}

@@ -1,0 +1,52 @@
+// Package commitment implements the hash-based commitment scheme used by
+// the contract-signing protocols Π1 and Π2 of the Introduction and by the
+// coin-tossing subprotocol of Π2 (Blum coin flipping).
+//
+// Commit(m; r) = SHA-256(r ‖ m) with a 32-byte random opening r. Hiding
+// holds in the random-oracle model (r has full entropy); binding follows
+// from collision resistance.
+package commitment
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+)
+
+// openingLen is the byte length of the random opening value.
+const openingLen = 32
+
+// Commitment is the public commitment string.
+type Commitment []byte
+
+// Opening is the decommitment: the randomness and the committed message.
+type Opening struct {
+	Randomness []byte
+	Message    []byte
+}
+
+// Commit produces a commitment to msg using randomness drawn from r.
+func Commit(r io.Reader, msg []byte) (Commitment, Opening, error) {
+	rnd := make([]byte, openingLen)
+	if _, err := io.ReadFull(r, rnd); err != nil {
+		return nil, Opening{}, fmt.Errorf("commitment: draw randomness: %w", err)
+	}
+	msgCopy := append([]byte(nil), msg...)
+	return digest(rnd, msgCopy), Opening{Randomness: rnd, Message: msgCopy}, nil
+}
+
+// Verify reports whether the opening matches the commitment.
+func Verify(c Commitment, o Opening) bool {
+	if len(o.Randomness) != openingLen {
+		return false
+	}
+	return bytes.Equal(c, digest(o.Randomness, o.Message))
+}
+
+func digest(rnd, msg []byte) Commitment {
+	h := sha256.New()
+	h.Write(rnd)
+	h.Write(msg)
+	return h.Sum(nil)
+}

@@ -1,0 +1,123 @@
+// Package mac implements the message authentication codes used by the
+// authenticated secret-sharing scheme of Appendix A.
+//
+// Two schemes are provided:
+//
+//   - An information-theoretic one-time MAC over GF(2^61-1): for key
+//     (a, b), Tag(m) = a·m + b. One-time unforgeability is unconditional:
+//     after seeing a single (m, t) pair, every candidate tag for m' ≠ m is
+//     equally likely, so a forger succeeds with probability 1/|F|.
+//
+//   - An HMAC-SHA256 byte-message MAC for authenticating serialized
+//     protocol payloads (e.g. the signed-output broadcast of ΠOpt-nSFE).
+//
+// The paper's notation tag(x, k) maps to Tag(k, x) here.
+package mac
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/field"
+)
+
+// Key is a one-time MAC key (a, b) over the field.
+type Key struct {
+	A, B field.Element
+}
+
+// Tag is a one-time MAC tag, a single field element.
+type Tag = field.Element
+
+// ErrShortKey is returned when a byte-MAC key is too short.
+var ErrShortKey = errors.New("mac: key must be at least 16 bytes")
+
+// GenKey draws a uniform one-time MAC key from r.
+func GenKey(r io.Reader) (Key, error) {
+	a, err := field.Rand(r)
+	if err != nil {
+		return Key{}, fmt.Errorf("mac: gen key: %w", err)
+	}
+	b, err := field.Rand(r)
+	if err != nil {
+		return Key{}, fmt.Errorf("mac: gen key: %w", err)
+	}
+	return Key{A: a, B: b}, nil
+}
+
+// Sign computes the one-time tag a·m + b.
+func (k Key) Sign(m field.Element) Tag {
+	return k.A.Mul(m).Add(k.B)
+}
+
+// Verify reports whether t is the correct tag for m under k.
+func (k Key) Verify(m field.Element, t Tag) bool {
+	return k.Sign(m) == t
+}
+
+// SignVector authenticates each element of a message vector independently,
+// deriving per-position keys (a, b+i·a) from the base key so a single Key
+// covers a short vector. Positions are bound to indices: swapping two
+// elements invalidates both tags.
+func (k Key) SignVector(ms []field.Element) []Tag {
+	tags := make([]Tag, len(ms))
+	for i, m := range ms {
+		tags[i] = k.posKey(i).Sign(m)
+	}
+	return tags
+}
+
+// VerifyVector checks a full vector signature.
+func (k Key) VerifyVector(ms []field.Element, tags []Tag) bool {
+	if len(ms) != len(tags) {
+		return false
+	}
+	for i, m := range ms {
+		if !k.posKey(i).Verify(m, tags[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// posKey derives the position-i key (a, b + i·a²); mixing in a² keeps the
+// derived pad independent of the tag structure a·m + b.
+func (k Key) posKey(i int) Key {
+	shift := k.A.Mul(k.A).Mul(field.New(uint64(i)))
+	return Key{A: k.A, B: k.B.Add(shift)}
+}
+
+// ByteKey is a key for the HMAC-SHA256 byte-message MAC.
+type ByteKey []byte
+
+// GenByteKey draws a 32-byte HMAC key from r.
+func GenByteKey(r io.Reader) (ByteKey, error) {
+	k := make(ByteKey, 32)
+	if _, err := io.ReadFull(r, k); err != nil {
+		return nil, fmt.Errorf("mac: gen byte key: %w", err)
+	}
+	return k, nil
+}
+
+// Sign computes HMAC-SHA256(k, m).
+func (k ByteKey) Sign(m []byte) ([]byte, error) {
+	if len(k) < 16 {
+		return nil, ErrShortKey
+	}
+	h := hmac.New(sha256.New, k)
+	h.Write(m)
+	return h.Sum(nil), nil
+}
+
+// Verify checks an HMAC tag in constant time.
+func (k ByteKey) Verify(m, tag []byte) bool {
+	want, err := k.Sign(m)
+	if err != nil {
+		return false
+	}
+	return subtle.ConstantTimeCompare(want, tag) == 1
+}

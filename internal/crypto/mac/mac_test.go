@@ -1,0 +1,191 @@
+package mac
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+)
+
+func TestSignVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	k, err := GenKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := field.New(12345)
+	tag := k.Sign(m)
+	if !k.Verify(m, tag) {
+		t.Error("valid tag rejected")
+	}
+	if k.Verify(m.Add(field.One), tag) {
+		t.Error("tag accepted for wrong message")
+	}
+	if k.Verify(m, tag.Add(field.One)) {
+		t.Error("tampered tag accepted")
+	}
+}
+
+func TestSignVerifyQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k, err := GenKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(m uint64) bool {
+		msg := field.New(m)
+		return k.Verify(msg, k.Sign(msg))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForgeryHard(t *testing.T) {
+	// After seeing one (m, tag) pair, guessing a valid tag for m' should
+	// essentially never succeed; try many random forgeries.
+	rng := rand.New(rand.NewSource(3))
+	k, err := GenKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := field.New(42)
+	_ = k.Sign(m)
+	forgeries := 0
+	for i := 0; i < 10000; i++ {
+		m2, err := field.Rand(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		guess, err := field.Rand(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m2 != m && k.Verify(m2, guess) {
+			forgeries++
+		}
+	}
+	if forgeries > 0 {
+		t.Errorf("random forgery succeeded %d times", forgeries)
+	}
+}
+
+func TestDifferentKeysDisagree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	k1, err := GenKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := GenKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := field.New(7)
+	if k1.Sign(m) == k2.Sign(m) {
+		t.Error("two random keys produced equal tag (astronomically unlikely)")
+	}
+}
+
+func TestGenKeyError(t *testing.T) {
+	if _, err := GenKey(bytes.NewReader(nil)); err == nil {
+		t.Error("GenKey on empty reader should fail")
+	}
+}
+
+func TestSignVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	k, err := GenKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := []field.Element{field.New(1), field.New(2), field.New(3)}
+	tags := k.SignVector(ms)
+	if !k.VerifyVector(ms, tags) {
+		t.Error("valid vector rejected")
+	}
+	// Mutating any element invalidates.
+	for i := range ms {
+		bad := append([]field.Element(nil), ms...)
+		bad[i] = bad[i].Add(field.One)
+		if k.VerifyVector(bad, tags) {
+			t.Errorf("mutated element %d accepted", i)
+		}
+	}
+	// Swapping two elements invalidates (position binding).
+	swapped := []field.Element{ms[1], ms[0], ms[2]}
+	if k.VerifyVector(swapped, tags) {
+		t.Error("swapped vector accepted")
+	}
+	// Length mismatch rejects.
+	if k.VerifyVector(ms[:2], tags) {
+		t.Error("short vector accepted")
+	}
+	if k.VerifyVector(ms, tags[:2]) {
+		t.Error("short tags accepted")
+	}
+}
+
+func TestSignVectorEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	k, err := GenKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.VerifyVector(nil, k.SignVector(nil)) {
+		t.Error("empty vector should verify")
+	}
+}
+
+func TestByteMAC(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	k, err := GenByteKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := []byte("the signed contract")
+	tag, err := k.Sign(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Verify(m, tag) {
+		t.Error("valid byte MAC rejected")
+	}
+	if k.Verify([]byte("a different message"), tag) {
+		t.Error("byte MAC accepted wrong message")
+	}
+	tag[0] ^= 0xff
+	if k.Verify(m, tag) {
+		t.Error("tampered byte MAC accepted")
+	}
+}
+
+func TestByteMACShortKey(t *testing.T) {
+	k := ByteKey("short")
+	if _, err := k.Sign([]byte("m")); err != ErrShortKey {
+		t.Errorf("Sign with short key: err = %v, want ErrShortKey", err)
+	}
+	if k.Verify([]byte("m"), []byte("t")) {
+		t.Error("Verify with short key should fail")
+	}
+}
+
+func TestGenByteKeyError(t *testing.T) {
+	if _, err := GenByteKey(bytes.NewReader(nil)); err == nil {
+		t.Error("GenByteKey on empty reader should fail")
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	k, err := GenKey(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := field.New(12345)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = k.Sign(m)
+	}
+}

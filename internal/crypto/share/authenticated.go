@@ -1,0 +1,117 @@
+package share
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/crypto/mac"
+	"repro/internal/field"
+)
+
+// Authenticated two-out-of-two additive secret sharing, exactly as in
+// Appendix A of the paper:
+//
+// A sharing of a secret s is a pair of random summand vectors (s1, s2)
+// with s1 + s2 = (s, tag(s, k1), tag(s, k2)), where k1, k2 are MAC keys
+// associated with p1 and p2. Party p_i holds its summand s_i, a MAC tag
+// on s_i under the *other* party's key k_{¬i} (so the other party can
+// verify the summand on receipt), and its own key k_i (used to verify
+// incoming summands and the reconstructed secret's i-th tag).
+
+// authWidth is the width of the authenticated payload vector
+// (s, tag(s,k1), tag(s,k2)).
+const authWidth = 3
+
+// Errors surfaced during authenticated reconstruction. Protocols map
+// ErrInvalidShare to "the counterparty cheated → take default input".
+var (
+	ErrInvalidShare  = errors.New("share: counterparty summand failed MAC verification")
+	ErrInvalidSecret = errors.New("share: reconstructed secret failed MAC verification")
+)
+
+// AuthShare is everything party i holds of an authenticated 2-of-2
+// sharing: paper notation ⟨s⟩_i plus the party's verification key.
+type AuthShare struct {
+	// Index is the party index, 1 or 2.
+	Index int
+	// Summand is this party's additive summand of (s, t1, t2).
+	Summand [authWidth]field.Element
+	// SummandTags authenticate Summand under the other party's key, so
+	// the counterparty can verify the summand when it is sent over.
+	SummandTags [authWidth]mac.Tag
+	// Key is this party's MAC key k_i, used to verify the incoming
+	// summand and the i-th tag of the reconstructed payload.
+	Key mac.Key
+}
+
+// OpenMsg is the message a party sends to open its summand toward the
+// other party: the paper's ⟨s⟩_{¬i} = (s_{¬i}, t_{¬i}).
+type OpenMsg struct {
+	Summand [authWidth]field.Element
+	Tags    [authWidth]mac.Tag
+}
+
+// Open extracts the opening message from a share.
+func (a AuthShare) Open() OpenMsg {
+	return OpenMsg{Summand: a.Summand, Tags: a.SummandTags}
+}
+
+// AuthDeal produces an authenticated 2-of-2 sharing of secret. It plays
+// the role of the f′ computation inside ΠOpt-2SFE's first phase: in the
+// protocol this dealing happens inside the unfair SFE, so no single party
+// ever sees both shares.
+func AuthDeal(r io.Reader, secret field.Element) (AuthShare, AuthShare, error) {
+	k1, err := mac.GenKey(r)
+	if err != nil {
+		return AuthShare{}, AuthShare{}, fmt.Errorf("share: auth deal: %w", err)
+	}
+	k2, err := mac.GenKey(r)
+	if err != nil {
+		return AuthShare{}, AuthShare{}, fmt.Errorf("share: auth deal: %w", err)
+	}
+	payload := [authWidth]field.Element{secret, k1.Sign(secret), k2.Sign(secret)}
+
+	var s1, s2 [authWidth]field.Element
+	for j := 0; j < authWidth; j++ {
+		parts, err := AdditiveShare(r, payload[j], 2)
+		if err != nil {
+			return AuthShare{}, AuthShare{}, err
+		}
+		s1[j], s2[j] = parts[0], parts[1]
+	}
+
+	sh1 := AuthShare{Index: 1, Summand: s1, Key: k1}
+	sh2 := AuthShare{Index: 2, Summand: s2, Key: k2}
+	// Tag each summand under the other party's key so the receiver can
+	// verify it during reconstruction.
+	tags1 := k2.SignVector(s1[:])
+	tags2 := k1.SignVector(s2[:])
+	copy(sh1.SummandTags[:], tags1)
+	copy(sh2.SummandTags[:], tags2)
+	return sh1, sh2, nil
+}
+
+// AuthReconstruct runs the reconstruction of Appendix A toward the holder
+// of mine, given the opening message from the counterparty. It verifies
+// (a) the counterparty's summand tag under this party's key and (b) the
+// reconstructed payload's MAC for this party. On any MAC failure it
+// returns a typed error; the caller treats that as adversarial behaviour.
+func AuthReconstruct(mine AuthShare, other OpenMsg) (field.Element, error) {
+	if !mine.Key.VerifyVector(other.Summand[:], other.Tags[:]) {
+		return 0, ErrInvalidShare
+	}
+	var payload [authWidth]field.Element
+	for j := 0; j < authWidth; j++ {
+		payload[j] = mine.Summand[j].Add(other.Summand[j])
+	}
+	secret := payload[0]
+	// payload[mine.Index] is tag(s, k_{mine.Index}).
+	if mine.Index < 1 || mine.Index > 2 {
+		return 0, fmt.Errorf("share: auth reconstruct: bad party index %d", mine.Index)
+	}
+	if !mine.Key.Verify(secret, payload[mine.Index]) {
+		return 0, ErrInvalidSecret
+	}
+	return secret, nil
+}

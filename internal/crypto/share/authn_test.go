@@ -1,0 +1,108 @@
+package share
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+)
+
+func TestAuthNDealReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 3, 5} {
+		secret := field.New(rng.Uint64())
+		sharing, err := AuthDealN(rng, secret, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AuthReconstructN(sharing.Key, n, sharing.Shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != secret {
+			t.Errorf("n=%d: got %v, want %v", n, got, secret)
+		}
+	}
+}
+
+func TestAuthNMissingShareBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sharing, err := AuthDealN(rng, field.New(9), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AuthReconstructN(sharing.Key, 4, sharing.Shares[:3]); !errors.Is(err, ErrTooFewShares) {
+		t.Errorf("missing share: %v", err)
+	}
+}
+
+func TestAuthNTamperedShareRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sharing, err := AuthDealN(rng, field.New(9), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := sharing.Shares
+	bad[0].Summand = bad[0].Summand.Add(field.One)
+	if _, err := AuthReconstructN(sharing.Key, 3, bad); !errors.Is(err, ErrTooFewShares) {
+		t.Errorf("tampered summand accepted: %v", err)
+	}
+}
+
+func TestAuthNIndexBinding(t *testing.T) {
+	// A valid summand re-announced under a different index must fail.
+	rng := rand.New(rand.NewSource(4))
+	sharing, err := AuthDealN(rng, field.New(9), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := sharing.Shares[0]
+	forged.Index = 2
+	if VerifyAuthN(sharing.Key, forged) {
+		t.Error("index-swapped share verified")
+	}
+	// Out-of-range indices are ignored.
+	oor := sharing.Shares[0]
+	oor.Index = 9
+	announced := append([]AuthNShare{oor}, sharing.Shares[1:]...)
+	if _, err := AuthReconstructN(sharing.Key, 3, announced); !errors.Is(err, ErrTooFewShares) {
+		t.Errorf("out-of-range index treated as valid: %v", err)
+	}
+}
+
+func TestAuthNDuplicatesHarmless(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	secret := field.New(77)
+	sharing, err := AuthDealN(rng, secret, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	announced := append(append([]AuthNShare{}, sharing.Shares...), sharing.Shares...)
+	got, err := AuthReconstructN(sharing.Key, 3, announced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != secret {
+		t.Errorf("got %v, want %v", got, secret)
+	}
+}
+
+func TestAuthNPrivacy(t *testing.T) {
+	// Any n-1 summands look uniform: low bit balance of a fixed summand.
+	rng := rand.New(rand.NewSource(6))
+	const trials = 800
+	ones := 0
+	for i := 0; i < trials; i++ {
+		sharing, err := AuthDealN(rng, field.Zero, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(sharing.Shares[0].Summand)&1 == 1 {
+			ones++
+		}
+	}
+	if ones < trials*40/100 || ones > trials*60/100 {
+		t.Errorf("summand biased: %d/%d", ones, trials)
+	}
+}

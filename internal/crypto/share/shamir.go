@@ -1,0 +1,144 @@
+package share
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/crypto/mac"
+	"repro/internal/field"
+)
+
+// Shamir t-of-n secret sharing over GF(2^61-1), with an authenticated
+// variant used by Π_GMW^{1/2} (Lemma 17): the protocol computes a
+// ⌈n/2⌉-out-of-n verifiable secret sharing of the output that is then
+// publicly reconstructed; any coalition of < ⌈n/2⌉ parties learns nothing
+// and cannot block or corrupt reconstruction by the honest majority.
+//
+// The "verifiable" aspect is realized with per-dealer MAC tags: the
+// (trusted) dealing step tags every party's share under a global key that
+// each party also receives, so fake shares announced during public
+// reconstruction are detected and ignored — the standard VSS guarantee
+// the lemma's argument needs (a (t-1)-adversary cannot confuse honest
+// parties into accepting a wrong value).
+
+// ShamirShare is one party's Shamir share.
+type ShamirShare struct {
+	// X is the evaluation point (party index, 1-based; never zero).
+	X field.Element
+	// Y is the polynomial evaluation f(X).
+	Y field.Element
+}
+
+// Errors for Shamir operations.
+var (
+	ErrThreshold    = errors.New("share: shamir: threshold must satisfy 1 <= t <= n")
+	ErrTooFewShares = errors.New("share: shamir: not enough shares to reconstruct")
+)
+
+// ShamirDeal shares secret with threshold t among n parties: any t shares
+// reconstruct, any t-1 reveal nothing.
+func ShamirDeal(r io.Reader, secret field.Element, t, n int) ([]ShamirShare, error) {
+	if t < 1 || t > n {
+		return nil, ErrThreshold
+	}
+	coeffs := make([]field.Element, t)
+	coeffs[0] = secret
+	for i := 1; i < t; i++ {
+		c, err := field.Rand(r)
+		if err != nil {
+			return nil, fmt.Errorf("share: shamir deal: %w", err)
+		}
+		coeffs[i] = c
+	}
+	shares := make([]ShamirShare, n)
+	for i := 0; i < n; i++ {
+		x := field.New(uint64(i + 1))
+		shares[i] = ShamirShare{X: x, Y: field.Eval(coeffs, x)}
+	}
+	return shares, nil
+}
+
+// ShamirReconstruct recovers the secret from at least t shares with
+// distinct evaluation points. Exactly the first t provided shares are
+// used.
+func ShamirReconstruct(shares []ShamirShare, t int) (field.Element, error) {
+	if len(shares) < t {
+		return 0, ErrTooFewShares
+	}
+	xs := make([]field.Element, t)
+	ys := make([]field.Element, t)
+	for i := 0; i < t; i++ {
+		xs[i] = shares[i].X
+		ys[i] = shares[i].Y
+	}
+	secret, err := field.Interpolate(xs, ys)
+	if err != nil {
+		return 0, fmt.Errorf("share: shamir reconstruct: %w", err)
+	}
+	return secret, nil
+}
+
+// VerifiableShare is a Shamir share together with an HMAC tag over the
+// joint encoding of (X, Y) under the dealer's global verification key, so
+// neither coordinate can be substituted or mixed across shares.
+type VerifiableShare struct {
+	Share ShamirShare
+	Tag   []byte
+}
+
+// VerifiableSharing is the dealer's output: one verifiable share per
+// party plus the global verification key handed to every party.
+type VerifiableSharing struct {
+	Shares []VerifiableShare
+	Key    mac.ByteKey
+	T      int
+}
+
+// VerifiableDeal produces an authenticated t-of-n Shamir sharing.
+func VerifiableDeal(r io.Reader, secret field.Element, t, n int) (VerifiableSharing, error) {
+	shares, err := ShamirDeal(r, secret, t, n)
+	if err != nil {
+		return VerifiableSharing{}, err
+	}
+	key, err := mac.GenByteKey(r)
+	if err != nil {
+		return VerifiableSharing{}, fmt.Errorf("share: verifiable deal: %w", err)
+	}
+	vs := make([]VerifiableShare, n)
+	for i, s := range shares {
+		tag, err := key.Sign(encodePoint(s))
+		if err != nil {
+			return VerifiableSharing{}, fmt.Errorf("share: verifiable deal: %w", err)
+		}
+		vs[i] = VerifiableShare{Share: s, Tag: tag}
+	}
+	return VerifiableSharing{Shares: vs, Key: key, T: t}, nil
+}
+
+// VerifyShare reports whether the share's tag is valid under key.
+func VerifyShare(key mac.ByteKey, s VerifiableShare) bool {
+	return key.Verify(encodePoint(s.Share), s.Tag)
+}
+
+// encodePoint serializes a share point for MAC'ing.
+func encodePoint(s ShamirShare) []byte {
+	return append(s.X.Bytes(), s.Y.Bytes()...)
+}
+
+// VerifiableReconstruct filters announced shares through MAC verification
+// and reconstructs from the valid ones. It returns ErrTooFewShares when
+// fewer than t announced shares verify — the "coalition of ≥ ⌈n/2⌉ blocks
+// reconstruction" case of Lemma 17.
+func VerifiableReconstruct(key mac.ByteKey, t int, announced []VerifiableShare) (field.Element, error) {
+	valid := make([]ShamirShare, 0, len(announced))
+	seen := make(map[field.Element]bool, len(announced))
+	for _, s := range announced {
+		if !VerifyShare(key, s) || seen[s.Share.X] {
+			continue
+		}
+		seen[s.Share.X] = true
+		valid = append(valid, s.Share)
+	}
+	return ShamirReconstruct(valid, t)
+}

@@ -1,0 +1,53 @@
+// Package sig wraps an existentially unforgeable digital signature scheme
+// as the triple (Gen, Sign, Ver) used by protocol ΠOpt-nSFE (Appendix B):
+// the functionality F_priv-sfe^⊥ signs the output y so that in the
+// broadcast round every party can recognize the authentic output while a
+// corrupted broadcaster cannot substitute a different value.
+//
+// The implementation is Ed25519 from the standard library [GMR88-style
+// EUF-CMA security is assumed as in the paper].
+package sig
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// VerificationKey is the public verification key (paper: vk).
+type VerificationKey = ed25519.PublicKey
+
+// SigningKey is the private signing key (paper: sk).
+type SigningKey = ed25519.PrivateKey
+
+// Signature is a detached signature (paper: σ).
+type Signature = []byte
+
+// ErrBadKey is returned when a key has the wrong length.
+var ErrBadKey = errors.New("sig: malformed key")
+
+// Gen generates a fresh key pair from the randomness source r.
+func Gen(r io.Reader) (VerificationKey, SigningKey, error) {
+	vk, sk, err := ed25519.GenerateKey(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sig: generate: %w", err)
+	}
+	return vk, sk, nil
+}
+
+// Sign produces a signature on msg under sk.
+func Sign(sk SigningKey, msg []byte) (Signature, error) {
+	if len(sk) != ed25519.PrivateKeySize {
+		return nil, ErrBadKey
+	}
+	return ed25519.Sign(sk, msg), nil
+}
+
+// Ver reports whether σ is a valid signature on msg under vk.
+func Ver(vk VerificationKey, msg []byte, sigma Signature) bool {
+	if len(vk) != ed25519.PublicKeySize {
+		return false
+	}
+	return ed25519.Verify(vk, msg, sigma)
+}

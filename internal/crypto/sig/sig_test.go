@@ -1,0 +1,132 @@
+package sig
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSignVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vk, sk, err := Gen(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("output y of the function evaluation")
+	sigma, err := Sign(sk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Ver(vk, msg, sigma) {
+		t.Error("valid signature rejected")
+	}
+}
+
+func TestVerifyWrongMessage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vk, sk, err := Gen(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := Sign(sk, []byte("real output"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Ver(vk, []byte("forged output"), sigma) {
+		t.Error("signature accepted for different message")
+	}
+}
+
+func TestVerifyTamperedSignature(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vk, sk, err := Gen(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("m")
+	sigma, err := Sign(sk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma[0] ^= 1
+	if Ver(vk, msg, sigma) {
+		t.Error("tampered signature accepted")
+	}
+}
+
+func TestVerifyWrongKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	_, sk, err := Gen(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vk2, _, err := Gen(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("m")
+	sigma, err := Sign(sk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Ver(vk2, msg, sigma) {
+		t.Error("signature accepted under unrelated key")
+	}
+}
+
+func TestBadKeys(t *testing.T) {
+	if _, err := Sign(SigningKey("short"), []byte("m")); err != ErrBadKey {
+		t.Errorf("Sign with short key: %v, want ErrBadKey", err)
+	}
+	if Ver(VerificationKey("short"), []byte("m"), []byte("sig")) {
+		t.Error("Ver with short key should be false")
+	}
+}
+
+func TestDeterministicKeyGen(t *testing.T) {
+	vk1, _, err := Gen(rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vk2, _, err := Gen(rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(vk1, vk2) {
+		t.Error("same seed should give same key (reproducible experiments)")
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	_, sk, err := Gen(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sign(sk, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	vk, sk, err := Gen(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 64)
+	sigma, err := Sign(sk, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Ver(vk, msg, sigma) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRowBuilders(t *testing.T) {
+	r := eqRow("x", 1.0, 1.02, 0.01, 0.02)
+	if !r.Pass {
+		t.Error("1.02 vs 1.0 with tol 0.02 + ci 0.01 should pass")
+	}
+	r = eqRow("x", 1.0, 1.2, 0.01, 0.02)
+	if r.Pass {
+		t.Error("1.2 vs 1.0 should fail")
+	}
+	r = leRow("x", 0.5, 0.52, 0.01, 0.02)
+	if !r.Pass {
+		t.Error("0.52 ≤ 0.5 within slack should pass")
+	}
+	r = leRow("x", 0.5, 0.6, 0.01, 0.02)
+	if r.Pass {
+		t.Error("0.6 ≤ 0.5 should fail")
+	}
+	r = geRow("x", 0.5, 0.48, 0.01, 0.02)
+	if !r.Pass {
+		t.Error("0.48 ≥ 0.5 within slack should pass")
+	}
+	r = geRow("x", 0.5, 0.3, 0.01, 0.02)
+	if r.Pass {
+		t.Error("0.3 ≥ 0.5 should fail")
+	}
+	if !boolRow("x", true, true).Pass || boolRow("x", true, false).Pass {
+		t.Error("boolRow semantics")
+	}
+}
+
+func TestResultPass(t *testing.T) {
+	r := Result{Rows: []Row{{Pass: true}, {Pass: true}}}
+	if !r.Pass() {
+		t.Error("all-pass result")
+	}
+	r.Rows = append(r.Rows, Row{Pass: false})
+	if r.Pass() {
+		t.Error("one failing row")
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	d := DefaultConfig()
+	q := QuickConfig()
+	if q.Runs >= d.Runs {
+		t.Error("quick config should be cheaper")
+	}
+	if err := d.Gamma.ValidateFairPlus(); err != nil {
+		t.Errorf("default gamma not Γ+fair: %v", err)
+	}
+}
+
+func TestAllComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.Run == nil {
+			t.Errorf("%s has no runner", e.ID)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if len(ids) != 15 {
+		t.Errorf("expected 15 experiments, got %d", len(ids))
+	}
+}
+
+// TestExperimentsPassQuick runs every experiment at quick settings and
+// requires every row to pass — the end-to-end reproduction check.
+func TestExperimentsPassQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	cfg := QuickConfig()
+	results, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		for _, row := range res.Rows {
+			if !row.Pass {
+				t.Errorf("%s %q: paper %s %v, measured %v ± %v (%s)",
+					res.ID, row.Label, row.Dir, row.Paper, row.Measured, row.CI, row.Note)
+			}
+			if math.IsNaN(row.Measured) {
+				t.Errorf("%s %q: NaN measurement", res.ID, row.Label)
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/protocols/contract"
+	"repro/internal/protocols/gordonkatz"
+	"repro/internal/protocols/twoparty"
+	"repro/internal/rpdgame"
+	"repro/internal/sim"
+)
+
+// Extension experiments beyond the paper's explicit statements: design-
+// choice ablations (E13) and the RPD attack meta-game of footnote 1
+// (E14).
+
+// E13Ablations sweeps the design choices DESIGN.md calls out:
+//
+//   - the reconstruction-order bias q of ΠOpt-2SFE: the attacker's best
+//     utility is max{q,1−q}·γ10 + min{q,1−q}·γ11, uniquely minimized at
+//     the paper's uniform q = 1/2;
+//   - the Section 4.1 remark that functions admitting 1/p-secure
+//     solutions beat the general two-party optimum: the Gordon–Katz AND
+//     protocol under the Γ+fair vector earns ((p−1)·γ11 + γ10)/p, below
+//     (γ10+γ11)/2 for every p > 2.
+func E13Ablations(cfg Config) (Result, error) {
+	g := cfg.Gamma
+	res := Result{
+		ID:    "E13",
+		Title: "Ablations: order bias and the small-domain bonus",
+		Claim: "Section 4.1 design choices; remark after Theorem 3",
+	}
+	// Order-bias sweep.
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		p := twoparty.NewBiasedOrder(twoparty.Swap(), q)
+		sup, err := core.SupUtility(p, []core.NamedAdversary{
+			{Name: "lock-p1", Adv: adversary.NewLockAbort(1)},
+			{Name: "lock-p2", Adv: adversary.NewLockAbort(2)},
+		}, g, swapSampler, cfg.Runs, cfg.Seed+int64(q*100))
+		if err != nil {
+			return Result{}, err
+		}
+		hi, lo := q, 1-q
+		if lo > hi {
+			hi, lo = lo, hi
+		}
+		want := hi*g.G10 + lo*g.G11
+		row := eqRow(fmt.Sprintf("order bias q=%.2f", q), want,
+			sup.BestReport.Utility.Mean, sup.BestReport.Utility.HalfWidth, cfg.Tolerance)
+		row.Note = "best: " + sup.Best
+		res.Rows = append(res.Rows, row)
+	}
+	res.Rows = append(res.Rows, boolRow("q=1/2 is the minimizer", true, func() bool {
+		// The closed form max{q,1−q}γ10+min{q,1−q}γ11 is minimized at 1/2
+		// for every Γfair vector; re-verify on the measured grid by
+		// checking the q=0.5 row is the smallest.
+		min, at := math.Inf(1), -1
+		for i, row := range res.Rows {
+			if row.Measured < min {
+				min, at = row.Measured, i
+			}
+		}
+		return at == 2 // the q=0.5 row
+	}()))
+
+	// Small-domain bonus under Γ+fair: the sup over abort attacks and
+	// honest completion (which banks γ11) stays below the general
+	// two-party optimum for every p > 2.
+	for _, p := range []int{2, 4, 8} {
+		proto, err := gordonkatz.NewPolyDomain(gordonkatz.AND(), p)
+		if err != nil {
+			return Result{}, err
+		}
+		sup, err := core.SupUtility(proto, []core.NamedAdversary{
+			{Name: "lock-p1", Adv: adversary.NewLockAbort(1)},
+			{Name: "lock-p2", Adv: adversary.NewLockAbort(2)},
+			{Name: "complete-p1", Adv: adversary.NewStatic(1)},
+		}, g, core.FixedInputs(uint64(1), uint64(1)), cfg.Runs, cfg.Seed+int64(50+p))
+		if err != nil {
+			return Result{}, err
+		}
+		row := leRow(
+			fmt.Sprintf("GK(AND) p=%d under Γ+fair vs ((p−1)γ11+γ10)/p", p),
+			core.GordonKatzBound(g, p), sup.BestReport.Utility.Mean,
+			sup.BestReport.Utility.HalfWidth, cfg.Tolerance)
+		row.Note = "best: " + sup.Best
+		res.Rows = append(res.Rows, row)
+	}
+	res.Rows = append(res.Rows, boolRow("small-domain p=4 beats the general optimum", true,
+		core.GordonKatzBound(g, 4) < core.TwoPartyOptimalBound(g)))
+	return res, nil
+}
+
+// E14AttackGame verifies the paper's footnote 1 numerically: in the RPD
+// attack meta-game over the two-party protocols of this repository, the
+// designer's backward-induction choice is an optimally fair protocol and
+// the game value is the paper's optimum (γ10+γ11)/2.
+func E14AttackGame(cfg Config) (Result, error) {
+	g := cfg.Gamma
+	res := Result{
+		ID:    "E14",
+		Title: "The RPD attack meta-game equilibrium",
+		Claim: "Footnote 1: optimally fair protocols are the designer's minimax choice",
+	}
+	protocols := []struct {
+		name  string
+		proto sim.Protocol
+	}{
+		{"Pi1", contract.Pi1{}},
+		{"Pi2", contract.Pi2{}},
+		{"2SFE-fixed2", twoparty.NewFixedOrder(twoparty.Swap(), 2)},
+		{"2SFE-oneround", twoparty.NewOneRound(twoparty.Swap())},
+		{"2SFE-opt", twoparty.New(twoparty.Swap())},
+	}
+	cols := []core.NamedAdversary{
+		{Name: "passive", Adv: sim.Passive{}},
+		{Name: "lock-p1", Adv: adversary.NewLockAbort(1)},
+		{Name: "lock-p2", Adv: adversary.NewLockAbort(2)},
+		{Name: "abort-r1-p2", Adv: adversary.NewAbortAt(1, 2)},
+		{Name: "agen", Adv: adversary.NewAgen()},
+	}
+	game := rpdgame.Matrix{}
+	for _, c := range cols {
+		game.ColNames = append(game.ColNames, c.Name)
+	}
+	for pi, entry := range protocols {
+		game.RowNames = append(game.RowNames, entry.name)
+		row := make([]float64, len(cols))
+		sampler := swapSampler
+		if entry.name == "Pi1" || entry.name == "Pi2" {
+			sampler = contractSampler
+		}
+		for ci, c := range cols {
+			rep, err := core.EstimateUtility(entry.proto, c.Adv, g, sampler,
+				cfg.SupRuns, cfg.Seed+int64(1000+pi*10+ci))
+			if err != nil {
+				return Result{}, err
+			}
+			row[ci] = rep.Utility.Mean
+		}
+		game.Payoff = append(game.Payoff, row)
+	}
+
+	sol, err := game.SolveSequential()
+	if err != nil {
+		return Result{}, err
+	}
+	picked := game.RowNames[sol.Row]
+	res.Rows = append(res.Rows,
+		eqRow("game value", core.TwoPartyOptimalBound(g), sol.Value, 0, cfg.Tolerance),
+		boolRow("designer picks an optimally fair protocol", true,
+			picked == "2SFE-opt" || picked == "Pi2"))
+	res.Rows[len(res.Rows)-1].Note = "picked: " + picked + ", attacker: " + game.ColNames[sol.Col]
+
+	// The simultaneous variant's mixed equilibrium agrees on the value.
+	fp, err := game.FictitiousPlay(20000)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Rows = append(res.Rows,
+		eqRow("fictitious-play value", sol.Value, fp.Value, 0, cfg.Tolerance))
+	return res, nil
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/protocols/multiparty"
+	"repro/internal/sim"
+)
+
+// concatBits is the per-party input width of the concatenation function.
+const concatBits = 8
+
+func concatFn(n int) (multiparty.Function, error) {
+	return multiparty.Concat(n, concatBits)
+}
+
+func nSampler(n int) core.InputSampler {
+	return func(r *rand.Rand) []sim.Value {
+		in := make([]sim.Value, n)
+		for i := range in {
+			in[i] = uint64(r.Intn(1 << concatBits))
+		}
+		return in
+	}
+}
+
+// perTSup measures the best t-adversary utility for each t = 1..n−1 over
+// the standard space, optionally extended with protocol-specific
+// attackers.
+func perTSup(p sim.Protocol, g core.Payoff, n int, cfg Config,
+	extra map[int][]core.NamedAdversary) (core.PerTUtilities, error) {
+	out := make(core.PerTUtilities, 0, n-1)
+	for t := 1; t < n; t++ {
+		space := adversary.MultiPartyTSpace(n, t, p.NumRounds())
+		space = append(space, extra[t]...)
+		sup, err := core.SupUtility(p, space, g, nSampler(n), cfg.SupRuns, cfg.Seed+int64(100*t))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sup.BestReport.Utility.Mean)
+	}
+	return out, nil
+}
+
+// gmwExtras builds the GMW setup attackers for every t.
+func gmwExtras(n int) map[int][]core.NamedAdversary {
+	extra := make(map[int][]core.NamedAdversary)
+	for t := 1; t < n; t++ {
+		for si, set := range adversary.TSubsets(n, t) {
+			extra[t] = append(extra[t], core.NamedAdversary{
+				Name: fmt.Sprintf("gmw-setup-t%d-s%d", t, si),
+				Adv:  multiparty.NewGMWSetupAttacker(set...),
+			})
+		}
+	}
+	return extra
+}
+
+// E05MultiPartyUpper reproduces Lemma 11: u_A(ΠOpt-nSFE, A_t) =
+// (t·γ10 + (n−t)·γ11)/n for every t, and the sup stays at t = n−1.
+func E05MultiPartyUpper(cfg Config) (Result, error) {
+	g := cfg.Gamma
+	res := Result{
+		ID:    "E05",
+		Title: "ΠOpt-nSFE per-t utilities",
+		Claim: "Lemma 11: u_A(ΠOpt-nSFE, A_t) ≤ (t·γ10+(n−t)·γ11)/n",
+	}
+	for _, n := range []int{3, 5} {
+		fn, err := concatFn(n)
+		if err != nil {
+			return Result{}, err
+		}
+		p := multiparty.NewOptN(fn)
+		for t := 1; t < n; t++ {
+			rep, err := core.EstimateUtility(p, adversary.NewLockAbort(adversary.TSubsets(n, t)[0]...),
+				g, nSampler(n), cfg.Runs, cfg.Seed+int64(10*n+t))
+			if err != nil {
+				return Result{}, err
+			}
+			res.Rows = append(res.Rows, eqRow(
+				fmt.Sprintf("n=%d t=%d lock-abort", n, t),
+				core.MultiPartyTBound(g, n, t), rep.Utility.Mean, rep.Utility.HalfWidth, cfg.Tolerance))
+		}
+	}
+	return res, nil
+}
+
+// E06MultiPartyLower reproduces Lemma 13: the mixed all-but-one adversary
+// achieves ((n−1)·γ10 + γ11)/n on the concatenation function.
+func E06MultiPartyLower(cfg Config) (Result, error) {
+	g := cfg.Gamma
+	res := Result{
+		ID:    "E06",
+		Title: "Multi-party lower bound (concatenation)",
+		Claim: "Lemma 13: some A earns ≥ ((n−1)·γ10+γ11)/n against any protocol",
+	}
+	for _, n := range []int{3, 5} {
+		fn, err := concatFn(n)
+		if err != nil {
+			return Result{}, err
+		}
+		p := multiparty.NewOptN(fn)
+		rep, err := core.EstimateUtility(p, adversary.NewAllButMixer(n), g, nSampler(n), cfg.Runs, cfg.Seed+int64(20+n))
+		if err != nil {
+			return Result{}, err
+		}
+		row := geRow(fmt.Sprintf("n=%d allbut-mixer", n),
+			core.MultiPartyOptimalBound(g, n), rep.Utility.Mean, rep.Utility.HalfWidth, cfg.Tolerance)
+		row.Note = describeEvents(rep)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// E07BalancedSum reproduces Lemmas 14 and 16: the per-t utility sum of
+// ΠOpt-nSFE equals (n−1)(γ10+γ11)/2 — the utility-balanced optimum.
+func E07BalancedSum(cfg Config) (Result, error) {
+	g := cfg.Gamma
+	res := Result{
+		ID:    "E07",
+		Title: "Utility-balanced fairness of ΠOpt-nSFE",
+		Claim: "Lemmas 14/16: Σ_t u_A(ΠOpt-nSFE, A_t) = (n−1)(γ10+γ11)/2",
+	}
+	for _, n := range []int{4, 5} {
+		fn, err := concatFn(n)
+		if err != nil {
+			return Result{}, err
+		}
+		p := multiparty.NewOptN(fn)
+		per, err := perTSup(p, g, n, cfg, nil)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Rows = append(res.Rows,
+			eqRow(fmt.Sprintf("n=%d per-t sum", n), core.BalancedSumBound(g, n), per.Sum(), 0, cfg.Tolerance*float64(n-1)),
+			boolRow(fmt.Sprintf("n=%d utility-balanced", n), true,
+				core.IsUtilityBalanced(per, g, cfg.Tolerance*float64(n-1))))
+	}
+	return res, nil
+}
+
+// E08GMWUnbalanced reproduces Lemma 17: Π_GMW^{1/2} with even n has the
+// step utility profile (γ11 below n/2, γ10 at and above) and its per-t
+// sum strictly exceeds the balanced bound.
+func E08GMWUnbalanced(cfg Config) (Result, error) {
+	g := cfg.Gamma
+	n := 4
+	res := Result{
+		ID:    "E08",
+		Title: "Traditional fairness is not utility-balanced (Π_GMW^{1/2}, even n)",
+		Claim: "Lemma 17: t ≥ n/2 → γ10, t < n/2 → γ11; sum exceeds (n−1)(γ10+γ11)/2",
+	}
+	fn, err := concatFn(n)
+	if err != nil {
+		return Result{}, err
+	}
+	p := multiparty.NewGMWHalf(fn)
+	per, err := perTSup(p, g, n, cfg, gmwExtras(n))
+	if err != nil {
+		return Result{}, err
+	}
+	wants := []float64{g.G11, g.G10, g.G10}
+	for i, want := range wants {
+		res.Rows = append(res.Rows, eqRow(fmt.Sprintf("n=%d t=%d", n, i+1), want, per[i], 0, cfg.Tolerance))
+	}
+	res.Rows = append(res.Rows,
+		geRow("per-t sum vs Lemma 17 bound", core.GMWEvenNSumLowerBound(g, n), per.Sum(), 0, cfg.Tolerance*2),
+		boolRow("utility-balanced", false, core.IsUtilityBalanced(per, g, cfg.Tolerance)))
+	return res, nil
+}
+
+// E09Separations reproduces Appendix B.1: the Lemma 18 protocol is
+// optimally fair but not balanced; the hybrid Π0 (odd n) is balanced but
+// not optimally fair.
+func E09Separations(cfg Config) (Result, error) {
+	g := cfg.Gamma
+	res := Result{
+		ID:    "E09",
+		Title: "Optimal fairness and utility balance are incomparable",
+		Claim: "Lemma 18 and the Π0 hybrid (Appendix B.1)",
+	}
+	// Lemma 18 protocol, n = 4.
+	n := 4
+	fn, err := concatFn(n)
+	if err != nil {
+		return Result{}, err
+	}
+	p18 := multiparty.NewLemma18(fn)
+	special, err := core.EstimateUtility(p18, multiparty.NewLemma18Attacker(1), g, nSampler(n), cfg.Runs, cfg.Seed+30)
+	if err != nil {
+		return Result{}, err
+	}
+	want18 := g.G10/float64(n) + float64(n-1)/float64(n)*(g.G10+g.G11)/2
+	res.Rows = append(res.Rows,
+		eqRow("Lemma18 single-corruption attack", want18, special.Utility.Mean, special.Utility.HalfWidth, cfg.Tolerance))
+
+	extra := map[int][]core.NamedAdversary{
+		1: {{Name: "lemma18-special", Adv: multiparty.NewLemma18Attacker(1)}},
+	}
+	per18, err := perTSup(p18, g, n, cfg, extra)
+	if err != nil {
+		return Result{}, err
+	}
+	supAll := per18[n-2] // t = n−1 profile dominates for this protocol
+	res.Rows = append(res.Rows,
+		leRow("Lemma18 sup utility", core.MultiPartyOptimalBound(g, n), supAll, 0, cfg.Tolerance),
+		boolRow("Lemma18 utility-balanced", false, core.IsUtilityBalanced(per18, g, cfg.Tolerance)))
+
+	// Π0 hybrid with odd n = 5: balanced but attackable at ⌈n/2⌉.
+	n = 5
+	fn5, err := concatFn(n)
+	if err != nil {
+		return Result{}, err
+	}
+	p0 := multiparty.NewHybrid(fn5)
+	attack, err := core.EstimateUtility(p0, adversary.NewLockAbort(1, 2, 3), g, nSampler(n), cfg.Runs, cfg.Seed+31)
+	if err != nil {
+		return Result{}, err
+	}
+	per0, err := perTSup(p0, g, n, cfg, gmwExtras(n))
+	if err != nil {
+		return Result{}, err
+	}
+	// The strictness margin is half the theoretical gap γ10 − bound =
+	// (γ10−γ11)/n, independent of the sampling tolerance.
+	gap := (g.G10 - core.MultiPartyOptimalBound(g, n)) / 2
+	res.Rows = append(res.Rows,
+		eqRow("Π0 (odd n) ⌈n/2⌉-corruption attack", g.G10, attack.Utility.Mean, attack.Utility.HalfWidth, cfg.Tolerance),
+		boolRow("Π0 exceeds the optimal-fairness bound", true,
+			attack.Utility.Mean > core.MultiPartyOptimalBound(g, n)+gap),
+		eqRow("Π0 per-t sum", core.BalancedSumBound(g, n), per0.Sum(), 0, cfg.Tolerance*float64(n)))
+	return res, nil
+}
+
+// E10CorruptionCost reproduces Theorem 6 via Lemma 22: with the optimal
+// cost c(t) = u(t) − γ11, ΠOpt-nSFE is ideally ~γ^C-fair, and any
+// strictly cheaper cost function fails.
+func E10CorruptionCost(cfg Config) (Result, error) {
+	g := cfg.Gamma
+	n := 4
+	res := Result{
+		ID:    "E10",
+		Title: "Utility balance as optimal corruption cost",
+		Claim: "Theorem 6 / Lemma 22: c(t) = u(t) − s(t) is the optimal cost function",
+	}
+	fn, err := concatFn(n)
+	if err != nil {
+		return Result{}, err
+	}
+	p := multiparty.NewOptN(fn)
+	per, err := perTSup(p, g, n, cfg, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	opt := core.OptimalCost(per, g)
+	cheaper := func(t int) float64 { return opt(t) - 0.1 }
+	res.Rows = append(res.Rows,
+		boolRow("ideally fair under optimal cost", true, core.IsIdeallyCFair(per, g, opt, cfg.Tolerance)),
+		boolRow("NOT ideally fair under free corruption", false, core.IsIdeallyCFair(per, g, core.ZeroCost, cfg.Tolerance)),
+		boolRow("NOT ideally fair under strictly dominated cost", false,
+			core.IsIdeallyCFair(per, g, cheaper, cfg.Tolerance/2)),
+		boolRow("optimal cost strictly dominates the cheaper one", true,
+			core.StrictlyDominates(opt, cheaper, n, 0)))
+	for t := 1; t < n; t++ {
+		res.Rows = append(res.Rows, eqRow(
+			fmt.Sprintf("c(%d) = u(%d) − γ11", t, t),
+			core.MultiPartyTBound(g, n, t)-core.IdealBound(g), opt(t), 0, cfg.Tolerance))
+	}
+	return res, nil
+}

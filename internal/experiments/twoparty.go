@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/protocols/contract"
+	"repro/internal/protocols/twoparty"
+	"repro/internal/sim"
+)
+
+// contractSampler draws random contract signatures.
+func contractSampler(r *rand.Rand) []sim.Value {
+	return []sim.Value{uint64(r.Int63()), uint64(r.Int63())}
+}
+
+// swapSampler draws random swap-function inputs.
+func swapSampler(r *rand.Rand) []sim.Value {
+	return []sim.Value{uint64(r.Intn(1 << 20)), uint64(r.Intn(1 << 20))}
+}
+
+// E01ContractSigning reproduces the Introduction's headline comparison:
+// the best attacker earns γ10 against Π1 but only (γ10+γ11)/2 against
+// Π2 — "protocol Π2 is twice as fair as protocol Π1".
+func E01ContractSigning(cfg Config) (Result, error) {
+	g := cfg.Gamma
+	res := Result{
+		ID:    "E01",
+		Title: "Contract signing: Π2 is twice as fair as Π1",
+		Claim: "Introduction; Π1 → γ10, Π2 → (γ10+γ11)/2",
+	}
+	sup1, err := core.SupUtility(contract.Pi1{}, adversary.TwoPartySpace(contract.Pi1{}.NumRounds()),
+		g, contractSampler, cfg.SupRuns, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	sup2, err := core.SupUtility(contract.Pi2{}, adversary.TwoPartySpace(contract.Pi2{}.NumRounds()),
+		g, contractSampler, cfg.SupRuns, cfg.Seed+1)
+	if err != nil {
+		return Result{}, err
+	}
+	r1 := eqRow("sup u(Π1)", g.G10, sup1.BestReport.Utility.Mean, sup1.BestReport.Utility.HalfWidth, cfg.Tolerance)
+	r1.Note = "best: " + sup1.Best
+	r2 := eqRow("sup u(Π2)", core.TwoPartyOptimalBound(g), sup2.BestReport.Utility.Mean,
+		sup2.BestReport.Utility.HalfWidth, cfg.Tolerance)
+	r2.Note = "best: " + sup2.Best
+	rel := core.Compare(sup2.BestReport.Utility, sup1.BestReport.Utility, cfg.Tolerance)
+	res.Rows = append(res.Rows, r1, r2,
+		boolRow("Π2 strictly fairer than Π1", true, rel == core.StrictlyFairer))
+	return res, nil
+}
+
+// E02TwoPartyUpper reproduces Theorem 3: no adversary in the strategy
+// space earns more than (γ10+γ11)/2 against ΠOpt-2SFE.
+func E02TwoPartyUpper(cfg Config) (Result, error) {
+	g := cfg.Gamma
+	p := twoparty.New(twoparty.Swap())
+	res := Result{
+		ID:    "E02",
+		Title: "ΠOpt-2SFE upper bound",
+		Claim: "Theorem 3: u_A(ΠOpt-2SFE, A) ≤ (γ10+γ11)/2",
+	}
+	sup, err := core.SupUtility(p, adversary.TwoPartySpace(p.NumRounds()), g, swapSampler, cfg.SupRuns, cfg.Seed+2)
+	if err != nil {
+		return Result{}, err
+	}
+	row := leRow("sup u(ΠOpt-2SFE)", core.TwoPartyOptimalBound(g),
+		sup.BestReport.Utility.Mean, sup.BestReport.Utility.HalfWidth, cfg.Tolerance)
+	row.Note = "best: " + sup.Best
+	res.Rows = append(res.Rows, row)
+	// Event split of the best one-sided attack: E10 and E11 each ~1/2.
+	rep, err := core.EstimateUtility(p, adversary.NewLockAbort(1), g, swapSampler, cfg.Runs, cfg.Seed+3)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Rows = append(res.Rows,
+		eqRow("Pr[E10] under A1", 0.5, rep.EventFreq[core.E10], rep.Utility.HalfWidth, cfg.Tolerance),
+		eqRow("Pr[E11] under A1", 0.5, rep.EventFreq[core.E11], rep.Utility.HalfWidth, cfg.Tolerance),
+	)
+	return res, nil
+}
+
+// E03TwoPartyLower reproduces Theorem 4 and Lemma 7: Agen achieves
+// (γ10+γ11)/2 on the swap function, the pair A1/A2 sums to γ10+γ11, and
+// the fixed-order baseline concedes γ10.
+func E03TwoPartyLower(cfg Config) (Result, error) {
+	g := cfg.Gamma
+	p := twoparty.New(twoparty.Swap())
+	res := Result{
+		ID:    "E03",
+		Title: "Two-party lower bounds (swap function)",
+		Claim: "Theorem 4: u(Agen) ≥ (γ10+γ11)/2; Lemma 7: u(A1)+u(A2) ≥ γ10+γ11",
+	}
+	agen, err := core.EstimateUtility(p, adversary.NewAgen(), g, swapSampler, cfg.Runs, cfg.Seed+4)
+	if err != nil {
+		return Result{}, err
+	}
+	u1, err := core.EstimateUtility(p, adversary.NewLockAbort(1), g, swapSampler, cfg.Runs, cfg.Seed+5)
+	if err != nil {
+		return Result{}, err
+	}
+	u2, err := core.EstimateUtility(p, adversary.NewLockAbort(2), g, swapSampler, cfg.Runs, cfg.Seed+6)
+	if err != nil {
+		return Result{}, err
+	}
+	fixed, err := core.EstimateUtility(twoparty.NewFixedOrder(twoparty.Swap(), 2),
+		adversary.NewLockAbort(2), g, swapSampler, cfg.Runs, cfg.Seed+7)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Rows = append(res.Rows,
+		geRow("u(Agen) vs (γ10+γ11)/2", core.TwoPartyOptimalBound(g), agen.Utility.Mean, agen.Utility.HalfWidth, cfg.Tolerance),
+		geRow("u(A1)+u(A2) vs γ10+γ11", core.TwoPartyLowerPairSum(g),
+			u1.Utility.Mean+u2.Utility.Mean, u1.Utility.HalfWidth+u2.Utility.HalfWidth, cfg.Tolerance),
+		eqRow("fixed-order baseline", g.G10, fixed.Utility.Mean, fixed.Utility.HalfWidth, cfg.Tolerance),
+	)
+	return res, nil
+}
+
+// E04ReconstructionRounds reproduces Lemmas 9 and 10: ΠOpt-2SFE's two
+// reconstruction rounds are optimal — a single simultaneous round grants
+// the rushing aborter γ10.
+func E04ReconstructionRounds(cfg Config) (Result, error) {
+	g := cfg.Gamma
+	res := Result{
+		ID:    "E04",
+		Title: "Reconstruction-round optimality",
+		Claim: "Lemma 9: two rounds suffice; Lemma 10: one round forces γ10",
+	}
+	// Aborting during/before the setup phase of ΠOpt-2SFE gains nothing
+	// (Lemma 9's content: the adversary has no advantage before the
+	// reconstruction phase).
+	opt := twoparty.New(twoparty.Swap())
+	setupAbort, err := core.EstimateUtility(opt, adversary.NewSetupAbort(2), g, swapSampler, cfg.Runs, cfg.Seed+8)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Rows = append(res.Rows,
+		eqRow("setup abort utility (=γ01)", g.G01, setupAbort.Utility.Mean, setupAbort.Utility.HalfWidth, cfg.Tolerance))
+
+	// The single-round protocol: rushing abort at round 1 earns γ10.
+	one := twoparty.NewOneRound(twoparty.Swap())
+	rush, err := core.EstimateUtility(one, adversary.NewAbortAt(1, 2), g, swapSampler, cfg.Runs, cfg.Seed+9)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Rows = append(res.Rows,
+		eqRow("one-round protocol, rushing abort", g.G10, rush.Utility.Mean, rush.Utility.HalfWidth, cfg.Tolerance))
+
+	// And the comparison: the one-round protocol is strictly less fair.
+	res.Rows = append(res.Rows, boolRow("one-round strictly less fair than ΠOpt-2SFE", true,
+		rush.Utility.Mean > core.TwoPartyOptimalBound(g)+cfg.Tolerance))
+	return res, nil
+}
+
+// describeEvents summarizes an event distribution for notes.
+func describeEvents(rep core.UtilityReport) string {
+	return fmt.Sprintf("E00=%.2f E01=%.2f E10=%.2f E11=%.2f",
+		rep.EventFreq[core.E00], rep.EventFreq[core.E01], rep.EventFreq[core.E10], rep.EventFreq[core.E11])
+}

@@ -1,0 +1,202 @@
+// Package field implements arithmetic in the prime field GF(p) for the
+// Mersenne prime p = 2^61 - 1.
+//
+// The field underlies the information-theoretic MACs and the secret-sharing
+// schemes used by the fairness protocols: one-time MAC tags are computed as
+// a·m + b over GF(p), and additive/Shamir shares are field elements. The
+// Mersenne modulus admits branch-light reduction, keeping the simulator's
+// inner loops cheap.
+package field
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// Modulus is the field characteristic, the Mersenne prime 2^61 - 1.
+const Modulus uint64 = (1 << 61) - 1
+
+// Element is an element of GF(2^61-1), always kept reduced to [0, Modulus).
+type Element uint64
+
+// Common constants.
+const (
+	Zero Element = 0
+	One  Element = 1
+)
+
+// ErrNotInvertible is returned when asking for the inverse of zero.
+var ErrNotInvertible = errors.New("field: zero has no multiplicative inverse")
+
+// New reduces an arbitrary uint64 into the field.
+func New(v uint64) Element {
+	// Two-step Mersenne reduction: v = hi·2^61 + lo ≡ hi + lo (mod p).
+	v = (v >> 61) + (v & uint64(Modulus))
+	if v >= Modulus {
+		v -= Modulus
+	}
+	return Element(v)
+}
+
+// Uint64 returns the canonical representative in [0, Modulus).
+func (e Element) Uint64() uint64 { return uint64(e) }
+
+// IsZero reports whether e is the additive identity.
+func (e Element) IsZero() bool { return e == 0 }
+
+// Add returns e + o mod p.
+func (e Element) Add(o Element) Element {
+	s := uint64(e) + uint64(o) // < 2^62, no overflow
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return Element(s)
+}
+
+// Sub returns e - o mod p.
+func (e Element) Sub(o Element) Element {
+	d := uint64(e) - uint64(o)
+	if uint64(e) < uint64(o) {
+		d += Modulus
+	}
+	return Element(d)
+}
+
+// Neg returns -e mod p.
+func (e Element) Neg() Element {
+	if e == 0 {
+		return 0
+	}
+	return Element(Modulus - uint64(e))
+}
+
+// Mul returns e · o mod p using a 128-bit product and Mersenne folding.
+func (e Element) Mul(o Element) Element {
+	hi, lo := bits.Mul64(uint64(e), uint64(o))
+	// Product = hi·2^64 + lo = (hi·8 + lo>>61)·2^61 + (lo & p).
+	// Since 2^61 ≡ 1 (mod p): product ≡ hi·8 + lo>>61 + (lo & p).
+	folded := hi<<3 | lo>>61
+	rem := lo & uint64(Modulus)
+	s := folded + rem // folded < 2^61+…, still fits: hi < 2^58 so folded < 2^61
+	s = (s >> 61) + (s & uint64(Modulus))
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return Element(s)
+}
+
+// Exp returns e^k mod p by square-and-multiply.
+func (e Element) Exp(k uint64) Element {
+	result := One
+	base := e
+	for k > 0 {
+		if k&1 == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Mul(base)
+		k >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse via Fermat's little theorem
+// (e^(p-2)). It returns ErrNotInvertible for zero.
+func (e Element) Inv() (Element, error) {
+	if e == 0 {
+		return 0, ErrNotInvertible
+	}
+	return e.Exp(Modulus - 2), nil
+}
+
+// Div returns e / o, or ErrNotInvertible when o is zero.
+func (e Element) Div(o Element) (Element, error) {
+	inv, err := o.Inv()
+	if err != nil {
+		return 0, err
+	}
+	return e.Mul(inv), nil
+}
+
+// String renders the canonical representative.
+func (e Element) String() string { return fmt.Sprintf("%d", uint64(e)) }
+
+// Bytes returns the 8-byte big-endian encoding of the element.
+func (e Element) Bytes() []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(e))
+	return b[:]
+}
+
+// FromBytes decodes an 8-byte big-endian encoding, reducing mod p.
+func FromBytes(b []byte) (Element, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("field: need 8 bytes, got %d", len(b))
+	}
+	return New(binary.BigEndian.Uint64(b)), nil
+}
+
+// Rand draws a uniform field element from r. It uses rejection sampling so
+// the distribution is exactly uniform over [0, Modulus).
+func Rand(r io.Reader) (Element, error) {
+	var buf [8]byte
+	for {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, fmt.Errorf("field: read randomness: %w", err)
+		}
+		v := binary.BigEndian.Uint64(buf[:]) >> 3 // 61 random bits
+		if v < Modulus {
+			return Element(v), nil
+		}
+	}
+}
+
+// Sum adds a slice of elements.
+func Sum(elems []Element) Element {
+	var acc Element
+	for _, e := range elems {
+		acc = acc.Add(e)
+	}
+	return acc
+}
+
+// Eval evaluates the polynomial with the given coefficients (constant term
+// first) at point x, by Horner's rule.
+func Eval(coeffs []Element, x Element) Element {
+	var acc Element
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = acc.Mul(x).Add(coeffs[i])
+	}
+	return acc
+}
+
+// Interpolate returns the value at x=0 of the unique polynomial of degree
+// < len(points) passing through the given (x, y) points (Lagrange
+// interpolation at zero). The x coordinates must be distinct and nonzero.
+func Interpolate(xs, ys []Element) (Element, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("field: interpolate: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return 0, errors.New("field: interpolate: no points")
+	}
+	var secret Element
+	for i := range xs {
+		num, den := One, One
+		for j := range xs {
+			if i == j {
+				continue
+			}
+			num = num.Mul(xs[j])
+			den = den.Mul(xs[j].Sub(xs[i]))
+		}
+		coef, err := num.Div(den)
+		if err != nil {
+			return 0, fmt.Errorf("field: interpolate: duplicate x coordinate: %w", err)
+		}
+		secret = secret.Add(ys[i].Mul(coef))
+	}
+	return secret, nil
+}

@@ -1,0 +1,347 @@
+package field
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewReduces(t *testing.T) {
+	tests := []struct {
+		name string
+		in   uint64
+		want Element
+	}{
+		{"zero", 0, 0},
+		{"one", 1, 1},
+		{"modulus", Modulus, 0},
+		{"modulus+1", Modulus + 1, 1},
+		{"max uint64", ^uint64(0), Element(^uint64(0) % Modulus)},
+		{"2*modulus", 2 * Modulus, 0},
+		{"below modulus", Modulus - 1, Element(Modulus - 1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := New(tt.in); got != tt.want {
+				t.Errorf("New(%d) = %d, want %d", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := New(a), New(b)
+		return x.Add(y).Sub(y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddCommutative(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := New(a), New(b)
+		return x.Add(y) == y.Add(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddAssociative(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := New(a), New(b), New(c)
+		return x.Add(y).Add(z) == x.Add(y.Add(z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := New(a), New(b)
+		return x.Mul(y) == y.Mul(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := New(a), New(b), New(c)
+		return x.Mul(y).Mul(z) == x.Mul(y.Mul(z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := New(a), New(b), New(c)
+		return x.Mul(y.Add(z)) == x.Mul(y).Add(x.Mul(z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	f := func(a uint64) bool {
+		x := New(a)
+		return x.Add(x.Neg()) == Zero
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	f := func(a uint64) bool {
+		x := New(a)
+		return x.Mul(One) == x && x.Mul(Zero) == Zero
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInv(t *testing.T) {
+	f := func(a uint64) bool {
+		x := New(a)
+		if x.IsZero() {
+			return true
+		}
+		inv, err := x.Inv()
+		if err != nil {
+			return false
+		}
+		return x.Mul(inv) == One
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvZero(t *testing.T) {
+	if _, err := Zero.Inv(); err != ErrNotInvertible {
+		t.Errorf("Inv(0) error = %v, want ErrNotInvertible", err)
+	}
+	if _, err := One.Div(Zero); err != ErrNotInvertible {
+		t.Errorf("Div by 0 error = %v, want ErrNotInvertible", err)
+	}
+}
+
+func TestDiv(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := New(a), New(b)
+		if y.IsZero() {
+			return true
+		}
+		q, err := x.Div(y)
+		if err != nil {
+			return false
+		}
+		return q.Mul(y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExp(t *testing.T) {
+	tests := []struct {
+		base Element
+		k    uint64
+		want Element
+	}{
+		{2, 0, 1},
+		{2, 1, 2},
+		{2, 10, 1024},
+		{3, 4, 81},
+		{0, 5, 0},
+		{0, 0, 1}, // convention: 0^0 = 1
+	}
+	for _, tt := range tests {
+		if got := tt.base.Exp(tt.k); got != tt.want {
+			t.Errorf("%v^%d = %v, want %v", tt.base, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestExpFermat(t *testing.T) {
+	// a^(p-1) = 1 for a != 0 (Fermat).
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		a := New(rng.Uint64())
+		if a.IsZero() {
+			continue
+		}
+		if got := a.Exp(Modulus - 1); got != One {
+			t.Fatalf("a^(p-1) = %v for a=%v, want 1", got, a)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		x := New(a)
+		y, err := FromBytes(x.Bytes())
+		return err == nil && x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromBytesBadLength(t *testing.T) {
+	if _, err := FromBytes([]byte{1, 2, 3}); err == nil {
+		t.Error("FromBytes(3 bytes) succeeded, want error")
+	}
+}
+
+func TestRandUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		e, err := Rand(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(e) >= Modulus {
+			t.Fatalf("Rand produced out-of-range element %d", e)
+		}
+	}
+}
+
+func TestRandNotConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[Element]bool)
+	for i := 0; i < 32; i++ {
+		e, err := Rand(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[e] = true
+	}
+	if len(seen) < 30 {
+		t.Errorf("expected ~32 distinct random elements, got %d", len(seen))
+	}
+}
+
+func TestRandReadError(t *testing.T) {
+	if _, err := Rand(bytes.NewReader(nil)); err == nil {
+		t.Error("Rand on empty reader succeeded, want error")
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum(nil); got != Zero {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+	if got := Sum([]Element{1, 2, 3}); got != Element(6) {
+		t.Errorf("Sum(1,2,3) = %v, want 6", got)
+	}
+	// Wrap-around.
+	if got := Sum([]Element{Element(Modulus - 1), 2}); got != One {
+		t.Errorf("Sum(p-1, 2) = %v, want 1", got)
+	}
+}
+
+func TestEval(t *testing.T) {
+	// f(x) = 3 + 2x + x^2; f(2) = 3 + 4 + 4 = 11.
+	coeffs := []Element{3, 2, 1}
+	if got := Eval(coeffs, 2); got != Element(11) {
+		t.Errorf("Eval = %v, want 11", got)
+	}
+	if got := Eval(nil, 5); got != Zero {
+		t.Errorf("Eval(empty) = %v, want 0", got)
+	}
+}
+
+func TestInterpolateRecoversConstant(t *testing.T) {
+	// Degree-2 polynomial with secret 42 at 0.
+	rng := rand.New(rand.NewSource(9))
+	coeffs := []Element{42}
+	for i := 0; i < 2; i++ {
+		c, err := Rand(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coeffs = append(coeffs, c)
+	}
+	xs := []Element{1, 2, 3}
+	ys := make([]Element, len(xs))
+	for i, x := range xs {
+		ys[i] = Eval(coeffs, x)
+	}
+	got, err := Interpolate(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != Element(42) {
+		t.Errorf("Interpolate = %v, want 42", got)
+	}
+}
+
+func TestInterpolateQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		deg := rng.Intn(5) + 1
+		coeffs := make([]Element, deg)
+		for i := range coeffs {
+			c, err := Rand(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coeffs[i] = c
+		}
+		xs := make([]Element, deg)
+		ys := make([]Element, deg)
+		for i := range xs {
+			xs[i] = Element(i + 1)
+			ys[i] = Eval(coeffs, xs[i])
+		}
+		got, err := Interpolate(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != coeffs[0] {
+			t.Fatalf("trial %d: Interpolate = %v, want %v", trial, got, coeffs[0])
+		}
+	}
+}
+
+func TestInterpolateErrors(t *testing.T) {
+	if _, err := Interpolate(nil, nil); err == nil {
+		t.Error("Interpolate(no points) succeeded")
+	}
+	if _, err := Interpolate([]Element{1}, []Element{1, 2}); err == nil {
+		t.Error("Interpolate(mismatched lengths) succeeded")
+	}
+	if _, err := Interpolate([]Element{1, 1}, []Element{2, 3}); err == nil {
+		t.Error("Interpolate(duplicate xs) succeeded")
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := New(123456789123456789), New(987654321987654321)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Mul(y)
+	}
+	_ = x
+}
+
+func BenchmarkInv(b *testing.B) {
+	x := New(123456789123456789)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Inv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

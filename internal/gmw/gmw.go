@@ -1,0 +1,261 @@
+// Package gmw implements an n-party GMW-style secure function evaluation
+// substrate over boolean circuits: every wire is XOR-shared among the
+// parties, XOR/NOT gates are local, and each AND gate is computed with
+// one 1-out-of-2 oblivious transfer per ordered party pair (the classic
+// cross-term trick: for z = (⊕x_i)(⊕y_i), party i and party j jointly
+// reshare x_i·y_j with the sender's fresh random pad as its share).
+//
+// This is the paper's Π_GMW hybrid — the adaptively secure but *unfair*
+// SFE protocol invoked in phase 1 of ΠOpt-2SFE and ΠOpt-nSFE. Its single
+// fairness-relevant attack surface is exactly the one the paper analyses:
+// during the output-reveal step, a corrupted party may learn the output
+// from the honest parties' shares while withholding its own (security
+// with abort). The staged API below exposes that surface: EvaluateShares
+// stops at "everybody holds an XOR share of each output wire", and Reveal
+// is a separate, abortable step.
+//
+// Malicious behaviour *inside* the evaluation phase (wrong OT inputs,
+// inconsistent shares) is out of scope here, as it is in the paper: the
+// fairness results treat the phase-1 SFE as an ideally secure hybrid and
+// apply the RPD composition theorem. See DESIGN.md, Substitutions.
+package gmw
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/circuit"
+	"repro/internal/ot"
+)
+
+// Errors returned by the evaluator.
+var (
+	ErrPartyCount = errors.New("gmw: need at least 2 parties")
+	ErrInputShape = errors.New("gmw: input bits do not match circuit input owners")
+)
+
+// Evaluator runs GMW evaluations of a fixed circuit among n parties.
+type Evaluator struct {
+	circ *circuit.Circuit
+	n    int
+	ot   ot.Engine
+}
+
+// NewEvaluator validates the circuit and returns an evaluator for n
+// parties using the given OT engine.
+func NewEvaluator(circ *circuit.Circuit, n int, engine ot.Engine) (*Evaluator, error) {
+	if n < 2 {
+		return nil, ErrPartyCount
+	}
+	if err := circ.Validate(); err != nil {
+		return nil, fmt.Errorf("gmw: %w", err)
+	}
+	for i, owner := range circ.InputOwner {
+		if owner < 0 || owner >= n {
+			return nil, fmt.Errorf("gmw: input wire %d owned by party %d, have %d parties", i, owner, n)
+		}
+	}
+	return &Evaluator{circ: circ, n: n, ot: engine}, nil
+}
+
+// Shares is the post-evaluation state: Shares[p][k] is party p's XOR
+// share of output wire k.
+type Shares [][]bool
+
+// NumParties returns the number of parties in the sharing.
+func (s Shares) NumParties() int { return len(s) }
+
+// Reveal combines all parties' output shares (the final, abortable step).
+func (s Shares) Reveal() []bool {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]bool, len(s[0]))
+	for _, ps := range s {
+		for k, b := range ps {
+			out[k] = out[k] != b
+		}
+	}
+	return out
+}
+
+// RevealExcept combines the output shares of all parties except those in
+// withhold, modeling an abort during reveal: the result is what the
+// remaining parties can compute — a uniformly random mask of the true
+// output, carrying no information (tested as such).
+func (s Shares) RevealExcept(withhold map[int]bool) []bool {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]bool, len(s[0]))
+	for p, ps := range s {
+		if withhold[p] {
+			continue
+		}
+		for k, b := range ps {
+			out[k] = out[k] != b
+		}
+	}
+	return out
+}
+
+// Inputs maps each party to its input bits, in circuit wire order
+// restricted to the wires that party owns.
+type Inputs [][]bool
+
+// InputsFromGlobal splits a full input-wire assignment into per-party
+// vectors according to the circuit's InputOwner labels.
+func InputsFromGlobal(circ *circuit.Circuit, global []bool, n int) (Inputs, error) {
+	if len(global) != circ.NumInputs {
+		return nil, fmt.Errorf("%w: %d bits for %d input wires", ErrInputShape, len(global), circ.NumInputs)
+	}
+	in := make(Inputs, n)
+	for w, owner := range circ.InputOwner {
+		if owner < 0 || owner >= n {
+			return nil, fmt.Errorf("%w: wire %d owner %d", ErrInputShape, w, owner)
+		}
+		in[owner] = append(in[owner], global[w])
+	}
+	return in, nil
+}
+
+// EvaluateShares runs the sharing and gate-evaluation phases and stops
+// before reveal, returning every party's output-wire shares.
+func (e *Evaluator) EvaluateShares(rng io.Reader, inputs Inputs) (Shares, error) {
+	if len(inputs) != e.n {
+		return nil, fmt.Errorf("%w: inputs for %d parties, want %d", ErrInputShape, len(inputs), e.n)
+	}
+	// wires[p][w] is party p's share of wire w.
+	wires := make([][]bool, e.n)
+	for p := range wires {
+		wires[p] = make([]bool, e.circ.NumWires())
+	}
+
+	// Input sharing: the owner XOR-shares each of its input bits.
+	cursor := make([]int, e.n)
+	for w, owner := range e.circ.InputOwner {
+		if cursor[owner] >= len(inputs[owner]) {
+			return nil, fmt.Errorf("%w: party %d supplied %d bits, needs more", ErrInputShape, owner, len(inputs[owner]))
+		}
+		bit := inputs[owner][cursor[owner]]
+		cursor[owner]++
+		if err := e.shareBit(rng, wires, w, bit); err != nil {
+			return nil, err
+		}
+	}
+	for p, c := range cursor {
+		if c != len(inputs[p]) {
+			return nil, fmt.Errorf("%w: party %d supplied %d bits, circuit uses %d", ErrInputShape, p, len(inputs[p]), c)
+		}
+	}
+
+	// Gate evaluation.
+	for g, gate := range e.circ.Gates {
+		w := e.circ.NumInputs + g
+		switch gate.Kind {
+		case circuit.KindXor:
+			for p := range wires {
+				wires[p][w] = wires[p][gate.A] != wires[p][gate.B]
+			}
+		case circuit.KindNot:
+			for p := range wires {
+				wires[p][w] = wires[p][gate.A]
+			}
+			wires[0][w] = !wires[0][w]
+		case circuit.KindAnd:
+			if err := e.andGate(rng, wires, gate, w); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("gmw: gate %d: unknown kind %d", g, int(gate.Kind))
+		}
+	}
+
+	out := make(Shares, e.n)
+	for p := range out {
+		out[p] = make([]bool, len(e.circ.Outputs))
+		for k, ow := range e.circ.Outputs {
+			out[p][k] = wires[p][ow]
+		}
+	}
+	return out, nil
+}
+
+// Evaluate runs the full protocol honestly: evaluate then reveal.
+func (e *Evaluator) Evaluate(rng io.Reader, inputs Inputs) ([]bool, error) {
+	shares, err := e.EvaluateShares(rng, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return shares.Reveal(), nil
+}
+
+// shareBit XOR-shares bit into wires[·][w].
+func (e *Evaluator) shareBit(rng io.Reader, wires [][]bool, w int, bit bool) error {
+	acc := false
+	var buf [1]byte
+	for p := 0; p < e.n-1; p++ {
+		if _, err := io.ReadFull(rng, buf[:]); err != nil {
+			return fmt.Errorf("gmw: share randomness: %w", err)
+		}
+		s := buf[0]&1 == 1
+		wires[p][w] = s
+		acc = acc != s
+	}
+	wires[e.n-1][w] = acc != bit
+	return nil
+}
+
+// andGate computes shares of wires[·][A] ∧ wires[·][B]:
+//
+//	z = (⊕ x_p)(⊕ y_p) = ⊕_p x_p·y_p ⊕ ⊕_{i≠j} x_i·y_j.
+//
+// Each ordered cross term x_i·y_j is reshared with one OT: sender i picks
+// a random pad r and offers (r ⊕ x_i·0, r ⊕ x_i·1); receiver j selects
+// with y_j. Sender's share of the term is r, receiver's is the message.
+func (e *Evaluator) andGate(rng io.Reader, wires [][]bool, gate circuit.Gate, w int) error {
+	z := make([]bool, e.n)
+	for p := 0; p < e.n; p++ {
+		z[p] = wires[p][gate.A] && wires[p][gate.B]
+	}
+	var buf [1]byte
+	for i := 0; i < e.n; i++ {
+		for j := 0; j < e.n; j++ {
+			if i == j {
+				continue
+			}
+			if _, err := io.ReadFull(rng, buf[:]); err != nil {
+				return fmt.Errorf("gmw: and-gate randomness: %w", err)
+			}
+			r := buf[0]&1 == 1
+			xi := wires[i][gate.A]
+			m0 := boolByte(r) // r ⊕ x_i·0
+			m1 := boolByte(r != xi)
+			choice := 0
+			if wires[j][gate.B] {
+				choice = 1
+			}
+			got, err := e.ot.Transfer(rng, [][]byte{{m0}, {m1}}, choice)
+			if err != nil {
+				return fmt.Errorf("gmw: and-gate OT (%d→%d): %w", i, j, err)
+			}
+			if len(got) != 1 || got[0] > 1 {
+				return fmt.Errorf("gmw: and-gate OT (%d→%d): malformed response", i, j)
+			}
+			z[i] = z[i] != r
+			z[j] = z[j] != (got[0] == 1)
+		}
+	}
+	for p := 0; p < e.n; p++ {
+		wires[p][w] = z[p]
+	}
+	return nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

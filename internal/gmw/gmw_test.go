@@ -1,0 +1,274 @@
+package gmw
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/ot"
+)
+
+// evalGlobal runs a full GMW evaluation on a global input assignment.
+func evalGlobal(t *testing.T, circ *circuit.Circuit, n int, global []bool, engine ot.Engine, seed int64) []bool {
+	t.Helper()
+	e, err := NewEvaluator(circ, n, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs, err := InputsFromGlobal(circ, global, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Evaluate(rand.New(rand.NewSource(seed)), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAndMatchesClear(t *testing.T) {
+	circ, err := circuit.AndCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []bool{false, true} {
+		for _, y := range []bool{false, true} {
+			in := []bool{x, y}
+			want, err := circ.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := evalGlobal(t, circ, 2, in, ot.Dealer{}, 1)
+			if got[0] != want[0] {
+				t.Errorf("AND(%v,%v): gmw=%v clear=%v", x, y, got[0], want[0])
+			}
+		}
+	}
+}
+
+func TestMillionairesMatchesClearManySeeds(t *testing.T) {
+	const bits = 6
+	circ, err := circuit.MillionairesCircuit(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		x := uint64(rng.Intn(64))
+		y := uint64(rng.Intn(64))
+		in := append(circuit.UintToBits(x, bits), circuit.UintToBits(y, bits)...)
+		want, err := circ.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := evalGlobal(t, circ, 2, in, ot.Dealer{}, int64(trial))
+		if got[0] != want[0] {
+			t.Fatalf("trial %d: millionaires(%d,%d) gmw=%v want %v", trial, x, y, got[0], want[0])
+		}
+	}
+}
+
+func TestMultiPartyMaxMatchesClear(t *testing.T) {
+	const n, bits = 4, 4
+	circ, err := circuit.MaxCircuit(n, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		global := make([]bool, circ.NumInputs)
+		for i := range global {
+			global[i] = rng.Intn(2) == 1
+		}
+		want, err := circ.Eval(global)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := evalGlobal(t, circ, n, global, ot.Dealer{}, int64(100+trial))
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("trial %d output bit %d: gmw=%v want %v", trial, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestWithNaorPinkasOT(t *testing.T) {
+	// Full cryptographic OT on a small circuit.
+	circ, err := circuit.AndCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []bool{false, true} {
+		for _, y := range []bool{false, true} {
+			in := []bool{x, y}
+			got := evalGlobal(t, circ, 2, in, ot.NaorPinkas{}, 4)
+			if got[0] != (x && y) {
+				t.Errorf("NP-OT AND(%v,%v) = %v", x, y, got[0])
+			}
+		}
+	}
+}
+
+func TestSumCircuitThreeParties(t *testing.T) {
+	circ, err := circuit.SumCircuit(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		vals := []uint64{uint64(rng.Intn(8)), uint64(rng.Intn(8)), uint64(rng.Intn(8))}
+		var global []bool
+		for _, v := range vals {
+			global = append(global, circuit.UintToBits(v, 3)...)
+		}
+		got := evalGlobal(t, circ, 3, global, ot.Dealer{}, int64(trial))
+		if circuit.BitsToUint(got) != vals[0]+vals[1]+vals[2] {
+			t.Fatalf("sum=%d want %d", circuit.BitsToUint(got), vals[0]+vals[1]+vals[2])
+		}
+	}
+}
+
+func TestRevealExceptHidesOutput(t *testing.T) {
+	// Withholding one party's shares must leave the output uniformly
+	// masked: over many runs with the same inputs, the partial reveal
+	// should flip ~50/50.
+	circ, err := circuit.AndCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(circ, 2, ot.Dealer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := Inputs{{true}, {true}} // true output = 1
+	const trials = 400
+	ones := 0
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < trials; i++ {
+		shares, err := e.EvaluateShares(rng, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partial := shares.RevealExcept(map[int]bool{1: true})
+		if partial[0] {
+			ones++
+		}
+		// Full reveal must still be correct.
+		if full := shares.Reveal(); !full[0] {
+			t.Fatal("full reveal wrong")
+		}
+	}
+	if ones < trials*40/100 || ones > trials*60/100 {
+		t.Errorf("partial reveal biased: %d/%d ones — output leaks", ones, trials)
+	}
+}
+
+func TestSharesUniform(t *testing.T) {
+	// Any single party's output share must be unbiased regardless of the
+	// true output (XOR-sharing privacy).
+	circ, err := circuit.AndCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(circ, 2, ot.Dealer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const trials = 400
+	ones := 0
+	for i := 0; i < trials; i++ {
+		shares, err := e.EvaluateShares(rng, Inputs{{false}, {false}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shares[0][0] {
+			ones++
+		}
+	}
+	if ones < trials*40/100 || ones > trials*60/100 {
+		t.Errorf("share biased: %d/%d", ones, trials)
+	}
+}
+
+func TestNewEvaluatorErrors(t *testing.T) {
+	circ, err := circuit.AndCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEvaluator(circ, 1, ot.Dealer{}); !errors.Is(err, ErrPartyCount) {
+		t.Errorf("n=1: %v, want ErrPartyCount", err)
+	}
+	bad := &circuit.Circuit{NumInputs: 1, InputOwner: []int{5}}
+	if _, err := NewEvaluator(bad, 2, ot.Dealer{}); err == nil {
+		t.Error("owner out of range accepted")
+	}
+	invalid := &circuit.Circuit{NumInputs: 1, InputOwner: []int{0}, Outputs: []int{9}}
+	if _, err := NewEvaluator(invalid, 2, ot.Dealer{}); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+}
+
+func TestEvaluateInputErrors(t *testing.T) {
+	circ, err := circuit.AndCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(circ, 2, ot.Dealer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	if _, err := e.EvaluateShares(rng, Inputs{{true}}); !errors.Is(err, ErrInputShape) {
+		t.Errorf("missing party: %v", err)
+	}
+	if _, err := e.EvaluateShares(rng, Inputs{{}, {true}}); !errors.Is(err, ErrInputShape) {
+		t.Errorf("too few bits: %v", err)
+	}
+	if _, err := e.EvaluateShares(rng, Inputs{{true, false}, {true}}); !errors.Is(err, ErrInputShape) {
+		t.Errorf("too many bits: %v", err)
+	}
+}
+
+func TestInputsFromGlobalErrors(t *testing.T) {
+	circ, err := circuit.AndCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InputsFromGlobal(circ, []bool{true}, 2); !errors.Is(err, ErrInputShape) {
+		t.Errorf("wrong global size: %v", err)
+	}
+}
+
+func TestRevealEmpty(t *testing.T) {
+	if got := (Shares{}).Reveal(); got != nil {
+		t.Errorf("empty reveal = %v, want nil", got)
+	}
+	if got := (Shares{}).RevealExcept(nil); got != nil {
+		t.Errorf("empty reveal-except = %v, want nil", got)
+	}
+}
+
+func BenchmarkGMWMillionaires8Bit(b *testing.B) {
+	circ, err := circuit.MillionairesCircuit(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEvaluator(circ, 2, ot.Dealer{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs, err := InputsFromGlobal(circ, make([]bool, 16), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Evaluate(rng, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

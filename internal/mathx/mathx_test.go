@@ -1,0 +1,110 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	tests := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1.0, 1.0, 0, true},
+		{1.0, 1.01, 0.02, true},
+		{1.0, 1.03, 0.02, false},
+		{-1.0, -1.01, 0.02, true},
+	}
+	for _, tt := range tests {
+		if got := ApproxEqual(tt.a, tt.b, tt.tol); got != tt.want {
+			t.Errorf("ApproxEqual(%v,%v,%v)=%v, want %v", tt.a, tt.b, tt.tol, got, tt.want)
+		}
+	}
+}
+
+func TestLessGreaterOrApprox(t *testing.T) {
+	if !LessOrApprox(1.01, 1.0, 0.02) {
+		t.Error("1.01 should be ≤(0.02) 1.0")
+	}
+	if LessOrApprox(1.05, 1.0, 0.02) {
+		t.Error("1.05 should not be ≤(0.02) 1.0")
+	}
+	if !GreaterOrApprox(0.99, 1.0, 0.02) {
+		t.Error("0.99 should be ≥(0.02) 1.0")
+	}
+	if GreaterOrApprox(0.95, 1.0, 0.02) {
+		t.Error("0.95 should not be ≥(0.02) 1.0")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		v, lo, hi, want float64
+	}{
+		{0.5, 0, 1, 0.5},
+		{-1, 0, 1, 0},
+		{2, 0, 1, 1},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.v, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v,%v,%v)=%v, want %v", tt.v, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1},
+		{5, 5, 1},
+		{5, 2, 10},
+		{10, 3, 120},
+		{5, 6, 0},
+		{5, -1, 0},
+		{0, 0, 1},
+	}
+	for _, tt := range tests {
+		if got := Binomial(tt.n, tt.k); got != tt.want {
+			t.Errorf("Binomial(%d,%d)=%v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestBinomialSymmetry(t *testing.T) {
+	for n := 0; n <= 20; n++ {
+		for k := 0; k <= n; k++ {
+			if Binomial(n, k) != Binomial(n, n-k) {
+				t.Fatalf("C(%d,%d) != C(%d,%d)", n, k, n, n-k)
+			}
+		}
+	}
+}
+
+func TestMinMaxInt(t *testing.T) {
+	if MinInt(3, 5) != 3 || MinInt(5, 3) != 3 {
+		t.Error("MinInt wrong")
+	}
+	if MaxInt(3, 5) != 5 || MaxInt(5, 3) != 5 {
+		t.Error("MaxInt wrong")
+	}
+}
+
+func TestMaxFloat(t *testing.T) {
+	if got := MaxFloat([]float64{1, 3, 2}); got != 3 {
+		t.Errorf("MaxFloat = %v, want 3", got)
+	}
+	if got := MaxFloat(nil); !math.IsInf(got, -1) {
+		t.Errorf("MaxFloat(nil) = %v, want -Inf", got)
+	}
+}
+
+func TestSumFloat(t *testing.T) {
+	if got := SumFloat([]float64{1, 2, 3.5}); got != 6.5 {
+		t.Errorf("SumFloat = %v, want 6.5", got)
+	}
+	if got := SumFloat(nil); got != 0 {
+		t.Errorf("SumFloat(nil) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,168 @@
+package ot
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// NaorPinkas is the DDH-based 1-of-N oblivious-transfer engine. The
+// four-move session API (Setup → Choose → Respond → Finish) exposes the
+// actual protocol messages; Transfer wires the moves together for
+// in-memory use.
+type NaorPinkas struct{}
+
+var _ Engine = NaorPinkas{}
+
+// SetupMsg is the sender's first message: N-1 random group elements
+// C_1..C_{N-1} (one per non-zero choice index).
+type SetupMsg struct {
+	Constants []*big.Int
+}
+
+// ChoiceMsg is the receiver's message: the single public key PK_0. The
+// sender derives PK_i = C_i / PK_0; the receiver knows the discrete log
+// of exactly PK_choice.
+type ChoiceMsg struct {
+	PK0 *big.Int
+}
+
+// CipherMsg is the sender's final message: hashed-ElGamal ciphertexts of
+// every message, sharing one ephemeral key g^r.
+type CipherMsg struct {
+	Ephemeral *big.Int
+	Bodies    [][]byte
+}
+
+// npSender holds sender-side session state.
+type npSender struct {
+	gr    group
+	msgs  [][]byte
+	setup SetupMsg
+}
+
+// npReceiver holds receiver-side session state.
+type npReceiver struct {
+	gr     group
+	choice int
+	k      *big.Int
+}
+
+// NewSenderSession starts an OT as the sender of msgs.
+func (NaorPinkas) NewSenderSession(rng io.Reader, msgs [][]byte) (*npSender, SetupMsg, error) {
+	if err := validate(msgs, 0); err != nil {
+		return nil, SetupMsg{}, err
+	}
+	gr := defaultGroup
+	consts := make([]*big.Int, len(msgs)-1)
+	for i := range consts {
+		c, err := gr.randElement(rng)
+		if err != nil {
+			return nil, SetupMsg{}, err
+		}
+		consts[i] = c
+	}
+	s := &npSender{gr: gr, msgs: msgs, setup: SetupMsg{Constants: consts}}
+	return s, s.setup, nil
+}
+
+// NewReceiverSession processes the setup message and produces the
+// receiver's public key for the given choice.
+func (NaorPinkas) NewReceiverSession(rng io.Reader, setup SetupMsg, n, choice int) (*npReceiver, ChoiceMsg, error) {
+	if choice < 0 || choice >= n {
+		return nil, ChoiceMsg{}, ErrBadChoice
+	}
+	if len(setup.Constants) != n-1 {
+		return nil, ChoiceMsg{}, fmt.Errorf("%w: %d constants for n=%d", ErrMalformed, len(setup.Constants), n)
+	}
+	gr := defaultGroup
+	k, err := gr.randScalar(rng)
+	if err != nil {
+		return nil, ChoiceMsg{}, err
+	}
+	pkc := new(big.Int).Exp(gr.g, k, gr.p) // PK_choice = g^k
+	var pk0 *big.Int
+	if choice == 0 {
+		pk0 = pkc
+	} else {
+		// PK_0 = C_choice / PK_choice.
+		inv := new(big.Int).ModInverse(pkc, gr.p)
+		pk0 = new(big.Int).Mul(setup.Constants[choice-1], inv)
+		pk0.Mod(pk0, gr.p)
+	}
+	return &npReceiver{gr: gr, choice: choice, k: k}, ChoiceMsg{PK0: pk0}, nil
+}
+
+// Respond encrypts every message under its derived public key.
+func (s *npSender) Respond(rng io.Reader, cm ChoiceMsg) (CipherMsg, error) {
+	if cm.PK0 == nil || cm.PK0.Sign() <= 0 || cm.PK0.Cmp(s.gr.p) >= 0 {
+		return CipherMsg{}, ErrMalformed
+	}
+	r, err := s.gr.randScalar(rng)
+	if err != nil {
+		return CipherMsg{}, err
+	}
+	eph := new(big.Int).Exp(s.gr.g, r, s.gr.p)
+	bodies := make([][]byte, len(s.msgs))
+	pk := new(big.Int).Set(cm.PK0)
+	for i, m := range s.msgs {
+		if i > 0 {
+			// PK_i = C_i / PK_0.
+			inv := new(big.Int).ModInverse(cm.PK0, s.gr.p)
+			pk = new(big.Int).Mul(s.setup.Constants[i-1], inv)
+			pk.Mod(pk, s.gr.p)
+		}
+		shared := new(big.Int).Exp(pk, r, s.gr.p)
+		body := append([]byte(nil), m...)
+		xorInto(body, kdf(shared, i, len(body)))
+		bodies[i] = body
+	}
+	return CipherMsg{Ephemeral: eph, Bodies: bodies}, nil
+}
+
+// Finish decrypts the chosen ciphertext.
+func (r *npReceiver) Finish(cm CipherMsg) ([]byte, error) {
+	if cm.Ephemeral == nil || r.choice >= len(cm.Bodies) {
+		return nil, ErrMalformed
+	}
+	shared := new(big.Int).Exp(cm.Ephemeral, r.k, r.gr.p)
+	body := append([]byte(nil), cm.Bodies[r.choice]...)
+	xorInto(body, kdf(shared, r.choice, len(body)))
+	return body, nil
+}
+
+// Transfer runs the whole session in memory.
+func (np NaorPinkas) Transfer(rng io.Reader, msgs [][]byte, choice int) ([]byte, error) {
+	if err := validate(msgs, choice); err != nil {
+		return nil, err
+	}
+	sender, setup, err := np.NewSenderSession(rng, msgs)
+	if err != nil {
+		return nil, err
+	}
+	receiver, choiceMsg, err := np.NewReceiverSession(rng, setup, len(msgs), choice)
+	if err != nil {
+		return nil, err
+	}
+	cipher, err := sender.Respond(rng, choiceMsg)
+	if err != nil {
+		return nil, err
+	}
+	return receiver.Finish(cipher)
+}
+
+// Dealer is a correlated-randomness OT engine: a trusted dealer hands the
+// receiver exactly its chosen message. It makes the OT hybrid explicit —
+// the fairness experiments measure attacks on output delivery, not on the
+// OT sub-protocol — and is orders of magnitude faster than NaorPinkas.
+type Dealer struct{}
+
+var _ Engine = Dealer{}
+
+// Transfer returns a copy of msgs[choice].
+func (Dealer) Transfer(_ io.Reader, msgs [][]byte, choice int) ([]byte, error) {
+	if err := validate(msgs, choice); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), msgs[choice]...), nil
+}

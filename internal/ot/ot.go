@@ -1,0 +1,139 @@
+// Package ot implements 1-out-of-N oblivious transfer, the interactive
+// primitive behind the GMW substrate's AND gates.
+//
+// Two interchangeable engines are provided:
+//
+//   - NaorPinkas: the classic DDH-based 1-of-N OT of Naor and Pinkas over
+//     the RFC 3526 1536-bit MODP group, with hashed-ElGamal encryption.
+//     The receiver knows the discrete log of exactly one public key; under
+//     CDH it learns only its chosen message, and the sender, who sees a
+//     single uniformly distributed public key, learns nothing about the
+//     choice.
+//
+//   - Dealer: a trusted-dealer (correlated-randomness) OT used by the
+//     Monte-Carlo fairness experiments, where the OT sub-protocol is a
+//     hybrid (its security is not what the experiments measure) and raw
+//     speed matters.
+//
+// Both engines expose the same four-move session API so the GMW layer is
+// oblivious (pun intended) to which one runs underneath.
+package ot
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Errors shared by the engines.
+var (
+	ErrBadChoice   = errors.New("ot: choice index out of range")
+	ErrBadMsgCount = errors.New("ot: need at least 2 messages")
+	ErrBadLengths  = errors.New("ot: all messages must have equal length")
+	ErrMalformed   = errors.New("ot: malformed protocol message")
+)
+
+// Engine abstracts an OT implementation as a single blocking transfer
+// between in-memory endpoints. The fairness protocols treat OT as a
+// hybrid; the message-level session API below is exercised by tests.
+type Engine interface {
+	// Transfer runs a 1-of-len(msgs) OT: the sender contributes msgs,
+	// the receiver contributes choice, and only msgs[choice] is returned.
+	Transfer(rng io.Reader, msgs [][]byte, choice int) ([]byte, error)
+}
+
+// rfc3526Group1536 is the 1536-bit MODP group prime from RFC 3526 §2,
+// a safe prime with generator 2.
+const rfc3526Group1536 = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1" +
+	"29024E088A67CC74020BBEA63B139B22514A08798E3404DD" +
+	"EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245" +
+	"E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+	"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D" +
+	"C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F" +
+	"83655D23DCA3AD961C62F356208552BB9ED529077096966D" +
+	"670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+
+// group holds the DDH group parameters.
+type group struct {
+	p *big.Int // modulus
+	q *big.Int // order of the subgroup of squares, (p-1)/2
+	g *big.Int // generator of the subgroup of squares
+}
+
+func newGroup() group {
+	p, ok := new(big.Int).SetString(rfc3526Group1536, 16)
+	if !ok {
+		// The constant is compiled in; failing to parse it is a build
+		// defect, not a runtime condition.
+		panic("ot: invalid embedded group modulus")
+	}
+	q := new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(1)), 1)
+	// 4 = 2² generates the subgroup of quadratic residues.
+	return group{p: p, q: q, g: big.NewInt(4)}
+}
+
+// defaultGroup is shared by all NaorPinkas engines (immutable after init).
+var defaultGroup = newGroup()
+
+// randScalar draws a uniform exponent in [1, q).
+func (gr group) randScalar(rng io.Reader) (*big.Int, error) {
+	max := new(big.Int).Sub(gr.q, big.NewInt(1))
+	for {
+		buf := make([]byte, (max.BitLen()+7)/8)
+		if _, err := io.ReadFull(rng, buf); err != nil {
+			return nil, fmt.Errorf("ot: scalar randomness: %w", err)
+		}
+		k := new(big.Int).SetBytes(buf)
+		k.Mod(k, max)
+		k.Add(k, big.NewInt(1))
+		return k, nil
+	}
+}
+
+// randElement draws a uniform element of the subgroup (g^r).
+func (gr group) randElement(rng io.Reader) (*big.Int, error) {
+	r, err := gr.randScalar(rng)
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).Exp(gr.g, r, gr.p), nil
+}
+
+// kdf derives a one-time pad of length n from a group element and a
+// domain-separating index.
+func kdf(elem *big.Int, index, n int) []byte {
+	out := make([]byte, 0, n)
+	seed := elem.Bytes()
+	counter := 0
+	for len(out) < n {
+		h := sha256.New()
+		h.Write([]byte{byte(index), byte(index >> 8), byte(counter), byte(counter >> 8)})
+		h.Write(seed)
+		out = append(out, h.Sum(nil)...)
+		counter++
+	}
+	return out[:n]
+}
+
+func xorInto(dst, pad []byte) {
+	for i := range dst {
+		dst[i] ^= pad[i]
+	}
+}
+
+func validate(msgs [][]byte, choice int) error {
+	if len(msgs) < 2 {
+		return ErrBadMsgCount
+	}
+	for _, m := range msgs[1:] {
+		if len(m) != len(msgs[0]) {
+			return ErrBadLengths
+		}
+	}
+	if choice < 0 || choice >= len(msgs) {
+		return ErrBadChoice
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package ot
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func engines() map[string]Engine {
+	return map[string]Engine{
+		"NaorPinkas": NaorPinkas{},
+		"Dealer":     Dealer{},
+	}
+}
+
+func TestTransferAllChoices(t *testing.T) {
+	msgs := [][]byte{[]byte("msg-zero"), []byte("msg-one!"), []byte("msg-two."), []byte("msg-thre")}
+	for name, e := range engines() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			for c := range msgs {
+				got, err := e.Transfer(rng, msgs, c)
+				if err != nil {
+					t.Fatalf("choice %d: %v", c, err)
+				}
+				if !bytes.Equal(got, msgs[c]) {
+					t.Errorf("choice %d: got %q, want %q", c, got, msgs[c])
+				}
+			}
+		})
+	}
+}
+
+func TestTransfer1of2(t *testing.T) {
+	msgs := [][]byte{{0x00}, {0x01}}
+	for name, e := range engines() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2))
+			for c := 0; c < 2; c++ {
+				got, err := e.Transfer(rng, msgs, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[0] != byte(c) {
+					t.Errorf("choice %d got %v", c, got)
+				}
+			}
+		})
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	for name, e := range engines() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			if _, err := e.Transfer(rng, [][]byte{{1}}, 0); !errors.Is(err, ErrBadMsgCount) {
+				t.Errorf("1 message: %v, want ErrBadMsgCount", err)
+			}
+			if _, err := e.Transfer(rng, [][]byte{{1}, {2, 3}}, 0); !errors.Is(err, ErrBadLengths) {
+				t.Errorf("ragged: %v, want ErrBadLengths", err)
+			}
+			if _, err := e.Transfer(rng, [][]byte{{1}, {2}}, 2); !errors.Is(err, ErrBadChoice) {
+				t.Errorf("choice out of range: %v, want ErrBadChoice", err)
+			}
+			if _, err := e.Transfer(rng, [][]byte{{1}, {2}}, -1); !errors.Is(err, ErrBadChoice) {
+				t.Errorf("negative choice: %v, want ErrBadChoice", err)
+			}
+		})
+	}
+}
+
+func TestDealerCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	msgs := [][]byte{{1}, {2}}
+	got, err := Dealer{}.Transfer(rng, msgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 99
+	if msgs[0][0] != 1 {
+		t.Error("Dealer returned aliased message buffer")
+	}
+}
+
+func TestNaorPinkasWrongChoiceGetsGarbage(t *testing.T) {
+	// A receiver that decrypts a NON-chosen slot must not recover the
+	// plaintext (it only knows the discrete log of its chosen key).
+	np := NaorPinkas{}
+	rng := rand.New(rand.NewSource(5))
+	msgs := [][]byte{[]byte("secret-0"), []byte("secret-1")}
+	sender, setup, err := np.NewSenderSession(rng, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, choiceMsg, err := np.NewReceiverSession(rng, setup, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cipher, err := sender.Respond(rng, choiceMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decrypt the chosen slot correctly.
+	got, err := receiver.Finish(cipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msgs[0]) {
+		t.Fatalf("chosen slot decryption failed: %q", got)
+	}
+	// Forcibly decrypt the other slot with the same key material.
+	receiver.choice = 1
+	stolen, err := receiver.Finish(cipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(stolen, msgs[1]) {
+		t.Error("receiver recovered the non-chosen message")
+	}
+}
+
+func TestNaorPinkasSenderSeesUniformKey(t *testing.T) {
+	// The PK0 sent for choice 0 and choice 1 must both be valid group
+	// elements; the sender cannot tell them apart structurally.
+	np := NaorPinkas{}
+	rng := rand.New(rand.NewSource(6))
+	msgs := [][]byte{{1}, {2}}
+	_, setup, err := np.NewSenderSession(rng, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		_, cm, err := np.NewReceiverSession(rng, setup, 2, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cm.PK0 == nil || cm.PK0.Sign() <= 0 || cm.PK0.Cmp(defaultGroup.p) >= 0 {
+			t.Errorf("choice %d: PK0 not a valid group element", c)
+		}
+	}
+}
+
+func TestNaorPinkasSessionValidation(t *testing.T) {
+	np := NaorPinkas{}
+	rng := rand.New(rand.NewSource(7))
+	msgs := [][]byte{{1}, {2}}
+	sender, setup, err := np.NewSenderSession(rng, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := np.NewReceiverSession(rng, setup, 2, 5); !errors.Is(err, ErrBadChoice) {
+		t.Errorf("bad choice: %v", err)
+	}
+	if _, _, err := np.NewReceiverSession(rng, SetupMsg{}, 2, 0); !errors.Is(err, ErrMalformed) {
+		t.Errorf("bad setup: %v", err)
+	}
+	if _, err := sender.Respond(rng, ChoiceMsg{}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("nil PK: %v", err)
+	}
+	if _, err := sender.Respond(rng, ChoiceMsg{PK0: big.NewInt(0)}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("zero PK: %v", err)
+	}
+	receiver, _, err := np.NewReceiverSession(rng, setup, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := receiver.Finish(CipherMsg{}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("empty cipher: %v", err)
+	}
+}
+
+func TestKDFDomainSeparation(t *testing.T) {
+	e := big.NewInt(123456789)
+	if bytes.Equal(kdf(e, 0, 16), kdf(e, 1, 16)) {
+		t.Error("kdf identical across indices")
+	}
+	long := kdf(e, 0, 100)
+	if len(long) != 100 {
+		t.Errorf("kdf length %d, want 100", len(long))
+	}
+	// Prefix stability: first 32 bytes of a longer pad equal the short pad.
+	if !bytes.Equal(kdf(e, 0, 32), long[:32]) {
+		t.Error("kdf not prefix-stable")
+	}
+}
+
+func TestGroupScalarRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		k, err := defaultGroup.randScalar(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Sign() <= 0 || k.Cmp(defaultGroup.q) >= 0 {
+			t.Fatalf("scalar %v out of range (0, q)", k)
+		}
+	}
+}
+
+func TestGroupElementInSubgroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e, err := defaultGroup.randElement(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element of the order-q subgroup: e^q == 1.
+	one := new(big.Int).Exp(e, defaultGroup.q, defaultGroup.p)
+	if one.Cmp(big.NewInt(1)) != 0 {
+		t.Error("randElement produced element outside order-q subgroup")
+	}
+}
+
+func BenchmarkNaorPinkasTransfer(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	msgs := [][]byte{make([]byte, 16), make([]byte, 16), make([]byte, 16), make([]byte, 16)}
+	np := NaorPinkas{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := np.Transfer(rng, msgs, i%4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDealerTransfer(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	msgs := [][]byte{make([]byte, 16), make([]byte, 16)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Dealer{}).Transfer(rng, msgs, i%2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

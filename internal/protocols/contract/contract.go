@@ -1,0 +1,193 @@
+// Package contract implements the two contract-signing protocols Π1 and
+// Π2 from the paper's Introduction — the motivating example for
+// comparative fairness.
+//
+// Both protocols exchange locally signed contracts through commitments
+// over secure channels:
+//
+//	Π1: the parties exchange commitments on their signed contracts; then
+//	    p1 opens first, then p2. A corrupted p2 can always abort after
+//	    p1's opening, so the best attacker earns γ10 with probability 1.
+//
+//	Π2: before the contract openings, the parties run a Blum coin toss
+//	    (commit–exchange–open) and use the resulting bit to decide who
+//	    opens first. The corrupted party receives the output first only
+//	    with probability 1/2, halving the best attacker's advantage:
+//	    u = (γ10 + γ11)/2. Π2 is "twice as fair as" Π1.
+//
+// Inputs are modeled as uint64 contract signatures; the (global) output
+// is the pair of both signatures.
+package contract
+
+import (
+	"math/rand"
+
+	"repro/internal/crypto/commitment"
+	"repro/internal/sim"
+)
+
+// Pair is the global output: both parties' signed contracts.
+type Pair struct {
+	S1, S2 uint64
+}
+
+// commitMsg carries a commitment (round 1 of both protocols).
+type commitMsg struct {
+	Contract commitment.Commitment
+	Coin     commitment.Commitment // only set in Π2
+}
+
+// openMsg carries an opening.
+type openMsg struct {
+	Opening commitment.Opening
+}
+
+// encodeSig serializes a signature for committing.
+func encodeSig(s uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(s >> (8 * i))
+	}
+	return b
+}
+
+func decodeSig(b []byte) (uint64, bool) {
+	if len(b) != 8 {
+		return 0, false
+	}
+	var s uint64
+	for i := 0; i < 8; i++ {
+		s |= uint64(b[i]) << (8 * i)
+	}
+	return s, true
+}
+
+// pairFunc is the shared ideal function of Π1 and Π2.
+func pairFunc(inputs []sim.Value) sim.Value {
+	s1, _ := inputs[0].(uint64)
+	s2, _ := inputs[1].(uint64)
+	return Pair{S1: s1, S2: s2}
+}
+
+// Pi1 is the naive protocol Π1.
+type Pi1 struct{}
+
+var _ sim.Protocol = Pi1{}
+
+// Name implements sim.Protocol.
+func (Pi1) Name() string { return "Pi1-contract" }
+
+// NumParties implements sim.Protocol.
+func (Pi1) NumParties() int { return 2 }
+
+// NumRounds implements sim.Protocol: commitments, p1 opens, p2 opens.
+func (Pi1) NumRounds() int { return 3 }
+
+// Func implements sim.Protocol.
+func (Pi1) Func(inputs []sim.Value) sim.Value { return pairFunc(inputs) }
+
+// DefaultInput implements sim.Protocol. Contract signing has no
+// meaningful default — a missing counterparty signature cannot be
+// substituted — so local fallback computation never applies.
+func (Pi1) DefaultInput(sim.PartyID) sim.Value { return uint64(0) }
+
+// Setup implements sim.Protocol: Π1 has no hybrid phase.
+func (Pi1) Setup([]sim.Value, *rand.Rand) ([]sim.Value, error) { return nil, nil }
+
+// NewParty implements sim.Protocol. All randomness (the commitment) is
+// drawn here so Round is deterministic and Clone-safe.
+func (Pi1) NewParty(id sim.PartyID, input sim.Value, _ sim.Value, _ bool, rng *rand.Rand) (sim.Party, error) {
+	sig, _ := input.(uint64)
+	c, o, err := commitment.Commit(rng, encodeSig(sig))
+	if err != nil {
+		return nil, err
+	}
+	return &pi1Party{id: id, sig: sig, commit: c, opening: o}, nil
+}
+
+type pi1Party struct {
+	id      sim.PartyID
+	sig     uint64
+	commit  commitment.Commitment
+	opening commitment.Opening
+	theirC  commitment.Commitment
+	result  Pair
+	done    bool
+	failed  bool
+}
+
+func (p *pi1Party) other() sim.PartyID { return sim.PartyID(3 - int(p.id)) }
+
+func (p *pi1Party) Round(round int, inbox []sim.Message) ([]sim.Message, error) {
+	if p.failed {
+		return nil, nil
+	}
+	switch round {
+	case 1:
+		return []sim.Message{{From: p.id, To: p.other(), Payload: commitMsg{Contract: p.commit}}}, nil
+	case 2:
+		// Both receive the counterparty's commitment; p1 opens.
+		if !p.recvCommit(inbox) {
+			p.failed = true
+			return nil, nil
+		}
+		if p.id == 1 {
+			return []sim.Message{{From: p.id, To: p.other(), Payload: openMsg{Opening: p.opening}}}, nil
+		}
+	case 3:
+		// p2 verifies p1's opening and, if valid, opens in return.
+		if p.id == 2 {
+			s1, ok := p.recvOpening(inbox)
+			if !ok {
+				p.failed = true
+				return nil, nil
+			}
+			p.result, p.done = Pair{S1: s1, S2: p.sig}, true
+			return []sim.Message{{From: p.id, To: p.other(), Payload: openMsg{Opening: p.opening}}}, nil
+		}
+	case 4:
+		// p1 verifies p2's opening.
+		if p.id == 1 {
+			s2, ok := p.recvOpening(inbox)
+			if !ok {
+				p.failed = true
+				return nil, nil
+			}
+			p.result, p.done = Pair{S1: p.sig, S2: s2}, true
+		}
+	}
+	return nil, nil
+}
+
+func (p *pi1Party) recvCommit(inbox []sim.Message) bool {
+	for _, m := range inbox {
+		if cm, ok := m.Payload.(commitMsg); ok && m.From == p.other() {
+			p.theirC = cm.Contract
+			return true
+		}
+	}
+	return false
+}
+
+func (p *pi1Party) recvOpening(inbox []sim.Message) (uint64, bool) {
+	for _, m := range inbox {
+		om, ok := m.Payload.(openMsg)
+		if !ok || m.From != p.other() {
+			continue
+		}
+		if !commitment.Verify(p.theirC, om.Opening) {
+			return 0, false
+		}
+		return decodeSig(om.Opening.Message)
+	}
+	return 0, false
+}
+
+func (p *pi1Party) Output() (sim.Value, bool) {
+	if !p.done {
+		return nil, false
+	}
+	return p.result, true
+}
+
+func (p *pi1Party) Clone() sim.Party { cp := *p; return &cp }

@@ -1,0 +1,12 @@
+package contract
+
+import "encoding/gob"
+
+// RegisterGobTypes registers the Π1/Π2 wire payloads and output type
+// with encoding/gob, for running the protocols over the transport
+// package's TCP sessions. Safe to call multiple times.
+func RegisterGobTypes() {
+	gob.Register(commitMsg{})
+	gob.Register(openMsg{})
+	gob.Register(Pair{})
+}

@@ -1,0 +1,193 @@
+package contract
+
+import (
+	"math/rand"
+
+	"repro/internal/crypto/commitment"
+	"repro/internal/sim"
+)
+
+// Pi2 is the coin-toss-ordered protocol Π2: as Π1, but the order of the
+// contract openings is decided by a Blum coin toss, halving the best
+// attacker's advantage.
+type Pi2 struct{}
+
+var _ sim.Protocol = Pi2{}
+
+// Name implements sim.Protocol.
+func (Pi2) Name() string { return "Pi2-contract" }
+
+// NumParties implements sim.Protocol.
+func (Pi2) NumParties() int { return 2 }
+
+// NumRounds implements sim.Protocol: commitments, coin openings, first
+// contract opening, second contract opening.
+func (Pi2) NumRounds() int { return 4 }
+
+// Func implements sim.Protocol.
+func (Pi2) Func(inputs []sim.Value) sim.Value { return pairFunc(inputs) }
+
+// DefaultInput implements sim.Protocol (see Pi1.DefaultInput).
+func (Pi2) DefaultInput(sim.PartyID) sim.Value { return uint64(0) }
+
+// Setup implements sim.Protocol: Π2 has no hybrid phase.
+func (Pi2) Setup([]sim.Value, *rand.Rand) ([]sim.Value, error) { return nil, nil }
+
+// NewParty implements sim.Protocol. The contract commitment, the random
+// coin bit, and its commitment are all drawn here (Clone safety).
+func (Pi2) NewParty(id sim.PartyID, input sim.Value, _ sim.Value, _ bool, rng *rand.Rand) (sim.Party, error) {
+	sig, _ := input.(uint64)
+	cc, co, err := commitment.Commit(rng, encodeSig(sig))
+	if err != nil {
+		return nil, err
+	}
+	bit := byte(rng.Intn(2))
+	bc, bo, err := commitment.Commit(rng, []byte{bit})
+	if err != nil {
+		return nil, err
+	}
+	return &pi2Party{
+		id: id, sig: sig, coin: bit,
+		contractCommit: cc, contractOpen: co,
+		coinCommit: bc, coinOpen: bo,
+	}, nil
+}
+
+type pi2Party struct {
+	id   sim.PartyID
+	sig  uint64
+	coin byte
+
+	contractCommit commitment.Commitment
+	contractOpen   commitment.Opening
+	coinCommit     commitment.Commitment
+	coinOpen       commitment.Opening
+
+	theirContractC commitment.Commitment
+	theirCoinC     commitment.Commitment
+
+	// first is the party that opens its contract first (valid once the
+	// coin toss completed).
+	first  sim.PartyID
+	tossed bool
+
+	result Pair
+	done   bool
+	failed bool
+}
+
+func (p *pi2Party) other() sim.PartyID { return sim.PartyID(3 - int(p.id)) }
+
+func (p *pi2Party) Round(round int, inbox []sim.Message) ([]sim.Message, error) {
+	if p.failed {
+		return nil, nil
+	}
+	switch round {
+	case 1:
+		// Exchange contract and coin commitments.
+		return []sim.Message{{From: p.id, To: p.other(),
+			Payload: commitMsg{Contract: p.contractCommit, Coin: p.coinCommit}}}, nil
+	case 2:
+		// Receive commitments; open the coin commitment (single round,
+		// both parties simultaneously).
+		if !p.recvCommits(inbox) {
+			p.failed = true
+			return nil, nil
+		}
+		return []sim.Message{{From: p.id, To: p.other(), Payload: openMsg{Opening: p.coinOpen}}}, nil
+	case 3:
+		// Verify the counterparty's coin opening, derive the order, and
+		// open the contract if we go first.
+		theirBit, ok := p.recvCoinOpening(inbox)
+		if !ok {
+			p.failed = true
+			return nil, nil
+		}
+		b := (p.coin ^ theirBit) & 1
+		p.first = sim.PartyID(1 + int(b))
+		p.tossed = true
+		if p.first == p.id {
+			return []sim.Message{{From: p.id, To: p.other(), Payload: openMsg{Opening: p.contractOpen}}}, nil
+		}
+	case 4:
+		// The second opener verifies the first opening and responds; the
+		// first opener idles this round.
+		if p.tossed && p.first != p.id {
+			theirSig, ok := p.recvContractOpening(inbox)
+			if !ok {
+				p.failed = true
+				return nil, nil
+			}
+			p.setResult(theirSig)
+			return []sim.Message{{From: p.id, To: p.other(), Payload: openMsg{Opening: p.contractOpen}}}, nil
+		}
+	case 5:
+		// The first opener verifies the second opening.
+		if p.tossed && p.first == p.id {
+			theirSig, ok := p.recvContractOpening(inbox)
+			if !ok {
+				p.failed = true
+				return nil, nil
+			}
+			p.setResult(theirSig)
+		}
+	}
+	return nil, nil
+}
+
+func (p *pi2Party) setResult(theirSig uint64) {
+	if p.id == 1 {
+		p.result = Pair{S1: p.sig, S2: theirSig}
+	} else {
+		p.result = Pair{S1: theirSig, S2: p.sig}
+	}
+	p.done = true
+}
+
+func (p *pi2Party) recvCommits(inbox []sim.Message) bool {
+	for _, m := range inbox {
+		if cm, ok := m.Payload.(commitMsg); ok && m.From == p.other() {
+			p.theirContractC = cm.Contract
+			p.theirCoinC = cm.Coin
+			return len(cm.Contract) > 0 && len(cm.Coin) > 0
+		}
+	}
+	return false
+}
+
+func (p *pi2Party) recvCoinOpening(inbox []sim.Message) (byte, bool) {
+	for _, m := range inbox {
+		om, ok := m.Payload.(openMsg)
+		if !ok || m.From != p.other() {
+			continue
+		}
+		if !commitment.Verify(p.theirCoinC, om.Opening) || len(om.Opening.Message) != 1 {
+			return 0, false
+		}
+		return om.Opening.Message[0] & 1, true
+	}
+	return 0, false
+}
+
+func (p *pi2Party) recvContractOpening(inbox []sim.Message) (uint64, bool) {
+	for _, m := range inbox {
+		om, ok := m.Payload.(openMsg)
+		if !ok || m.From != p.other() {
+			continue
+		}
+		if !commitment.Verify(p.theirContractC, om.Opening) {
+			return 0, false
+		}
+		return decodeSig(om.Opening.Message)
+	}
+	return 0, false
+}
+
+func (p *pi2Party) Output() (sim.Value, bool) {
+	if !p.done {
+		return nil, false
+	}
+	return p.result, true
+}
+
+func (p *pi2Party) Clone() sim.Party { cp := *p; return &cp }

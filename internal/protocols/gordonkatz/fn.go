@@ -1,0 +1,82 @@
+// Package gordonkatz implements the 1/p-secure ("partially fair")
+// protocols of Gordon and Katz analysed in Section 5 and Appendix C of
+// the paper:
+//
+//   - PolyDomain — the protocol for functions where one party's input
+//     domain has polynomial size ([GK10] §3.2): a ShareGen hybrid deals
+//     authenticated sharings of r = p·|Y| value pairs (a_i, b_i); before
+//     a uniformly random switch round i* the values are "fake"
+//     (f evaluated on a freshly random counterpart input), from i* on
+//     they are the real output. The parties alternately open the
+//     sharings; on abort, the victim outputs its last reconstructed
+//     value. Theorem 23: the protocol realizes the randomized-abort
+//     functionality F_sfe^$ and bounds the attacker utility by 1/p for
+//     the payoff vector ~γ = (0, 0, 1, 0).
+//
+//   - PolyRange — the variant for functions with polynomial-size range
+//     ([GK10] §3.3, Theorem 24): fake values are drawn uniformly from
+//     the range, with r = p²·|Z| rounds.
+//
+//   - Pitilde (Π̃, Appendix C.5) — the "leaky AND" protocol that is
+//     1/2-secure and fully private by the Gordon–Katz definitions yet
+//     leaks p1's input with probability 1/4 on a malicious first
+//     message; it separates 1/p-security from the paper's utility-based
+//     notion (Lemmas 26/27).
+//
+// The protocols implement sim.LearnedAuditor: whether the adversary
+// "learned" the output is decided by the hidden switch round i*, not by
+// value coincidence — exactly the event bookkeeping of the paper's
+// simulators for F_sfe^$.
+package gordonkatz
+
+import "fmt"
+
+// TwoPartyFn is a two-party function with explicit finite domains.
+type TwoPartyFn struct {
+	// Name labels the function.
+	Name string
+	// XDomain and YDomain enumerate the parties' input domains.
+	XDomain, YDomain []uint64
+	// Range enumerates the output range (used by PolyRange).
+	Range []uint64
+	// Eval is the reference semantics.
+	Eval func(x, y uint64) uint64
+	// Default1 and Default2 are the default inputs.
+	Default1, Default2 uint64
+}
+
+// Validate checks the function description.
+func (f TwoPartyFn) Validate() error {
+	if len(f.XDomain) == 0 || len(f.YDomain) == 0 {
+		return fmt.Errorf("gordonkatz: %s: empty domain", f.Name)
+	}
+	if f.Eval == nil {
+		return fmt.Errorf("gordonkatz: %s: nil Eval", f.Name)
+	}
+	return nil
+}
+
+// AND is the boolean conjunction x ∧ y — the paper's running example in
+// Appendix C.5.
+func AND() TwoPartyFn {
+	return TwoPartyFn{
+		Name:    "and",
+		XDomain: []uint64{0, 1},
+		YDomain: []uint64{0, 1},
+		Range:   []uint64{0, 1},
+		Eval:    func(x, y uint64) uint64 { return x & y },
+	}
+}
+
+// Lookup4 is a 4-value lookup f(x, y) = (x + 3·y) mod 4 — a function with
+// a slightly larger (still polynomial) domain and range, exercising the
+// r = p·|Y| round scaling.
+func Lookup4() TwoPartyFn {
+	return TwoPartyFn{
+		Name:    "lookup4",
+		XDomain: []uint64{0, 1, 2, 3},
+		YDomain: []uint64{0, 1, 2, 3},
+		Range:   []uint64{0, 1, 2, 3},
+		Eval:    func(x, y uint64) uint64 { return (x + 3*y) % 4 },
+	}
+}

@@ -1,0 +1,382 @@
+package gordonkatz
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/crypto/share"
+	"repro/internal/field"
+	"repro/internal/sim"
+)
+
+// fakeMode selects how pre-switch values are generated.
+type fakeMode int
+
+const (
+	// fakeByDomain: a_i = f(x, ŷ), b_i = f(x̂, y) with uniform ŷ, x̂
+	// (the poly-domain protocol).
+	fakeByDomain fakeMode = iota + 1
+	// fakeByRange: fake values uniform over the output range (the
+	// poly-range protocol).
+	fakeByRange
+)
+
+// Protocol is a Gordon–Katz iterated-reveal protocol in the ShareGen-
+// hybrid model. Engine round 2i−1 carries p2's opening of p1's i-th
+// value a_i; round 2i carries p1's opening of p2's i-th value b_i —
+// within each iteration p1 learns first, as in [GK10].
+type Protocol struct {
+	Fn TwoPartyFn
+	// P is the fairness parameter: utility ≤ 1/P under ~γ = (0,0,1,0).
+	P int
+	// Iterations is the number of value pairs r.
+	Iterations int
+	mode       fakeMode
+}
+
+var (
+	_ sim.Protocol       = Protocol{}
+	_ sim.OutcomeAuditor = Protocol{}
+)
+
+// ErrBadParam is returned for nonsensical parameters.
+var ErrBadParam = errors.New("gordonkatz: p must be ≥ 1")
+
+// NewPolyDomain builds the [GK10] §3.2 protocol: r = p·|Y| iterations.
+func NewPolyDomain(fn TwoPartyFn, p int) (Protocol, error) {
+	if err := fn.Validate(); err != nil {
+		return Protocol{}, err
+	}
+	if p < 1 {
+		return Protocol{}, ErrBadParam
+	}
+	return Protocol{Fn: fn, P: p, Iterations: p * len(fn.YDomain), mode: fakeByDomain}, nil
+}
+
+// NewPolyRange builds the [GK10] §3.3 protocol: r = p²·|Z| iterations.
+func NewPolyRange(fn TwoPartyFn, p int) (Protocol, error) {
+	if err := fn.Validate(); err != nil {
+		return Protocol{}, err
+	}
+	if p < 1 {
+		return Protocol{}, ErrBadParam
+	}
+	if len(fn.Range) == 0 {
+		return Protocol{}, fmt.Errorf("gordonkatz: %s: empty range", fn.Name)
+	}
+	return Protocol{Fn: fn, P: p, Iterations: p * p * len(fn.Range), mode: fakeByRange}, nil
+}
+
+// Name implements sim.Protocol.
+func (p Protocol) Name() string {
+	kind := "polydomain"
+	if p.mode == fakeByRange {
+		kind = "polyrange"
+	}
+	return fmt.Sprintf("gk-%s-%s-p%d", kind, p.Fn.Name, p.P)
+}
+
+// NumParties implements sim.Protocol.
+func (Protocol) NumParties() int { return 2 }
+
+// NumRounds implements sim.Protocol: two engine rounds per iteration.
+func (p Protocol) NumRounds() int { return 2 * p.Iterations }
+
+// Func implements sim.Protocol.
+func (p Protocol) Func(inputs []sim.Value) sim.Value {
+	x, _ := inputs[0].(uint64)
+	y, _ := inputs[1].(uint64)
+	return p.Fn.Eval(x, y)
+}
+
+// DefaultInput implements sim.Protocol.
+func (p Protocol) DefaultInput(id sim.PartyID) sim.Value {
+	if id == 1 {
+		return p.Fn.Default1
+	}
+	return p.Fn.Default2
+}
+
+// gkSetupOut is one party's ShareGen output: for each iteration, its
+// half of the sharing it will reconstruct (mine) and its half of the
+// sharing it must open toward the counterparty (theirs).
+type gkSetupOut struct {
+	Mine   []share.AuthShare
+	Theirs []share.AuthShare
+}
+
+// gkAudit is the hidden audit state: the switch round.
+type gkAudit struct {
+	IStar int
+}
+
+// Setup implements sim.Protocol: the ShareGen functionality.
+func (p Protocol) Setup(inputs []sim.Value, rng *rand.Rand) ([]sim.Value, error) {
+	x, _ := inputs[0].(uint64)
+	y, _ := inputs[1].(uint64)
+	real := p.Fn.Eval(x, y)
+	if real >= field.Modulus {
+		return nil, fmt.Errorf("gordonkatz: output %d exceeds field", real)
+	}
+	istar := 1 + rng.Intn(p.Iterations)
+
+	out1 := gkSetupOut{}
+	out2 := gkSetupOut{}
+	for i := 1; i <= p.Iterations; i++ {
+		ai, bi := real, real
+		if i < istar {
+			ai, bi = p.fakePair(x, y, rng)
+		}
+		a1, a2, err := share.AuthDeal(rng, field.Element(ai))
+		if err != nil {
+			return nil, fmt.Errorf("gordonkatz: setup: %w", err)
+		}
+		b1, b2, err := share.AuthDeal(rng, field.Element(bi))
+		if err != nil {
+			return nil, fmt.Errorf("gordonkatz: setup: %w", err)
+		}
+		// p1 reconstructs the a-sequence and opens the b-sequence.
+		out1.Mine = append(out1.Mine, a1)
+		out1.Theirs = append(out1.Theirs, b1)
+		// p2 reconstructs the b-sequence and opens the a-sequence.
+		out2.Mine = append(out2.Mine, b2)
+		out2.Theirs = append(out2.Theirs, a2)
+	}
+	return []sim.Value{out1, out2, gkAudit{IStar: istar}}, nil
+}
+
+// fakePair draws the pre-switch values per the protocol variant.
+func (p Protocol) fakePair(x, y uint64, rng *rand.Rand) (uint64, uint64) {
+	switch p.mode {
+	case fakeByRange:
+		return p.Fn.Range[rng.Intn(len(p.Fn.Range))], p.Fn.Range[rng.Intn(len(p.Fn.Range))]
+	default:
+		yhat := p.Fn.YDomain[rng.Intn(len(p.Fn.YDomain))]
+		xhat := p.Fn.XDomain[rng.Intn(len(p.Fn.XDomain))]
+		return p.Fn.Eval(x, yhat), p.Fn.Eval(xhat, y)
+	}
+}
+
+// NewParty implements sim.Protocol. The F_sfe^$ replacement value (used
+// when the counterparty aborts before any reconstruction) is pre-drawn
+// here from the distribution Y_i(x_i) of Appendix C.2.
+func (p Protocol) NewParty(id sim.PartyID, input sim.Value, out sim.Value, aborted bool, rng *rand.Rand) (sim.Party, error) {
+	x, _ := input.(uint64)
+	a, b := p.fakePair(x, x, rng) // only the own-input side is used below
+	replacement := a
+	if id == 2 {
+		replacement = b
+	}
+	m := &gkParty{id: id, input: x, fn: p.Fn, iters: p.Iterations, setupAborted: aborted, replacement: replacement}
+	if !aborted {
+		so, ok := out.(gkSetupOut)
+		if !ok {
+			return nil, fmt.Errorf("gordonkatz: party %d: bad setup output %T", id, out)
+		}
+		m.setup = so
+	}
+	return m, nil
+}
+
+// gkParty is one Gordon–Katz machine. It also serves, with a round
+// offset, as the second stage of the leaky protocol Π̃.
+type gkParty struct {
+	id           sim.PartyID
+	input        uint64
+	fn           TwoPartyFn
+	iters        int
+	setupAborted bool
+	setup        gkSetupOut
+	// offset shifts the engine round numbering (used by Π̃).
+	offset int
+	// replacement is the pre-drawn F_sfe^$ random-replacement value.
+	replacement uint64
+
+	lastIter int    // last successfully reconstructed iteration
+	lastVal  uint64 // its value
+	done     bool   // terminated (abort or completion)
+	failed   bool   // counterpart aborted
+}
+
+var _ sim.AuditedParty = (*gkParty)(nil)
+
+func (m *gkParty) other() sim.PartyID { return sim.PartyID(3 - int(m.id)) }
+
+// fallbackOutput is the value adopted on an abort before any successful
+// reconstruction: a fresh draw from the F_sfe^$ replacement distribution
+// (after a ShareGen abort the default-input evaluation is used instead,
+// matching the simulator that substitutes the default input).
+func (m *gkParty) fallbackOutput() uint64 {
+	if m.setupAborted {
+		if m.id == 1 {
+			return m.fn.Eval(m.input, m.fn.Default2)
+		}
+		return m.fn.Eval(m.fn.Default1, m.input)
+	}
+	return m.replacement
+}
+
+func (m *gkParty) Round(round int, inbox []sim.Message) ([]sim.Message, error) {
+	if m.setupAborted {
+		if !m.done {
+			m.lastVal, m.done = m.fallbackOutput(), true
+		}
+		return nil, nil
+	}
+	r := round - m.offset
+	if r < 1 || m.failed || m.done && r > 2*m.iters {
+		return nil, nil
+	}
+	odd := r%2 == 1
+	iter := (r + 1) / 2 // iteration this engine round belongs to
+
+	if m.id == 2 && odd {
+		// p2: reconstruct b_{iter−1} (sent by p1 last round), then open
+		// a_iter toward p1.
+		if iter > 1 && !m.reconstruct(iter-1, inbox) {
+			m.abort()
+			return nil, nil
+		}
+		if iter > m.iters {
+			// Past the last iteration: the final reconstruct concluded.
+			m.done = true
+			return nil, nil
+		}
+		return []sim.Message{{From: m.id, To: m.other(), Payload: gkOpen{Iter: iter, Open: m.setup.Theirs[iter-1].Open()}}}, nil
+	}
+	if m.id == 1 && !odd {
+		// p1: reconstruct a_iter (sent by p2 last round), then open
+		// b_iter toward p2.
+		if !m.reconstruct(iter, inbox) {
+			m.abort()
+			return nil, nil
+		}
+		if iter == m.iters {
+			m.done = true
+		}
+		return []sim.Message{{From: m.id, To: m.other(), Payload: gkOpen{Iter: iter, Open: m.setup.Theirs[iter-1].Open()}}}, nil
+	}
+	return nil, nil
+}
+
+// gkOpen is an iteration opening.
+type gkOpen struct {
+	Iter int
+	Open share.OpenMsg
+}
+
+func (m *gkParty) reconstruct(iter int, inbox []sim.Message) bool {
+	for _, msg := range inbox {
+		op, ok := msg.Payload.(gkOpen)
+		if !ok || msg.From != m.other() || op.Iter != iter {
+			continue
+		}
+		v, err := share.AuthReconstruct(m.setup.Mine[iter-1], op.Open)
+		if err != nil {
+			return false
+		}
+		m.lastIter, m.lastVal = iter, v.Uint64()
+		return true
+	}
+	return false
+}
+
+// abort finalizes the machine with its last reconstructed value.
+func (m *gkParty) abort() {
+	m.failed, m.done = true, true
+	if m.lastIter == 0 {
+		m.lastVal = m.fallbackOutput()
+	}
+}
+
+func (m *gkParty) Output() (sim.Value, bool) {
+	// The machine always has a value: the last reconstructed one, or the
+	// default-input fallback (never ⊥ — F_sfe^$ replaces, not erases).
+	if m.setupAborted && !m.done {
+		return nil, false
+	}
+	if !m.done && m.lastIter == 0 {
+		return nil, false
+	}
+	if !m.done {
+		return m.lastVal, true
+	}
+	return m.lastVal, true
+}
+
+func (m *gkParty) Clone() sim.Party {
+	cp := *m
+	return &cp
+}
+
+// AuditInfo implements sim.AuditedParty: the last reconstructed
+// iteration.
+func (m *gkParty) AuditInfo() sim.Value { return m.lastIter }
+
+// AuditOutcome implements sim.OutcomeAuditor, reconstructing the ideal-
+// world events of the F_sfe^$ simulator from the hidden switch round i*
+// and the honest machines' iteration counters:
+//
+//   - corrupted p1 saw a_1..a_k where k = (honest p2's lastIter) + 1
+//     (p2 opens a_k before it can detect p1's abort of iteration k), so
+//     it learned iff k ≥ i*;
+//   - corrupted p2 saw b_1..b_j where j = honest p1's lastIter (p1 only
+//     opens b_j after successfully reconstructing a_j), so it learned
+//     iff j ≥ i*;
+//   - an honest party's output is real iff its lastIter ≥ i*, a random
+//     F_sfe^$ replacement iff 0 ≤ lastIter < i* (with lastIter = 0 the
+//     replacement draw happens at abort time), and a default-input
+//     evaluation only after a ShareGen abort.
+func (p Protocol) AuditOutcome(tr *sim.Trace) sim.OutcomeAudit {
+	audit, ok := tr.SetupAudit.(gkAudit)
+	if !ok {
+		return sim.OutcomeAudit{}
+	}
+	t := tr.NumCorrupted()
+	if tr.SetupAborted {
+		// Honest parties evaluated on the default input: delivery.
+		return sim.OutcomeAudit{Delivered: allOK(tr)}
+	}
+	switch t {
+	case 0:
+		return sim.OutcomeAudit{Delivered: allOK(tr)}
+	case 2:
+		return sim.OutcomeAudit{Learned: true, LearnedValue: tr.HybridOutput, Delivered: true}
+	}
+	out := sim.OutcomeAudit{}
+	honest := sim.PartyID(2)
+	if tr.Corrupted[2] {
+		honest = 1
+	}
+	last, _ := tr.HonestAudits[honest].(int)
+	if honest == 2 {
+		// Corrupted p1 saw a_{last+1}.
+		out.Learned = last+1 >= audit.IStar
+	} else {
+		// Corrupted p2 saw b_last.
+		out.Learned = last >= audit.IStar
+	}
+	if out.Learned {
+		out.LearnedValue = tr.HybridOutput
+	}
+	switch {
+	case !allOK(tr):
+		// ⊥ output (should not occur for this protocol family).
+	case last >= audit.IStar:
+		out.Delivered = true
+	default:
+		out.RandomReplaced = true
+	}
+	return out
+}
+
+// allOK reports whether every honest party produced a non-⊥ output.
+func allOK(tr *sim.Trace) bool {
+	for _, rec := range tr.HonestOutputs {
+		if !rec.OK {
+			return false
+		}
+	}
+	return true
+}

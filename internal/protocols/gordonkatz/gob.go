@@ -1,0 +1,16 @@
+package gordonkatz
+
+import "encoding/gob"
+
+// RegisterGobTypes registers the Gordon–Katz protocols' wire payloads,
+// setup outputs, and output type with encoding/gob, for running them
+// over the transport package's TCP sessions. Safe to call multiple
+// times.
+func RegisterGobTypes() {
+	gob.Register(gkSetupOut{})
+	gob.Register(gkOpen{})
+	gob.Register(leakMsg{})
+	gob.Register(mpSetupOut{})
+	gob.Register(mpShareMsg{})
+	gob.Register(uint64(0))
+}

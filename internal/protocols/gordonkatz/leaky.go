@@ -1,0 +1,222 @@
+package gordonkatz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Pitilde is the "leaky AND" protocol Π̃ of Appendix C.5, computing
+// x1 ∧ x2:
+//
+//	round 1: p2 sends a 0-bit to p1;
+//	round 2: if p2 sent a 1-bit instead, p1 tosses a biased coin C with
+//	         Pr[C=1] = 1/4 and sends its input x1 to p2 if C = 1 (an
+//	         empty message otherwise);
+//	then the parties run the standard 1/4-secure protocol for AND.
+//
+// Lemma 27: Π̃ is both 1/2-secure and fully private by the Gordon–Katz
+// definitions. Lemma 26: it does not realize even the weakened F_sfe^$ —
+// the LeakExtractor below obtains p1's input with probability 1/4,
+// a breach no simulator can produce. Π̃ separates 1/p-security from the
+// paper's utility-based notion.
+type Pitilde struct {
+	gk Protocol
+}
+
+var (
+	_ sim.Protocol       = Pitilde{}
+	_ sim.OutcomeAuditor = Pitilde{}
+)
+
+// leakOffset is the number of leak-phase rounds before the embedded
+// 1/4-secure protocol starts.
+const leakOffset = 2
+
+// NewPitilde builds Π̃.
+func NewPitilde() (Pitilde, error) {
+	gk, err := NewPolyDomain(AND(), 4)
+	if err != nil {
+		return Pitilde{}, err
+	}
+	return Pitilde{gk: gk}, nil
+}
+
+// Name implements sim.Protocol.
+func (Pitilde) Name() string { return "gk-pitilde-and" }
+
+// NumParties implements sim.Protocol.
+func (Pitilde) NumParties() int { return 2 }
+
+// NumRounds implements sim.Protocol: the two leak rounds plus the
+// embedded protocol.
+func (p Pitilde) NumRounds() int { return leakOffset + p.gk.NumRounds() }
+
+// Func implements sim.Protocol.
+func (p Pitilde) Func(inputs []sim.Value) sim.Value { return p.gk.Func(inputs) }
+
+// DefaultInput implements sim.Protocol.
+func (p Pitilde) DefaultInput(id sim.PartyID) sim.Value { return p.gk.DefaultInput(id) }
+
+// Setup implements sim.Protocol: the embedded protocol's ShareGen.
+func (p Pitilde) Setup(inputs []sim.Value, rng *rand.Rand) ([]sim.Value, error) {
+	return p.gk.Setup(inputs, rng)
+}
+
+// AuditOutcome implements sim.OutcomeAuditor, delegating to the embedded
+// protocol (the leak phase releases an input, not the output).
+func (p Pitilde) AuditOutcome(tr *sim.Trace) sim.OutcomeAudit { return p.gk.AuditOutcome(tr) }
+
+// leakMsg is a leak-phase message.
+type leakMsg struct {
+	// Bit is p2's first-round bit.
+	Bit byte
+	// HasInput marks p1's leaked-input response.
+	HasInput bool
+	// Input is p1's input when HasInput.
+	Input uint64
+}
+
+// NewParty implements sim.Protocol. p1's biased coin is drawn here.
+func (p Pitilde) NewParty(id sim.PartyID, input sim.Value, out sim.Value, aborted bool, rng *rand.Rand) (sim.Party, error) {
+	inner, err := p.gk.NewParty(id, input, out, aborted, rng)
+	if err != nil {
+		return nil, err
+	}
+	gp, ok := inner.(*gkParty)
+	if !ok {
+		return nil, fmt.Errorf("gordonkatz: unexpected inner machine %T", inner)
+	}
+	gp.offset = leakOffset
+	x, _ := input.(uint64)
+	return &pitildeParty{id: id, input: x, coinLeaks: rng.Intn(4) == 0, inner: gp}, nil
+}
+
+type pitildeParty struct {
+	id        sim.PartyID
+	input     uint64
+	coinLeaks bool // Pr 1/4
+	sawOneBit bool
+	inner     *gkParty
+}
+
+func (m *pitildeParty) Round(round int, inbox []sim.Message) ([]sim.Message, error) {
+	switch round {
+	case 1:
+		if m.id == 2 {
+			return []sim.Message{{From: 2, To: 1, Payload: leakMsg{Bit: 0}}}, nil
+		}
+		return nil, nil
+	case 2:
+		if m.id == 1 {
+			for _, msg := range inbox {
+				if lm, ok := msg.Payload.(leakMsg); ok && msg.From == 2 && lm.Bit == 1 {
+					m.sawOneBit = true
+				}
+			}
+			if m.sawOneBit && m.coinLeaks {
+				return []sim.Message{{From: 1, To: 2, Payload: leakMsg{HasInput: true, Input: m.input}}}, nil
+			}
+			if m.sawOneBit {
+				return []sim.Message{{From: 1, To: 2, Payload: leakMsg{}}}, nil
+			}
+		}
+		return nil, nil
+	default:
+		return m.inner.Round(round, inbox)
+	}
+}
+
+func (m *pitildeParty) Output() (sim.Value, bool) { return m.inner.Output() }
+
+// AuditInfo implements sim.AuditedParty, forwarding the embedded
+// machine's iteration counter.
+func (m *pitildeParty) AuditInfo() sim.Value { return m.inner.AuditInfo() }
+
+func (m *pitildeParty) Clone() sim.Party {
+	cp := *m
+	cp.inner = m.inner.Clone().(*gkParty)
+	return &cp
+}
+
+// LeakExtractor is the Lemma 26 attack on Π̃: corrupt p2, send a 1-bit in
+// round 1, and read p1's input off the round-2 response when the biased
+// coin cooperates (probability 1/4). The rest of the protocol is played
+// honestly. The engine verifies the extraction claim against p1's true
+// input; a verified claim marks the trace as a privacy breach — an event
+// no simulator for F_sfe^$ (or any of the paper's functionalities) can
+// produce.
+type LeakExtractor struct {
+	machine   sim.Party
+	extracted uint64
+	hasInput  bool
+	learned   sim.Value
+	learnedOK bool
+}
+
+var (
+	_ sim.Adversary      = (*LeakExtractor)(nil)
+	_ sim.InputExtractor = (*LeakExtractor)(nil)
+)
+
+// NewLeakExtractor builds the attack.
+func NewLeakExtractor() *LeakExtractor { return &LeakExtractor{} }
+
+// Reset implements sim.Adversary.
+func (l *LeakExtractor) Reset(*sim.AdvContext) {
+	l.machine, l.extracted, l.hasInput = nil, 0, false
+	l.learned, l.learnedOK = nil, false
+}
+
+// InitialCorruptions implements sim.Adversary.
+func (l *LeakExtractor) InitialCorruptions() []sim.PartyID { return []sim.PartyID{2} }
+
+// SubstituteInput implements sim.Adversary.
+func (l *LeakExtractor) SubstituteInput(_ sim.PartyID, orig sim.Value) sim.Value { return orig }
+
+// ObserveSetup implements sim.Adversary.
+func (l *LeakExtractor) ObserveSetup(map[sim.PartyID]sim.Value) bool { return false }
+
+// CorruptBefore implements sim.Adversary.
+func (l *LeakExtractor) CorruptBefore(int) []sim.PartyID { return nil }
+
+// OnCorrupt implements sim.Adversary.
+func (l *LeakExtractor) OnCorrupt(_ sim.PartyID, m sim.Party, _ sim.Value) { l.machine = m }
+
+// Act implements sim.Adversary.
+func (l *LeakExtractor) Act(round int, inboxes map[sim.PartyID][]sim.Message, _ []sim.Message) []sim.Message {
+	// Watch for the leaked input.
+	for _, msg := range inboxes[2] {
+		if lm, ok := msg.Payload.(leakMsg); ok && lm.HasInput {
+			l.extracted, l.hasInput = lm.Input, true
+		}
+	}
+	if round == 1 {
+		// Deviate: send the 1-bit.
+		return []sim.Message{{From: 2, To: 1, Payload: leakMsg{Bit: 1}}}
+	}
+	// Otherwise run the machine honestly.
+	if l.machine == nil {
+		return nil
+	}
+	out, err := l.machine.Round(round, inboxes[2])
+	if err != nil {
+		return nil
+	}
+	if v, ok := l.machine.Output(); ok {
+		l.learned, l.learnedOK = v, true
+	}
+	for i := range out {
+		out[i].From = 2
+	}
+	return out
+}
+
+// Learned implements sim.Adversary.
+func (l *LeakExtractor) Learned() (sim.Value, bool) { return l.learned, l.learnedOK }
+
+// ExtractedInput implements sim.InputExtractor.
+func (l *LeakExtractor) ExtractedInput() (sim.PartyID, sim.Value, bool) {
+	return 1, l.extracted, l.hasInput
+}

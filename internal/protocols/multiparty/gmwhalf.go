@@ -1,0 +1,160 @@
+package multiparty
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/crypto/mac"
+	"repro/internal/crypto/share"
+	"repro/internal/field"
+	"repro/internal/sim"
+)
+
+// GMWHalf is Π_GMW^{1/2} (Lemma 17): the traditionally fair
+// honest-majority protocol. Its hybrid computes a ⌈n/2⌉-out-of-n
+// verifiable secret sharing of the output, which is then publicly
+// reconstructed by a single broadcast round.
+//
+//   - t < ⌈n/2⌉ corruptions: full security including fairness and
+//     guaranteed output delivery — the coalition can neither learn the
+//     output early nor block the honest majority's reconstruction
+//     (best utility γ11, and the setup phase is not even abortable).
+//   - t ≥ ⌈n/2⌉: the coalition holds enough shares to reconstruct
+//     privately and enough weight to block the public reconstruction —
+//     the attacker earns γ10 with probability 1.
+//
+// Consequently the per-t utility profile is a step function and, for
+// even n, the utility sum over t = 1..n−1 strictly exceeds the balanced
+// bound (n−1)(γ10+γ11)/2: traditional fairness is not utility-balanced.
+type GMWHalf struct {
+	Fn Function
+}
+
+var (
+	_ sim.Protocol         = GMWHalf{}
+	_ sim.SetupAbortPolicy = GMWHalf{}
+)
+
+// NewGMWHalf builds Π_GMW^{1/2} for fn.
+func NewGMWHalf(fn Function) GMWHalf { return GMWHalf{Fn: fn} }
+
+// Name implements sim.Protocol.
+func (p GMWHalf) Name() string { return "nSFE-gmw12-" + p.Fn.Name }
+
+// NumParties implements sim.Protocol.
+func (p GMWHalf) NumParties() int { return p.Fn.N }
+
+// NumRounds implements sim.Protocol: the public reconstruction round.
+func (GMWHalf) NumRounds() int { return 1 }
+
+// Threshold is the reconstruction threshold ⌈n/2⌉.
+func (p GMWHalf) Threshold() int { return (p.Fn.N + 1) / 2 }
+
+// SetupAbortable implements sim.SetupAbortPolicy: the honest-majority
+// hybrid guarantees output delivery below n/2 corruptions.
+func (p GMWHalf) SetupAbortable(corrupted int) bool {
+	return corrupted >= p.Threshold()
+}
+
+// Func implements sim.Protocol.
+func (p GMWHalf) Func(inputs []sim.Value) sim.Value {
+	xs := make([]uint64, len(inputs))
+	for i, v := range inputs {
+		xs[i], _ = v.(uint64)
+	}
+	return p.Fn.Eval(xs)
+}
+
+// DefaultInput implements sim.Protocol.
+func (p GMWHalf) DefaultInput(id sim.PartyID) sim.Value {
+	if int(id) >= 1 && int(id) <= len(p.Fn.Defaults) {
+		return p.Fn.Defaults[id-1]
+	}
+	return uint64(0)
+}
+
+// gmwSetupOut is one party's output of the VSS hybrid.
+type gmwSetupOut struct {
+	Share share.VerifiableShare
+	Key   mac.ByteKey
+	T     int
+}
+
+// shareMsg is the broadcast of the reconstruction round.
+type shareMsg struct {
+	Share share.VerifiableShare
+}
+
+// Setup implements sim.Protocol: deal the output verifiably.
+func (p GMWHalf) Setup(inputs []sim.Value, rng *rand.Rand) ([]sim.Value, error) {
+	y, ok := p.Func(inputs).(uint64)
+	if !ok {
+		return nil, errors.New("multiparty: non-integer function output")
+	}
+	if y >= field.Modulus {
+		return nil, ErrOutputRange
+	}
+	vs, err := share.VerifiableDeal(rng, field.Element(y), p.Threshold(), p.Fn.N)
+	if err != nil {
+		return nil, fmt.Errorf("multiparty: gmw setup: %w", err)
+	}
+	outs := make([]sim.Value, p.Fn.N)
+	for i := range outs {
+		outs[i] = gmwSetupOut{Share: vs.Shares[i], Key: vs.Key, T: vs.T}
+	}
+	return outs, nil
+}
+
+// NewParty implements sim.Protocol.
+func (p GMWHalf) NewParty(id sim.PartyID, _ sim.Value, out sim.Value, aborted bool, _ *rand.Rand) (sim.Party, error) {
+	m := &gmwMachine{id: id, aborted: aborted}
+	if !aborted {
+		so, ok := out.(gmwSetupOut)
+		if !ok {
+			return nil, fmt.Errorf("multiparty: party %d: bad setup output %T", id, out)
+		}
+		m.setup = so
+	}
+	return m, nil
+}
+
+type gmwMachine struct {
+	id      sim.PartyID
+	aborted bool
+	setup   gmwSetupOut
+	result  uint64
+	done    bool
+}
+
+func (m *gmwMachine) Round(round int, inbox []sim.Message) ([]sim.Message, error) {
+	if m.aborted {
+		return nil, nil
+	}
+	switch round {
+	case 1:
+		return []sim.Message{{From: m.id, To: sim.Broadcast, Payload: shareMsg{Share: m.setup.Share}}}, nil
+	case 2:
+		announced := []share.VerifiableShare{m.setup.Share}
+		for _, msg := range inbox {
+			if sm, ok := msg.Payload.(shareMsg); ok {
+				announced = append(announced, sm.Share)
+			}
+		}
+		y, err := share.VerifiableReconstruct(m.setup.Key, m.setup.T, announced)
+		if err != nil {
+			return nil, nil // blocked reconstruction → ⊥
+		}
+		m.result, m.done = y.Uint64(), true
+	}
+	return nil, nil
+}
+
+func (m *gmwMachine) Output() (sim.Value, bool) {
+	if !m.done {
+		return nil, false
+	}
+	return m.result, true
+}
+
+func (m *gmwMachine) Clone() sim.Party { cp := *m; return &cp }

@@ -1,0 +1,16 @@
+package multiparty
+
+import "encoding/gob"
+
+// RegisterGobTypes registers the multi-party protocols' wire payloads,
+// setup outputs, and output type with encoding/gob, for running them
+// over the transport package's TCP sessions. Safe to call multiple
+// times.
+func RegisterGobTypes() {
+	gob.Register(optnSetupOut{})
+	gob.Register(outMsg{})
+	gob.Register(gmwSetupOut{})
+	gob.Register(shareMsg{})
+	gob.Register(zeroMsg{})
+	gob.Register(uint64(0))
+}

@@ -1,0 +1,65 @@
+package multiparty
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Hybrid is the protocol Π0 of Appendix B.1: it runs Π_GMW^{1/2} when the
+// number of parties is odd and ΠOpt-nSFE when it is even. For odd n the
+// GMW per-t utility sum happens to meet the balanced bound exactly, so Π0
+// is utility-balanced for every n — but it is NOT optimally ~γ-fair,
+// because for odd n an adversary corrupting ⌈n/2⌉ parties earns γ10,
+// exceeding ΠOpt-nSFE's ceiling ((n−1)γ10 + γ11)/n. Π0 separates the two
+// optimality notions in one direction; Lemma18 separates the other.
+type Hybrid struct {
+	inner sim.Protocol
+}
+
+var (
+	_ sim.Protocol         = Hybrid{}
+	_ sim.SetupAbortPolicy = Hybrid{}
+)
+
+// NewHybrid builds Π0 for fn.
+func NewHybrid(fn Function) Hybrid {
+	if fn.N%2 == 1 {
+		return Hybrid{inner: NewGMWHalf(fn)}
+	}
+	return Hybrid{inner: NewOptN(fn)}
+}
+
+// Name implements sim.Protocol.
+func (p Hybrid) Name() string { return "nSFE-hybrid0(" + p.inner.Name() + ")" }
+
+// NumParties implements sim.Protocol.
+func (p Hybrid) NumParties() int { return p.inner.NumParties() }
+
+// NumRounds implements sim.Protocol.
+func (p Hybrid) NumRounds() int { return p.inner.NumRounds() }
+
+// Func implements sim.Protocol.
+func (p Hybrid) Func(inputs []sim.Value) sim.Value { return p.inner.Func(inputs) }
+
+// DefaultInput implements sim.Protocol.
+func (p Hybrid) DefaultInput(id sim.PartyID) sim.Value { return p.inner.DefaultInput(id) }
+
+// Setup implements sim.Protocol.
+func (p Hybrid) Setup(inputs []sim.Value, rng *rand.Rand) ([]sim.Value, error) {
+	return p.inner.Setup(inputs, rng)
+}
+
+// NewParty implements sim.Protocol.
+func (p Hybrid) NewParty(id sim.PartyID, input, out sim.Value, aborted bool, rng *rand.Rand) (sim.Party, error) {
+	return p.inner.NewParty(id, input, out, aborted, rng)
+}
+
+// SetupAbortable implements sim.SetupAbortPolicy, delegating to the
+// inner protocol's policy when it has one.
+func (p Hybrid) SetupAbortable(corrupted int) bool {
+	if policy, ok := p.inner.(sim.SetupAbortPolicy); ok {
+		return policy.SetupAbortable(corrupted)
+	}
+	return true
+}

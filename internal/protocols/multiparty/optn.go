@@ -1,0 +1,166 @@
+package multiparty
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/crypto/sig"
+	"repro/internal/field"
+	"repro/internal/sim"
+)
+
+// OptN is ΠOpt-nSFE: phase 1 evaluates the private-output functionality
+// F_priv-sfe^⊥ (a uniformly random party p_{i*} receives the output y
+// together with a signature σ on it; everyone receives the verification
+// key), and phase 2 is a single broadcast round in which every party
+// announces its private value; a validly signed broadcast value is
+// adopted, otherwise everyone aborts.
+//
+// Lemma 11: every t-adversary earns at most (t·γ10 + (n−t)·γ11)/n.
+// Lemma 13: for the concatenation function, the mixed all-but-one
+// adversary earns ((n−1)·γ10 + γ11)/n, so OptN is optimally ~γ-fair; by
+// Lemmas 14/16 it is also utility-balanced.
+type OptN struct {
+	Fn Function
+}
+
+var _ sim.Protocol = OptN{}
+
+// NewOptN builds ΠOpt-nSFE for fn.
+func NewOptN(fn Function) OptN { return OptN{Fn: fn} }
+
+// Name implements sim.Protocol.
+func (p OptN) Name() string { return "nSFE-opt-" + p.Fn.Name }
+
+// NumParties implements sim.Protocol.
+func (p OptN) NumParties() int { return p.Fn.N }
+
+// NumRounds implements sim.Protocol: the single broadcast round.
+func (OptN) NumRounds() int { return 1 }
+
+// Func implements sim.Protocol.
+func (p OptN) Func(inputs []sim.Value) sim.Value {
+	xs := make([]uint64, len(inputs))
+	for i, v := range inputs {
+		xs[i], _ = v.(uint64)
+	}
+	return p.Fn.Eval(xs)
+}
+
+// DefaultInput implements sim.Protocol.
+func (p OptN) DefaultInput(id sim.PartyID) sim.Value {
+	if int(id) >= 1 && int(id) <= len(p.Fn.Defaults) {
+		return p.Fn.Defaults[id-1]
+	}
+	return uint64(0)
+}
+
+// optnSetupOut is F_priv-sfe^⊥'s private output for one party.
+type optnSetupOut struct {
+	// HasOutput marks the randomly chosen p_{i*}.
+	HasOutput bool
+	Y         uint64
+	Sigma     sig.Signature
+	VK        sig.VerificationKey
+}
+
+// outMsg is the broadcast of phase 2.
+type outMsg struct {
+	HasOutput bool
+	Y         uint64
+	Sigma     sig.Signature
+}
+
+// ErrOutputRange is returned when f's output does not fit the field.
+var ErrOutputRange = errors.New("multiparty: function output exceeds field modulus")
+
+// Setup implements sim.Protocol: F_priv-sfe^⊥ (Appendix B).
+func (p OptN) Setup(inputs []sim.Value, rng *rand.Rand) ([]sim.Value, error) {
+	y, ok := p.Func(inputs).(uint64)
+	if !ok {
+		return nil, errors.New("multiparty: non-integer function output")
+	}
+	if y >= field.Modulus {
+		return nil, ErrOutputRange
+	}
+	vk, sk, err := sig.Gen(rng)
+	if err != nil {
+		return nil, fmt.Errorf("multiparty: setup: %w", err)
+	}
+	sigma, err := sig.Sign(sk, encodeOutput(y))
+	if err != nil {
+		return nil, fmt.Errorf("multiparty: setup: %w", err)
+	}
+	istar := rng.Intn(p.Fn.N)
+	outs := make([]sim.Value, p.Fn.N)
+	for i := range outs {
+		so := optnSetupOut{VK: vk}
+		if i == istar {
+			so.HasOutput, so.Y, so.Sigma = true, y, sigma
+		}
+		outs[i] = so
+	}
+	return outs, nil
+}
+
+// NewParty implements sim.Protocol.
+func (p OptN) NewParty(id sim.PartyID, _ sim.Value, out sim.Value, aborted bool, _ *rand.Rand) (sim.Party, error) {
+	m := &optnMachine{id: id, aborted: aborted}
+	if !aborted {
+		so, ok := out.(optnSetupOut)
+		if !ok {
+			return nil, fmt.Errorf("multiparty: party %d: bad setup output %T", id, out)
+		}
+		m.setup = so
+	}
+	return m, nil
+}
+
+type optnMachine struct {
+	id      sim.PartyID
+	aborted bool
+	setup   optnSetupOut
+	result  uint64
+	done    bool
+}
+
+func (m *optnMachine) Round(round int, inbox []sim.Message) ([]sim.Message, error) {
+	if m.aborted {
+		// "If Π_GMW aborts then ΠOpt-nSFE also aborts."
+		return nil, nil
+	}
+	switch round {
+	case 1:
+		return []sim.Message{{From: m.id, To: sim.Broadcast, Payload: outMsg{
+			HasOutput: m.setup.HasOutput,
+			Y:         m.setup.Y,
+			Sigma:     m.setup.Sigma,
+		}}}, nil
+	case 2:
+		for _, msg := range inbox {
+			om, ok := msg.Payload.(outMsg)
+			if !ok || !om.HasOutput {
+				continue
+			}
+			if sig.Ver(m.setup.VK, encodeOutput(om.Y), om.Sigma) {
+				m.result, m.done = om.Y, true
+				return nil, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+func (m *optnMachine) Output() (sim.Value, bool) {
+	if !m.done {
+		return nil, false
+	}
+	return m.result, true
+}
+
+func (m *optnMachine) Clone() sim.Party { cp := *m; return &cp }
+
+func encodeOutput(y uint64) []byte {
+	return field.Element(y).Bytes()
+}

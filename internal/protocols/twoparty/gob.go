@@ -1,0 +1,16 @@
+package twoparty
+
+import (
+	"encoding/gob"
+
+	"repro/internal/crypto/share"
+)
+
+// RegisterGobTypes registers ΠOpt-2SFE's wire payloads, setup outputs,
+// and output type with encoding/gob, for running the protocol over the
+// transport package's TCP sessions. Safe to call multiple times.
+func RegisterGobTypes() {
+	gob.Register(setupOut{})
+	gob.Register(share.OpenMsg{})
+	gob.Register(uint64(0))
+}

@@ -1,0 +1,123 @@
+package twoparty
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/crypto/share"
+	"repro/internal/field"
+	"repro/internal/sim"
+)
+
+// OneRound is the single-reconstruction-round protocol ruled out by
+// Lemma 10: after the unfair SFE phase deals the authenticated sharing,
+// both parties open their shares simultaneously in one round. A rushing
+// adversary receives the honest opening, sends nothing, and reconstructs
+// — earning γ10 with probability 1. It exists to demonstrate that two
+// reconstruction rounds (Lemma 9) are necessary, not just sufficient.
+type OneRound struct {
+	Fn Function
+}
+
+var _ sim.Protocol = OneRound{}
+
+// NewOneRound builds the protocol.
+func NewOneRound(fn Function) OneRound { return OneRound{Fn: fn} }
+
+// Name implements sim.Protocol.
+func (p OneRound) Name() string { return "2SFE-oneround-" + p.Fn.Name }
+
+// NumParties implements sim.Protocol.
+func (OneRound) NumParties() int { return 2 }
+
+// NumRounds implements sim.Protocol: the single simultaneous opening.
+func (OneRound) NumRounds() int { return 1 }
+
+// Func implements sim.Protocol.
+func (p OneRound) Func(inputs []sim.Value) sim.Value { return Protocol{Fn: p.Fn}.Func(inputs) }
+
+// DefaultInput implements sim.Protocol.
+func (p OneRound) DefaultInput(id sim.PartyID) sim.Value {
+	return Protocol{Fn: p.Fn}.DefaultInput(id)
+}
+
+// Setup implements sim.Protocol: deal the authenticated sharing (no
+// order index — the opening is simultaneous).
+func (p OneRound) Setup(inputs []sim.Value, rng *rand.Rand) ([]sim.Value, error) {
+	y, ok := p.Func(inputs).(uint64)
+	if !ok {
+		return nil, errors.New("twoparty: non-integer function output")
+	}
+	if y >= field.Modulus {
+		return nil, ErrOutputRange
+	}
+	s1, s2, err := share.AuthDeal(rng, field.Element(y))
+	if err != nil {
+		return nil, fmt.Errorf("twoparty: oneround setup: %w", err)
+	}
+	return []sim.Value{setupOut{Share: s1}, setupOut{Share: s2}}, nil
+}
+
+// NewParty implements sim.Protocol.
+func (p OneRound) NewParty(id sim.PartyID, input sim.Value, out sim.Value, aborted bool, _ *rand.Rand) (sim.Party, error) {
+	x, _ := input.(uint64)
+	m := &oneRoundMachine{id: id, input: x, fn: p.Fn, setupAborted: aborted}
+	if !aborted {
+		so, ok := out.(setupOut)
+		if !ok {
+			return nil, fmt.Errorf("twoparty: party %d: bad setup output %T", id, out)
+		}
+		m.share = so.Share
+	}
+	return m, nil
+}
+
+type oneRoundMachine struct {
+	id           sim.PartyID
+	input        uint64
+	fn           Function
+	setupAborted bool
+	share        share.AuthShare
+	result       uint64
+	done         bool
+}
+
+func (m *oneRoundMachine) Round(round int, inbox []sim.Message) ([]sim.Message, error) {
+	if m.setupAborted {
+		if round == 1 && !m.done {
+			if m.id == 1 {
+				m.result = m.fn.Eval(m.input, m.fn.Default2)
+			} else {
+				m.result = m.fn.Eval(m.fn.Default1, m.input)
+			}
+			m.done = true
+		}
+		return nil, nil
+	}
+	other := sim.PartyID(3 - int(m.id))
+	switch round {
+	case 1:
+		return []sim.Message{{From: m.id, To: other, Payload: m.share.Open()}}, nil
+	case 2:
+		for _, msg := range inbox {
+			open, ok := msg.Payload.(share.OpenMsg)
+			if !ok || msg.From != other {
+				continue
+			}
+			if y, err := share.AuthReconstruct(m.share, open); err == nil {
+				m.result, m.done = y.Uint64(), true
+			}
+		}
+	}
+	return nil, nil
+}
+
+func (m *oneRoundMachine) Output() (sim.Value, bool) {
+	if !m.done {
+		return nil, false
+	}
+	return m.result, true
+}
+
+func (m *oneRoundMachine) Clone() sim.Party { cp := *m; return &cp }

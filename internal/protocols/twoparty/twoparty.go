@@ -1,0 +1,280 @@
+// Package twoparty implements ΠOpt-2SFE, the optimally ~γ-fair two-party
+// SFE protocol of Section 4.1, plus a deliberately unfair fixed-order
+// variant used as the comparison baseline in the experiments.
+//
+// The protocol evaluates a function f in two phases:
+//
+//  1. An adaptively secure but unfair SFE (the Π_GMW hybrid, here the
+//     engine's Setup phase) computes f′: it evaluates y = f(x1, x2),
+//     produces an authenticated two-out-of-two sharing ⟨y⟩ (Appendix A),
+//     and draws a uniformly random index i ∈ {1, 2}. Party p_j receives
+//     (⟨y⟩_j, i). If this phase aborts, the honest party substitutes the
+//     default input for the corrupted party and computes f locally.
+//
+//  2. Two reconstruction rounds: the sharing is first reconstructed
+//     toward p_i (round 1), then toward p_¬i (round 2). If p_¬i fails to
+//     send a valid share in round 1, p_i computes f locally on the
+//     default input; if p_i fails in round 2, p_¬i outputs ⊥.
+//
+// Theorem 3: no adversary earns more than (γ10+γ11)/2 + negl. Theorem 4:
+// for the swap function this is tight for every protocol.
+package twoparty
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/crypto/share"
+	"repro/internal/field"
+	"repro/internal/sim"
+)
+
+// Function is the two-party function the protocol evaluates. Outputs must
+// fit in the field GF(2^61−1).
+type Function struct {
+	// Name labels the function in traces.
+	Name string
+	// Eval is the reference semantics (single global output, wlog).
+	Eval func(x1, x2 uint64) uint64
+	// Default1 and Default2 are the default inputs substituted for an
+	// aborting party.
+	Default1, Default2 uint64
+}
+
+// SwapBits is the input width of the swap function below.
+const SwapBits = 30
+
+// Swap is the paper's swap function f_swp(x1, x2) = (x2, x1), packed into
+// a single global output x2·2^30 + x1 (Appendix A treats the multi-output
+// case via the standard one-time-pad embedding; packing both halves into
+// the global output is the same device). Theorem 4's lower bound is
+// proved for this function.
+func Swap() Function {
+	return Function{
+		Name: "swap",
+		Eval: func(x1, x2 uint64) uint64 {
+			mask := uint64(1)<<SwapBits - 1
+			return (x2&mask)<<SwapBits | (x1 & mask)
+		},
+	}
+}
+
+// Millionaires is [x1 > x2] — a small-range function used by examples.
+func Millionaires() Function {
+	return Function{
+		Name: "millionaires",
+		Eval: func(x1, x2 uint64) uint64 {
+			if x1 > x2 {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+// setupOut is one party's private output of the f′ hybrid.
+type setupOut struct {
+	Share share.AuthShare
+	First sim.PartyID
+}
+
+// Protocol is ΠOpt-2SFE (FixedFirst == 0) or its unfair fixed-order
+// variant (FixedFirst ∈ {1, 2}), which always reconstructs toward the
+// same party first and therefore grants its best attacker γ10 — the
+// baseline showing what optimality buys.
+type Protocol struct {
+	Fn Function
+	// FixedFirst, when 1 or 2, pins the reconstruction order instead of
+	// drawing i uniformly.
+	FixedFirst int
+	// FirstBias, when in (0, 1), draws i = 1 with that probability
+	// instead of uniformly — the order-selection ablation knob. The
+	// uniform choice q = 1/2 minimizes the best attacker's utility
+	// max{q, 1−q}·γ10 + min{q, 1−q}·γ11 (experiment E13).
+	FirstBias float64
+}
+
+var _ sim.Protocol = Protocol{}
+
+// New returns the optimally fair protocol for fn.
+func New(fn Function) Protocol { return Protocol{Fn: fn} }
+
+// NewFixedOrder returns the unfair baseline reconstructing toward party
+// first every time.
+func NewFixedOrder(fn Function, first int) Protocol {
+	return Protocol{Fn: fn, FixedFirst: first}
+}
+
+// NewBiasedOrder returns the ablation variant that reconstructs toward
+// p1 first with probability q in (0, 1).
+func NewBiasedOrder(fn Function, q float64) Protocol {
+	return Protocol{Fn: fn, FirstBias: q}
+}
+
+// Name implements sim.Protocol.
+func (p Protocol) Name() string {
+	if p.FixedFirst != 0 {
+		return fmt.Sprintf("2SFE-fixed%d-%s", p.FixedFirst, p.Fn.Name)
+	}
+	if p.FirstBias > 0 && p.FirstBias < 1 {
+		return fmt.Sprintf("2SFE-biased%.2f-%s", p.FirstBias, p.Fn.Name)
+	}
+	return "2SFE-opt-" + p.Fn.Name
+}
+
+// NumParties implements sim.Protocol.
+func (Protocol) NumParties() int { return 2 }
+
+// NumRounds implements sim.Protocol: the two reconstruction rounds.
+func (Protocol) NumRounds() int { return 2 }
+
+// Func implements sim.Protocol.
+func (p Protocol) Func(inputs []sim.Value) sim.Value {
+	x1, _ := inputs[0].(uint64)
+	x2, _ := inputs[1].(uint64)
+	return p.Fn.Eval(x1, x2)
+}
+
+// DefaultInput implements sim.Protocol.
+func (p Protocol) DefaultInput(id sim.PartyID) sim.Value {
+	if id == 1 {
+		return p.Fn.Default1
+	}
+	return p.Fn.Default2
+}
+
+// ErrOutputRange is returned when f's output does not fit in the field.
+var ErrOutputRange = errors.New("twoparty: function output exceeds field modulus")
+
+// Setup implements sim.Protocol: the f′ hybrid of phase 1.
+func (p Protocol) Setup(inputs []sim.Value, rng *rand.Rand) ([]sim.Value, error) {
+	y, ok := p.Func(inputs).(uint64)
+	if !ok {
+		return nil, errors.New("twoparty: non-integer function output")
+	}
+	if y >= field.Modulus {
+		return nil, ErrOutputRange
+	}
+	s1, s2, err := share.AuthDeal(rng, field.Element(y))
+	if err != nil {
+		return nil, fmt.Errorf("twoparty: setup: %w", err)
+	}
+	first := sim.PartyID(1 + rng.Intn(2))
+	if p.FirstBias > 0 && p.FirstBias < 1 {
+		first = 2
+		if rng.Float64() < p.FirstBias {
+			first = 1
+		}
+	}
+	if p.FixedFirst == 1 || p.FixedFirst == 2 {
+		first = sim.PartyID(p.FixedFirst)
+	}
+	return []sim.Value{
+		setupOut{Share: s1, First: first},
+		setupOut{Share: s2, First: first},
+	}, nil
+}
+
+// NewParty implements sim.Protocol.
+func (p Protocol) NewParty(id sim.PartyID, input sim.Value, out sim.Value, aborted bool, _ *rand.Rand) (sim.Party, error) {
+	x, _ := input.(uint64)
+	m := &machine{id: id, input: x, fn: p.Fn, setupAborted: aborted}
+	if !aborted {
+		so, ok := out.(setupOut)
+		if !ok {
+			return nil, fmt.Errorf("twoparty: party %d: bad setup output %T", id, out)
+		}
+		m.share = so.Share
+		m.first = so.First
+	}
+	return m, nil
+}
+
+type machine struct {
+	id           sim.PartyID
+	input        uint64
+	fn           Function
+	setupAborted bool
+
+	share share.AuthShare
+	first sim.PartyID
+
+	result uint64
+	done   bool
+}
+
+func (m *machine) other() sim.PartyID { return sim.PartyID(3 - int(m.id)) }
+
+// localFallback evaluates f on the default input for the counterparty.
+func (m *machine) localFallback() {
+	if m.id == 1 {
+		m.result = m.fn.Eval(m.input, m.fn.Default2)
+	} else {
+		m.result = m.fn.Eval(m.fn.Default1, m.input)
+	}
+	m.done = true
+}
+
+func (m *machine) Round(round int, inbox []sim.Message) ([]sim.Message, error) {
+	if m.setupAborted {
+		// Phase-1 abort: local evaluation with the default input.
+		if round == 1 && !m.done {
+			m.localFallback()
+		}
+		return nil, nil
+	}
+	switch round {
+	case 1:
+		// p_¬i opens its share toward p_i.
+		if m.id != m.first {
+			return []sim.Message{{From: m.id, To: m.other(), Payload: m.share.Open()}}, nil
+		}
+	case 2:
+		// p_i reconstructs; on success it opens toward p_¬i, on failure
+		// it computes f locally with the default input (second round
+		// omitted).
+		if m.id == m.first {
+			y, ok := m.reconstruct(inbox)
+			if !ok {
+				m.localFallback()
+				return nil, nil
+			}
+			m.result, m.done = y, true
+			return []sim.Message{{From: m.id, To: m.other(), Payload: m.share.Open()}}, nil
+		}
+	case 3:
+		// p_¬i reconstructs; on failure it outputs ⊥ (the output is
+		// already out — only an ideal-world abort is simulatable).
+		if m.id != m.first {
+			if y, ok := m.reconstruct(inbox); ok {
+				m.result, m.done = y, true
+			}
+		}
+	}
+	return nil, nil
+}
+
+func (m *machine) reconstruct(inbox []sim.Message) (uint64, bool) {
+	for _, msg := range inbox {
+		open, ok := msg.Payload.(share.OpenMsg)
+		if !ok || msg.From != m.other() {
+			continue
+		}
+		y, err := share.AuthReconstruct(m.share, open)
+		if err != nil {
+			return 0, false
+		}
+		return y.Uint64(), true
+	}
+	return 0, false
+}
+
+func (m *machine) Output() (sim.Value, bool) {
+	if !m.done {
+		return nil, false
+	}
+	return m.result, true
+}
+
+func (m *machine) Clone() sim.Party { cp := *m; return &cp }

@@ -1,0 +1,199 @@
+// Package rpdgame implements the attack game of the Rational Protocol
+// Design framework [GKMTZ13] that the paper's definitions instantiate:
+// a two-party sequential zero-sum game with perfect information between a
+// protocol designer D (who moves first, publishing Π) and an attacker A
+// (who observes Π and picks the utility-maximizing strategy).
+//
+// The paper's footnote 1 observes that its optimally fair protocols
+// "imply an equilibrium in the attack meta-game": with the attacker
+// best-responding, the designer's minimax choice is an optimally fair
+// protocol, and the game value is the paper's optimal utility. This
+// package provides the game-theoretic machinery to verify that claim
+// numerically (experiment E14): pure-strategy backward induction for the
+// sequential game, plus fictitious play for the simultaneous-move
+// variant's mixed equilibria.
+package rpdgame
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a zero-sum game in attacker-payoff form: Payoff[i][j] is the
+// attacker's utility when the designer plays row i (a protocol) and the
+// attacker plays column j (a strategy). The designer's payoff is the
+// negation (the game is zero-sum by definition in RPD).
+type Matrix struct {
+	// RowNames label the designer's choices (protocols).
+	RowNames []string
+	// ColNames label the attacker's strategies.
+	ColNames []string
+	// Payoff is the attacker-utility matrix, len(RowNames) ×
+	// len(ColNames).
+	Payoff [][]float64
+}
+
+// Errors returned by the solvers.
+var (
+	ErrEmpty  = errors.New("rpdgame: empty game")
+	ErrRagged = errors.New("rpdgame: ragged payoff matrix")
+)
+
+// Validate checks the matrix shape.
+func (m Matrix) Validate() error {
+	if len(m.Payoff) == 0 || len(m.ColNames) == 0 {
+		return ErrEmpty
+	}
+	if len(m.Payoff) != len(m.RowNames) {
+		return fmt.Errorf("%w: %d rows, %d row names", ErrRagged, len(m.Payoff), len(m.RowNames))
+	}
+	for i, row := range m.Payoff {
+		if len(row) != len(m.ColNames) {
+			return fmt.Errorf("%w: row %d has %d entries, want %d", ErrRagged, i, len(row), len(m.ColNames))
+		}
+	}
+	return nil
+}
+
+// BestResponse returns the attacker's utility-maximizing column against
+// row i, with its value.
+func (m Matrix) BestResponse(row int) (col int, value float64) {
+	value = math.Inf(-1)
+	for j, u := range m.Payoff[row] {
+		if u > value {
+			col, value = j, u
+		}
+	}
+	return col, value
+}
+
+// Solution is the backward-induction outcome of the sequential game.
+type Solution struct {
+	// Row is the designer's minimax protocol choice.
+	Row int
+	// Col is the attacker's best response to it.
+	Col int
+	// Value is the game value (the attacker's equilibrium utility — the
+	// paper's "optimal fairness" level).
+	Value float64
+}
+
+// SolveSequential performs backward induction: for each protocol the
+// attacker best-responds; the designer picks the protocol minimizing the
+// attacker's best-response utility. With perfect information and the
+// designer moving first, pure strategies are optimal.
+func (m Matrix) SolveSequential() (Solution, error) {
+	if err := m.Validate(); err != nil {
+		return Solution{}, err
+	}
+	best := Solution{Row: -1, Value: math.Inf(1)}
+	for i := range m.Payoff {
+		j, v := m.BestResponse(i)
+		if v < best.Value {
+			best = Solution{Row: i, Col: j, Value: v}
+		}
+	}
+	return best, nil
+}
+
+// MixedSolution is an approximate equilibrium of the simultaneous-move
+// variant.
+type MixedSolution struct {
+	// RowStrategy and ColStrategy are the empirical mixed strategies.
+	RowStrategy, ColStrategy []float64
+	// Value is the approximate game value (attacker utility).
+	Value float64
+	// Iterations is the fictitious-play round count.
+	Iterations int
+}
+
+// FictitiousPlay approximates the mixed minimax equilibrium of the
+// simultaneous zero-sum game by Brown–Robinson fictitious play: both
+// players repeatedly best-respond to the opponent's empirical mixture.
+// For zero-sum games the empirical mixtures converge to the equilibrium;
+// the returned value lies within O(1/√iters) of the true game value.
+func (m Matrix) FictitiousPlay(iters int) (MixedSolution, error) {
+	if err := m.Validate(); err != nil {
+		return MixedSolution{}, err
+	}
+	if iters < 1 {
+		return MixedSolution{}, errors.New("rpdgame: need at least one iteration")
+	}
+	rows, cols := len(m.RowNames), len(m.ColNames)
+	rowCounts := make([]float64, rows)
+	colCounts := make([]float64, cols)
+	// Cumulative payoffs: attacker's for each column, designer's
+	// (negated attacker) for each row.
+	colScore := make([]float64, cols) // attacker cumulative utility per column
+	rowScore := make([]float64, rows) // attacker cumulative utility per row (designer minimizes)
+
+	row, col := 0, 0
+	for it := 0; it < iters; it++ {
+		rowCounts[row]++
+		colCounts[col]++
+		for j := 0; j < cols; j++ {
+			colScore[j] += m.Payoff[row][j]
+		}
+		for i := 0; i < rows; i++ {
+			rowScore[i] += m.Payoff[i][col]
+		}
+		// Attacker best-responds to the designer's empirical mixture.
+		col = argmax(colScore)
+		// Designer best-responds (minimizes attacker utility).
+		row = argmin(rowScore)
+	}
+	total := float64(iters)
+	rs := make([]float64, rows)
+	cs := make([]float64, cols)
+	for i := range rs {
+		rs[i] = rowCounts[i] / total
+	}
+	for j := range cs {
+		cs[j] = colCounts[j] / total
+	}
+	return MixedSolution{
+		RowStrategy: rs,
+		ColStrategy: cs,
+		Value:       guaranteeOf(m.Payoff, rs),
+		Iterations:  iters,
+	}, nil
+}
+
+// guaranteeOf is the designer-side security value of a mixed protocol
+// choice: the attacker's best response to the mixture. (The bilinear
+// product of both empirical mixtures lags below the game value because
+// the attacker's mixture still contains its early exploratory moves.)
+func guaranteeOf(payoff [][]float64, rs []float64) float64 {
+	best := math.Inf(-1)
+	for j := range payoff[0] {
+		var v float64
+		for i, row := range payoff {
+			v += rs[i] * row[j]
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func argmax(vs []float64) int {
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range vs {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+func argmin(vs []float64) int {
+	best, bestV := 0, math.Inf(1)
+	for i, v := range vs {
+		if v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,142 @@
+package rpdgame
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func fairnessToyGame() Matrix {
+	// Attacker utilities from the paper's running examples (γ = (0,0,1,½)):
+	// rows: Π1, Π2, fixed-order 2SFE, ΠOpt-2SFE;
+	// cols: lock-abort-p1, lock-abort-p2, passive.
+	return Matrix{
+		RowNames: []string{"Pi1", "Pi2", "fixed2", "opt2SFE"},
+		ColNames: []string{"lock-p1", "lock-p2", "passive"},
+		Payoff: [][]float64{
+			{0.50, 1.00, 0},
+			{0.75, 0.75, 0},
+			{0.50, 1.00, 0},
+			{0.75, 0.75, 0},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := fairnessToyGame().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Matrix{}).Validate(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v", err)
+	}
+	bad := fairnessToyGame()
+	bad.Payoff[1] = bad.Payoff[1][:1]
+	if err := bad.Validate(); !errors.Is(err, ErrRagged) {
+		t.Errorf("ragged: %v", err)
+	}
+	missing := fairnessToyGame()
+	missing.RowNames = missing.RowNames[:2]
+	if err := missing.Validate(); !errors.Is(err, ErrRagged) {
+		t.Errorf("row-name mismatch: %v", err)
+	}
+}
+
+func TestBestResponse(t *testing.T) {
+	g := fairnessToyGame()
+	col, v := g.BestResponse(0)
+	if col != 1 || v != 1.0 {
+		t.Errorf("best response to Π1 = (%d, %v), want (1, 1.0)", col, v)
+	}
+	col, v = g.BestResponse(1)
+	if v != 0.75 {
+		t.Errorf("best response to Π2 value %v, want 0.75", v)
+	}
+	_ = col
+}
+
+func TestSolveSequentialPicksOptimalProtocol(t *testing.T) {
+	g := fairnessToyGame()
+	sol, err := g.SolveSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != 0.75 {
+		t.Errorf("game value = %v, want 0.75 (the paper's optimum)", sol.Value)
+	}
+	name := g.RowNames[sol.Row]
+	if name != "Pi2" && name != "opt2SFE" {
+		t.Errorf("designer picked %s, want an optimally fair protocol", name)
+	}
+}
+
+func TestSolveSequentialErrors(t *testing.T) {
+	if _, err := (Matrix{}).SolveSequential(); err == nil {
+		t.Error("empty game solved")
+	}
+}
+
+func TestFictitiousPlayMatchingPennies(t *testing.T) {
+	// Classic: value 0, both mix 50/50.
+	g := Matrix{
+		RowNames: []string{"H", "T"},
+		ColNames: []string{"h", "t"},
+		Payoff:   [][]float64{{1, -1}, {-1, 1}},
+	}
+	sol, err := g.FictitiousPlay(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Value) > 0.02 {
+		t.Errorf("value = %v, want ≈ 0", sol.Value)
+	}
+	for i, p := range sol.RowStrategy {
+		if math.Abs(p-0.5) > 0.05 {
+			t.Errorf("row %d prob %v, want ≈ 0.5", i, p)
+		}
+	}
+}
+
+func TestFictitiousPlaySaddlePoint(t *testing.T) {
+	// A game with a pure saddle point: value 2 at (row 1, col 0).
+	g := Matrix{
+		RowNames: []string{"r0", "r1"},
+		ColNames: []string{"c0", "c1"},
+		Payoff:   [][]float64{{3, 5}, {2, 1}},
+	}
+	sol, err := g.FictitiousPlay(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Value-2) > 0.05 {
+		t.Errorf("value = %v, want ≈ 2", sol.Value)
+	}
+	if sol.RowStrategy[1] < 0.95 {
+		t.Errorf("designer should settle on r1, got %v", sol.RowStrategy)
+	}
+}
+
+func TestFictitiousPlayAgreesWithSequentialOnToyGame(t *testing.T) {
+	g := fairnessToyGame()
+	seq, err := g.SolveSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := g.FictitiousPlay(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-sum with designer-favourable rows available: the simultaneous
+	// value cannot exceed the sequential one and here they coincide.
+	if math.Abs(fp.Value-seq.Value) > 0.03 {
+		t.Errorf("fp value %v vs sequential %v", fp.Value, seq.Value)
+	}
+}
+
+func TestFictitiousPlayErrors(t *testing.T) {
+	if _, err := (Matrix{}).FictitiousPlay(10); err == nil {
+		t.Error("empty game")
+	}
+	if _, err := fairnessToyGame().FictitiousPlay(0); err == nil {
+		t.Error("zero iterations")
+	}
+}

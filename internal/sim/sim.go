@@ -1,0 +1,534 @@
+// Package sim is the synchronous protocol-execution engine underlying all
+// fairness experiments. It follows the model the paper works in (Canetti's
+// synchronous MPC model with guaranteed termination):
+//
+//   - Parties are deterministic machines advanced in lockstep rounds and
+//     connected by bilateral secure channels plus an authenticated
+//     broadcast channel.
+//   - The adversary is rushing: in every round it observes the honest
+//     parties' messages to corrupted parties (and all broadcasts) before
+//     choosing the corrupted parties' own messages.
+//   - Corruption is adaptive: before any round the adversary may corrupt
+//     further parties, receiving their full internal state (the machine
+//     object itself).
+//   - Protocols may begin with a hybrid setup phase (the paper's
+//     F-hybrid model): an ideal functionality computes per-party private
+//     outputs from the (possibly substituted) inputs; the adversary sees
+//     the corrupted parties' setup outputs and may abort the setup,
+//     modeling an abort of the unfair SFE protocol Π_GMW of phase 1.
+//
+// Every run is driven by a single seed, making experiments reproducible.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+)
+
+// PartyID identifies a party, 1-based as in the paper (p1, p2, …, pn).
+type PartyID int
+
+// Broadcast is the pseudo-recipient for broadcast messages.
+const Broadcast PartyID = 0
+
+// Value is a protocol input or output. Implementations use comparable
+// types (integers, strings, small structs); equality is checked with
+// reflect.DeepEqual.
+type Value any
+
+// ValuesEqual compares two values structurally.
+func ValuesEqual(a, b Value) bool { return reflect.DeepEqual(a, b) }
+
+// Message is a round message. To == Broadcast delivers to every party and
+// is visible to the adversary.
+type Message struct {
+	From    PartyID
+	To      PartyID
+	Payload any
+}
+
+// Party is one protocol machine. The engine calls Round for r = 1..R+1
+// where R is the protocol's NumRounds: the extra final call delivers the
+// last round's messages so the machine can finalize its output (it should
+// send nothing then). A missing expected message models an abort by the
+// sender; machines must handle empty inboxes per their protocol's spec.
+//
+// Machines must draw all randomness during construction (in NewParty):
+// Round must be deterministic given the machine state and inbox, so that
+// Clone yields an independent machine (clones must not share live RNG
+// state with the original).
+type Party interface {
+	// Round consumes the messages delivered this round and returns the
+	// messages to send. Errors are protocol-implementation defects, not
+	// adversarial events.
+	Round(round int, inbox []Message) ([]Message, error)
+	// Output returns the machine's final output; ok=false means ⊥.
+	Output() (Value, bool)
+	// Clone deep-copies the machine, enabling adversarial lookahead
+	// ("would this party output if everyone else went silent?").
+	Clone() Party
+}
+
+// Protocol describes a protocol to the engine.
+type Protocol interface {
+	// Name identifies the protocol in traces and reports.
+	Name() string
+	// NumParties returns n.
+	NumParties() int
+	// NumRounds returns the number of message rounds after setup.
+	NumRounds() int
+	// Func is the ideal function the protocol evaluates (single global
+	// output, wlog, as in the paper).
+	Func(inputs []Value) Value
+	// DefaultInput is the value honest parties substitute for a party
+	// that aborted (the paper's "default value").
+	DefaultInput(id PartyID) Value
+	// Setup runs the hybrid phase on the effective inputs, returning one
+	// private output per party (index id-1), or nil if the protocol has
+	// no hybrid. A protocol may return n+1 values; the extra last value
+	// is hidden audit state recorded in the trace (never shown to any
+	// party or the adversary). Errors are defects, not adversarial
+	// aborts.
+	Setup(inputs []Value, rng *rand.Rand) ([]Value, error)
+	// NewParty builds party id's machine. setupOut is its private setup
+	// output (nil without a hybrid); setupAborted tells the machine the
+	// hybrid phase was aborted by the adversary.
+	NewParty(id PartyID, input Value, setupOut Value, setupAborted bool, rng *rand.Rand) (Party, error)
+}
+
+// AdvContext gives the adversary its (worst-case environment) knowledge:
+// in RPD the environment colludes with the attacker, so lower-bound
+// strategies may know all inputs and the true output.
+type AdvContext struct {
+	Protocol   Protocol
+	Inputs     []Value
+	TrueOutput Value
+	RNG        *rand.Rand
+}
+
+// Adversary is an attack strategy. Implementations live in package
+// adversary; the zero-corruption "honest" strategy is in this package for
+// engine tests.
+type Adversary interface {
+	// Reset prepares the strategy for a fresh run.
+	Reset(ctx *AdvContext)
+	// InitialCorruptions is the statically corrupted set.
+	InitialCorruptions() []PartyID
+	// SubstituteInput lets the adversary replace a corrupted party's
+	// input before the hybrid setup runs.
+	SubstituteInput(id PartyID, orig Value) Value
+	// ObserveSetup shows the corrupted parties' setup outputs; returning
+	// true aborts the setup phase (aborting Π_GMW).
+	ObserveSetup(outputs map[PartyID]Value) bool
+	// CorruptBefore may name additional parties to corrupt before the
+	// given message round (adaptive corruption).
+	CorruptBefore(round int) []PartyID
+	// OnCorrupt hands over a newly corrupted party's machine and its
+	// private setup output. machine is nil when corruption happens
+	// before machines exist (initial corruption).
+	OnCorrupt(id PartyID, machine Party, setupOut Value)
+	// Act is the rushing step of a message round. inboxes carries the
+	// messages delivered to each corrupted party this round (sent in the
+	// previous round); rushed contains the honest messages addressed to
+	// corrupted parties plus all honest broadcasts *of this round*,
+	// which the rushing adversary sees before committing its own. The
+	// return value is the corrupted parties' messages for this round.
+	Act(round int, inboxes map[PartyID][]Message, rushed []Message) []Message
+	// Learned reports whether the adversary's view determined the
+	// evaluation output, and the value it learned. The engine verifies
+	// the claim against the expected output before trusting it.
+	Learned() (Value, bool)
+}
+
+// InputExtractor is an optional adversary capability: claiming to have
+// extracted an honest party's private input (a privacy breach). The
+// engine verifies the claim against the party's true input.
+type InputExtractor interface {
+	ExtractedInput() (PartyID, Value, bool)
+}
+
+// AuditedParty is an optional Party capability: exposing protocol-
+// internal audit data (e.g. "last iteration with a valid share") that the
+// trace records for honest parties. Audit data never reaches the
+// adversary; it exists so a LearnedAuditor can reconstruct ideal-world
+// events that the message transcript alone cannot pin down.
+type AuditedParty interface {
+	AuditInfo() Value
+}
+
+// OutcomeAudit is a protocol-issued override of the trace's default
+// event bookkeeping (see OutcomeAuditor).
+type OutcomeAudit struct {
+	// Learned: the adversary's view genuinely determined the output.
+	Learned bool
+	// LearnedValue is the learned output when Learned.
+	LearnedValue Value
+	// Delivered: every honest party received a simulatable output (the
+	// real one, or the default-input evaluation).
+	Delivered bool
+	// RandomReplaced: an honest output was replaced by a draw from the
+	// F_sfe^$ distribution (the randomized-abort event of Appendix C.2).
+	RandomReplaced bool
+}
+
+// OutcomeAuditor is an optional Protocol capability overriding the
+// engine's default value-equality bookkeeping with hybrid-internal
+// knowledge. The Gordon–Katz protocols need it twice over: an adversary
+// aborting before the switch round i* may hold a value that coincides
+// with the real output without having learned anything, and for small-
+// range functions an honest party's random replacement may coincide with
+// the real or defaulted output without being a delivery. AuditOutcome
+// inspects the finished trace (including SetupAudit and HonestAudits).
+type OutcomeAuditor interface {
+	AuditOutcome(tr *Trace) OutcomeAudit
+}
+
+// SetupAbortPolicy is an optional Protocol capability restricting the
+// adversary's power to abort the hybrid setup. Robust honest-majority
+// hybrids (e.g. the fully secure Π_GMW^{1/2} of Lemma 17) guarantee
+// output delivery below their corruption threshold, so an abort request
+// from a small coalition simply has no effect.
+type SetupAbortPolicy interface {
+	// SetupAbortable reports whether a coalition of the given size can
+	// abort the setup phase.
+	SetupAbortable(corrupted int) bool
+}
+
+// OutputRecord is one honest party's final output.
+type OutputRecord struct {
+	Value Value
+	OK    bool // false = ⊥
+}
+
+// Trace records everything the fairness classifier needs about one run.
+type Trace struct {
+	ProtocolName string
+	// Inputs are the environment-chosen inputs; EffectiveInputs reflect
+	// adversarial substitution of corrupted parties' inputs at setup.
+	Inputs          []Value
+	EffectiveInputs []Value
+	// ExpectedOutput is the output the ideal functionality would deliver
+	// given the effective inputs (or, after a setup abort, the honest
+	// inputs with defaults substituted for corrupted parties).
+	ExpectedOutput Value
+	// DefaultedOutput is f on the honest inputs with the protocol's
+	// default inputs substituted for every corrupted party: the output an
+	// honest party computes locally after detecting a mid-protocol abort
+	// (the paper's "takes a default value as the input of the corrupted
+	// party"). Delivering it corresponds to the simulator sending the
+	// default input to the functionality — event E01.
+	DefaultedOutput Value
+	// HybridOutput is f on the inputs the hybrid setup actually ran on
+	// (the effective inputs before any abort-triggered default
+	// substitution) — the value an adversary could have learned from the
+	// hybrid even if it subsequently aborted the setup.
+	HybridOutput Value
+	// SetupAudit is the hidden audit state a Setup may emit (the n+1-th
+	// return value); nil otherwise.
+	SetupAudit Value
+	// Audit is the protocol's OutcomeAudit override, when the protocol
+	// implements OutcomeAuditor; nil otherwise.
+	Audit *OutcomeAudit
+	// HonestAudits collects AuditInfo() from honest machines that
+	// implement AuditedParty.
+	HonestAudits  map[PartyID]Value
+	SetupAborted  bool
+	Corrupted     map[PartyID]bool
+	HonestOutputs map[PartyID]OutputRecord
+	// AdvLearned is the engine-verified flag that the adversary's view
+	// determined the output; AdvValue is the learned value.
+	AdvLearned bool
+	AdvValue   Value
+	// PrivacyBreach is set when the adversary demonstrably extracted an
+	// honest party's input (claim verified against the true input).
+	PrivacyBreach bool
+	// BreachedParty is the victim when PrivacyBreach is set.
+	BreachedParty PartyID
+	// RoundsRun counts executed message rounds (including the finalize
+	// call).
+	RoundsRun int
+}
+
+// NumCorrupted returns t, the corruption count.
+func (tr *Trace) NumCorrupted() int { return len(tr.Corrupted) }
+
+// AllHonestDelivered reports whether every honest party produced a
+// simulatable output: either all got the expected output, or all got the
+// defaulted output (the local re-computation after a detected abort).
+// With no honest parties it is vacuously true.
+func (tr *Trace) AllHonestDelivered() bool {
+	if tr.Audit != nil {
+		return tr.Audit.Delivered
+	}
+	expected, defaulted := true, true
+	for _, rec := range tr.HonestOutputs {
+		if !rec.OK {
+			return false
+		}
+		if !ValuesEqual(rec.Value, tr.ExpectedOutput) {
+			expected = false
+		}
+		if !ValuesEqual(rec.Value, tr.DefaultedOutput) {
+			defaulted = false
+		}
+	}
+	return expected || defaulted
+}
+
+// AnyHonestWrong reports whether some honest party output a non-⊥ value
+// that is neither the expected nor the defaulted output — a correctness
+// violation (possible only for the Gordon–Katz-style protocols).
+func (tr *Trace) AnyHonestWrong() bool {
+	if tr.Audit != nil {
+		return tr.Audit.RandomReplaced
+	}
+	for _, rec := range tr.HonestOutputs {
+		if rec.OK && !ValuesEqual(rec.Value, tr.ExpectedOutput) &&
+			!ValuesEqual(rec.Value, tr.DefaultedOutput) {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returned by Run.
+var (
+	ErrInputCount = errors.New("sim: wrong number of inputs")
+	ErrBadParty   = errors.New("sim: corruption of unknown party")
+)
+
+// Run executes one protocol instance against the adversary with the given
+// seed and returns the trace.
+func Run(proto Protocol, inputs []Value, adv Adversary, seed int64) (*Trace, error) {
+	n := proto.NumParties()
+	if len(inputs) != n {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrInputCount, len(inputs), n)
+	}
+	master := rand.New(rand.NewSource(seed))
+	protoRNG := rand.New(rand.NewSource(master.Int63()))
+	advRNG := rand.New(rand.NewSource(master.Int63()))
+	partyRNGs := make([]*rand.Rand, n)
+	for i := range partyRNGs {
+		partyRNGs[i] = rand.New(rand.NewSource(master.Int63()))
+	}
+
+	trace := &Trace{
+		ProtocolName:  proto.Name(),
+		Inputs:        append([]Value(nil), inputs...),
+		Corrupted:     make(map[PartyID]bool),
+		HonestOutputs: make(map[PartyID]OutputRecord),
+	}
+
+	adv.Reset(&AdvContext{
+		Protocol:   proto,
+		Inputs:     append([]Value(nil), inputs...),
+		TrueOutput: proto.Func(inputs),
+		RNG:        advRNG,
+	})
+
+	// Initial corruptions and input substitution.
+	for _, id := range adv.InitialCorruptions() {
+		if id < 1 || PartyID(n) < id {
+			return nil, fmt.Errorf("%w: %d", ErrBadParty, id)
+		}
+		trace.Corrupted[id] = true
+	}
+	effective := append([]Value(nil), inputs...)
+	for id := range trace.Corrupted {
+		effective[id-1] = adv.SubstituteInput(id, inputs[id-1])
+	}
+	trace.EffectiveInputs = effective
+
+	// Hybrid setup.
+	setupOuts, err := proto.Setup(effective, protoRNG)
+	if err != nil {
+		return nil, fmt.Errorf("sim: setup: %w", err)
+	}
+	if setupOuts != nil && len(setupOuts) != n && len(setupOuts) != n+1 {
+		return nil, fmt.Errorf("sim: setup returned %d outputs for %d parties", len(setupOuts), n)
+	}
+	if len(setupOuts) == n+1 {
+		trace.SetupAudit = setupOuts[n]
+		setupOuts = setupOuts[:n]
+	}
+	setupOutOf := func(id PartyID) Value {
+		if setupOuts == nil {
+			return nil
+		}
+		return setupOuts[id-1]
+	}
+	corruptedSetup := make(map[PartyID]Value)
+	for id := range trace.Corrupted {
+		corruptedSetup[id] = setupOutOf(id)
+	}
+	// A setup abort is only meaningful with at least one corruption, and
+	// the protocol's hybrid may be robust against small coalitions.
+	abortRequested := len(trace.Corrupted) > 0 && adv.ObserveSetup(corruptedSetup)
+	if policy, ok := proto.(SetupAbortPolicy); ok && abortRequested {
+		abortRequested = policy.SetupAbortable(len(trace.Corrupted))
+	}
+	trace.SetupAborted = abortRequested
+	trace.HybridOutput = proto.Func(effective)
+
+	if trace.SetupAborted {
+		// Honest parties proceed on defaults for corrupted parties.
+		withDefaults := append([]Value(nil), inputs...)
+		for id := range trace.Corrupted {
+			withDefaults[id-1] = proto.DefaultInput(id)
+		}
+		trace.ExpectedOutput = proto.Func(withDefaults)
+		trace.EffectiveInputs = withDefaults
+	} else {
+		trace.ExpectedOutput = proto.Func(effective)
+	}
+
+	// Build machines. Corrupted machines are handed to the adversary.
+	machines := make([]Party, n)
+	for i := 0; i < n; i++ {
+		id := PartyID(i + 1)
+		m, err := proto.NewParty(id, effective[i], setupOutOf(id), trace.SetupAborted, partyRNGs[i])
+		if err != nil {
+			return nil, fmt.Errorf("sim: new party %d: %w", id, err)
+		}
+		machines[i] = m
+	}
+	for id := range trace.Corrupted {
+		adv.OnCorrupt(id, machines[id-1], setupOutOf(id))
+	}
+
+	// Message rounds. inboxes[i] collects the messages party i+1 receives
+	// at the start of the next round.
+	inboxes := make([][]Message, n)
+	totalRounds := proto.NumRounds() + 1 // +1 finalize call
+	for r := 1; r <= totalRounds; r++ {
+		// Adaptive corruption before the round.
+		for _, id := range adv.CorruptBefore(r) {
+			if id < 1 || PartyID(n) < id {
+				return nil, fmt.Errorf("%w: %d", ErrBadParty, id)
+			}
+			if trace.Corrupted[id] {
+				continue
+			}
+			trace.Corrupted[id] = true
+			adv.OnCorrupt(id, machines[id-1], setupOutOf(id))
+		}
+
+		// Honest parties move first.
+		var honestOut []Message
+		var rushed []Message
+		for i := 0; i < n; i++ {
+			id := PartyID(i + 1)
+			if trace.Corrupted[id] {
+				continue
+			}
+			out, err := machines[i].Round(r, inboxes[i])
+			if err != nil {
+				return nil, fmt.Errorf("sim: party %d round %d: %w", id, r, err)
+			}
+			for _, m := range out {
+				m.From = id // the channel authenticates the sender
+				honestOut = append(honestOut, m)
+				if m.To == Broadcast || trace.Corrupted[m.To] {
+					rushed = append(rushed, m)
+				}
+			}
+		}
+
+		// Rushing adversary acts, with the corrupted parties' delivered
+		// inboxes and the rushed view of this round's honest messages.
+		corruptInboxes := make(map[PartyID][]Message, len(trace.Corrupted))
+		for id := range trace.Corrupted {
+			corruptInboxes[id] = inboxes[id-1]
+		}
+		advOut := adv.Act(r, corruptInboxes, rushed)
+		for i := range advOut {
+			if !trace.Corrupted[advOut[i].From] {
+				return nil, fmt.Errorf("sim: adversary sent as honest party %d", advOut[i].From)
+			}
+		}
+
+		// Route all round-r messages into next-round inboxes. Broadcasts
+		// go to everyone (including the sender) in deterministic order.
+		next := make([][]Message, n)
+		deliver := func(m Message) {
+			if m.To == Broadcast {
+				for i := 0; i < n; i++ {
+					next[i] = append(next[i], m)
+				}
+				return
+			}
+			if m.To >= 1 && m.To <= PartyID(n) {
+				next[m.To-1] = append(next[m.To-1], m)
+			}
+		}
+		for _, m := range honestOut {
+			deliver(m)
+		}
+		for _, m := range advOut {
+			deliver(m)
+		}
+		// Stable delivery order: by sender then position (already stable
+		// since we appended honest in id order, then adversarial).
+		for i := range next {
+			sortStableBySender(next[i])
+		}
+		inboxes = next
+		trace.RoundsRun = r
+	}
+
+	// Compute the defaulted output w.r.t. the final corrupted set.
+	defaulted := append([]Value(nil), inputs...)
+	for id := range trace.Corrupted {
+		defaulted[id-1] = proto.DefaultInput(id)
+	}
+	trace.DefaultedOutput = proto.Func(defaulted)
+
+	// Collect honest outputs and audit data.
+	trace.HonestAudits = make(map[PartyID]Value)
+	for i := 0; i < n; i++ {
+		id := PartyID(i + 1)
+		if trace.Corrupted[id] {
+			continue
+		}
+		v, ok := machines[i].Output()
+		trace.HonestOutputs[id] = OutputRecord{Value: v, OK: ok}
+		if ap, ok := machines[i].(AuditedParty); ok {
+			trace.HonestAudits[id] = ap.AuditInfo()
+		}
+	}
+
+	// Verify the adversary's learned-output claim: it must match either
+	// the ideal-world expected output or the value the hybrid computed
+	// before a setup abort. A protocol-level LearnedAuditor overrides
+	// this default rule (see LearnedAuditor).
+	if auditor, ok := proto.(OutcomeAuditor); ok {
+		audit := auditor.AuditOutcome(trace)
+		trace.Audit = &audit
+		if audit.Learned {
+			trace.AdvLearned = true
+			trace.AdvValue = audit.LearnedValue
+		}
+	} else if v, ok := adv.Learned(); ok &&
+		(ValuesEqual(v, trace.ExpectedOutput) || ValuesEqual(v, trace.HybridOutput)) {
+		trace.AdvLearned = true
+		trace.AdvValue = v
+	}
+	// Verify a privacy-breach claim if the strategy makes one.
+	if ex, ok := adv.(InputExtractor); ok {
+		if victim, v, claimed := ex.ExtractedInput(); claimed {
+			if victim >= 1 && victim <= PartyID(n) && !trace.Corrupted[victim] &&
+				ValuesEqual(v, inputs[victim-1]) {
+				trace.PrivacyBreach = true
+				trace.BreachedParty = victim
+			}
+		}
+	}
+	return trace, nil
+}
+
+func sortStableBySender(ms []Message) {
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].From < ms[j].From })
+}

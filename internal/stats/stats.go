@@ -1,0 +1,175 @@
+// Package stats provides the Monte-Carlo estimation machinery used to
+// measure adversarial utilities empirically.
+//
+// The paper's quantities — Pr[E_ij], u_A(Π, A), the utility sums of
+// Definition 5 — are expectations over the coins of the protocol, the
+// adversary, and the environment. We estimate them by repeated seeded
+// simulation and report confidence intervals so that comparisons against
+// the closed-form bounds are statistically meaningful.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoSamples is returned when an estimate is requested with zero samples.
+var ErrNoSamples = errors.New("stats: no samples")
+
+// Estimate is the result of a Monte-Carlo estimation: a sample mean with a
+// two-sided confidence half-width.
+type Estimate struct {
+	// Mean is the sample mean.
+	Mean float64
+	// HalfWidth is the half-width of the confidence interval around Mean.
+	HalfWidth float64
+	// N is the number of samples.
+	N int
+}
+
+// Lo returns the lower end of the confidence interval.
+func (e Estimate) Lo() float64 { return e.Mean - e.HalfWidth }
+
+// Hi returns the upper end of the confidence interval.
+func (e Estimate) Hi() float64 { return e.Mean + e.HalfWidth }
+
+// String formats the estimate as "mean ± hw (n=N)".
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", e.Mean, e.HalfWidth, e.N)
+}
+
+// LeqWithin reports whether the estimate is consistent with mean ≤ bound,
+// i.e. the lower confidence end does not exceed the bound by more than
+// slack. This is the empirical analogue of the paper's ≤ up to negligible.
+func (e Estimate) LeqWithin(bound, slack float64) bool {
+	return e.Lo() <= bound+slack
+}
+
+// GeqWithin reports whether the estimate is consistent with mean ≥ bound.
+func (e Estimate) GeqWithin(bound, slack float64) bool {
+	return e.Hi() >= bound-slack
+}
+
+// MatchesWithin reports whether bound lies within the confidence interval
+// widened by slack on both sides.
+func (e Estimate) MatchesWithin(bound, slack float64) bool {
+	return e.Lo()-slack <= bound && bound <= e.Hi()+slack
+}
+
+// MeanEstimate computes the sample mean with a normal-approximation 95%
+// confidence interval (1.96 · s/√n).
+func MeanEstimate(samples []float64) (Estimate, error) {
+	n := len(samples)
+	if n == 0 {
+		return Estimate{}, ErrNoSamples
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, s := range samples {
+		d := s - mean
+		ss += d * d
+	}
+	variance := 0.0
+	if n > 1 {
+		variance = ss / float64(n-1)
+	}
+	hw := 1.96 * math.Sqrt(variance/float64(n))
+	return Estimate{Mean: mean, HalfWidth: hw, N: n}, nil
+}
+
+// BernoulliEstimate computes the empirical probability of successes
+// successes out of n trials with a Hoeffding-style 95% confidence interval
+// (half-width sqrt(ln(2/0.05) / (2n))), which is distribution-free.
+func BernoulliEstimate(successes, n int) (Estimate, error) {
+	if n == 0 {
+		return Estimate{}, ErrNoSamples
+	}
+	p := float64(successes) / float64(n)
+	hw := HoeffdingHalfWidth(n, 0.05)
+	return Estimate{Mean: p, HalfWidth: hw, N: n}, nil
+}
+
+// HoeffdingHalfWidth returns the half-width t such that a mean of n
+// [0,1]-bounded samples deviates from its expectation by more than t with
+// probability at most delta: t = sqrt(ln(2/delta) / (2n)).
+func HoeffdingHalfWidth(n int, delta float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(math.Log(2/delta) / (2 * float64(n)))
+}
+
+// SamplesFor returns the number of [0,1]-bounded samples needed for a
+// Hoeffding half-width of at most eps at confidence 1-delta.
+func SamplesFor(eps, delta float64) int {
+	if eps <= 0 {
+		return math.MaxInt32
+	}
+	return int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+}
+
+// Counter tallies categorical outcomes (e.g. the events E00..E11) and
+// produces per-category frequency estimates.
+type Counter struct {
+	counts map[string]int
+	total  int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int)}
+}
+
+// Add records one occurrence of the category.
+func (c *Counter) Add(category string) {
+	c.counts[category]++
+	c.total++
+}
+
+// Total returns the number of recorded occurrences.
+func (c *Counter) Total() int { return c.total }
+
+// Count returns the tally for one category.
+func (c *Counter) Count(category string) int { return c.counts[category] }
+
+// Freq returns the empirical frequency of the category (0 if no samples).
+func (c *Counter) Freq(category string) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.counts[category]) / float64(c.total)
+}
+
+// FreqEstimate returns the frequency of the category with a Hoeffding 95%
+// confidence interval.
+func (c *Counter) FreqEstimate(category string) (Estimate, error) {
+	return BernoulliEstimate(c.counts[category], c.total)
+}
+
+// WilsonInterval returns the Wilson score interval for successes/n at
+// 95% confidence — tighter than Hoeffding for probabilities near 0 or 1
+// (used for the small E10 frequencies of the Gordon–Katz experiments).
+func WilsonInterval(successes, n int) (lo, hi float64, err error) {
+	if n == 0 {
+		return 0, 0, ErrNoSamples
+	}
+	const z = 1.96
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}

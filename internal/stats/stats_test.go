@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMeanEstimateBasic(t *testing.T) {
+	est, err := MeanEstimate([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean != 3 {
+		t.Errorf("Mean = %v, want 3", est.Mean)
+	}
+	if est.N != 5 {
+		t.Errorf("N = %d, want 5", est.N)
+	}
+	if est.HalfWidth <= 0 {
+		t.Errorf("HalfWidth = %v, want > 0", est.HalfWidth)
+	}
+}
+
+func TestMeanEstimateEmpty(t *testing.T) {
+	if _, err := MeanEstimate(nil); err != ErrNoSamples {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestMeanEstimateSingle(t *testing.T) {
+	est, err := MeanEstimate([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean != 7 || est.HalfWidth != 0 {
+		t.Errorf("single sample: got %+v", est)
+	}
+}
+
+func TestMeanEstimateConstant(t *testing.T) {
+	est, err := MeanEstimate([]float64{2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean != 2 || est.HalfWidth != 0 {
+		t.Errorf("constant samples: got %+v", est)
+	}
+}
+
+func TestMeanEstimateCoversTruth(t *testing.T) {
+	// Draw Bernoulli(0.3) samples; the CI should cover 0.3 nearly always.
+	rng := rand.New(rand.NewSource(11))
+	covered := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		samples := make([]float64, 500)
+		for i := range samples {
+			if rng.Float64() < 0.3 {
+				samples[i] = 1
+			}
+		}
+		est, err := MeanEstimate(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Lo() <= 0.3 && 0.3 <= est.Hi() {
+			covered++
+		}
+	}
+	if covered < trials*90/100 {
+		t.Errorf("95%% CI covered truth only %d/%d times", covered, trials)
+	}
+}
+
+func TestBernoulliEstimate(t *testing.T) {
+	est, err := BernoulliEstimate(30, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean != 0.3 {
+		t.Errorf("Mean = %v, want 0.3", est.Mean)
+	}
+	if est.HalfWidth <= 0 {
+		t.Errorf("HalfWidth = %v, want > 0", est.HalfWidth)
+	}
+}
+
+func TestBernoulliEstimateEmpty(t *testing.T) {
+	if _, err := BernoulliEstimate(0, 0); err != ErrNoSamples {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestHoeffdingHalfWidth(t *testing.T) {
+	hw := HoeffdingHalfWidth(1000, 0.05)
+	want := math.Sqrt(math.Log(40) / 2000)
+	if math.Abs(hw-want) > 1e-12 {
+		t.Errorf("hw = %v, want %v", hw, want)
+	}
+	if !math.IsInf(HoeffdingHalfWidth(0, 0.05), 1) {
+		t.Error("hw(0) should be +Inf")
+	}
+	// More samples -> tighter interval.
+	if HoeffdingHalfWidth(10000, 0.05) >= HoeffdingHalfWidth(100, 0.05) {
+		t.Error("Hoeffding half-width should shrink with n")
+	}
+}
+
+func TestSamplesFor(t *testing.T) {
+	n := SamplesFor(0.01, 0.05)
+	// The returned n must actually achieve the requested half-width.
+	if HoeffdingHalfWidth(n, 0.05) > 0.01+1e-12 {
+		t.Errorf("SamplesFor(0.01) = %d gives hw %v > 0.01", n, HoeffdingHalfWidth(n, 0.05))
+	}
+	if SamplesFor(0, 0.05) != math.MaxInt32 {
+		t.Error("SamplesFor(0) should saturate")
+	}
+}
+
+func TestEstimateComparisons(t *testing.T) {
+	e := Estimate{Mean: 0.5, HalfWidth: 0.05, N: 100}
+	if !e.LeqWithin(0.5, 0) {
+		t.Error("0.5±0.05 should be ≤ 0.5")
+	}
+	if !e.LeqWithin(0.46, 0) {
+		t.Error("lower CI end 0.45 ≤ 0.46 should hold")
+	}
+	if e.LeqWithin(0.40, 0) {
+		t.Error("0.5±0.05 should not be ≤ 0.40")
+	}
+	if !e.GeqWithin(0.54, 0) {
+		t.Error("upper CI end 0.55 ≥ 0.54 should hold")
+	}
+	if e.GeqWithin(0.60, 0) {
+		t.Error("0.5±0.05 should not be ≥ 0.60")
+	}
+	if !e.MatchesWithin(0.52, 0) {
+		t.Error("0.52 lies within [0.45, 0.55]")
+	}
+	if e.MatchesWithin(0.60, 0) {
+		t.Error("0.60 outside [0.45, 0.55]")
+	}
+	if !e.MatchesWithin(0.60, 0.06) {
+		t.Error("0.60 within slack-widened interval")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{Mean: 0.5, HalfWidth: 0.01, N: 42}
+	if got := e.String(); got != "0.5000 ± 0.0100 (n=42)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	if c.Total() != 0 || c.Freq("x") != 0 {
+		t.Error("empty counter not zero")
+	}
+	c.Add("E10")
+	c.Add("E10")
+	c.Add("E11")
+	if c.Total() != 3 {
+		t.Errorf("Total = %d, want 3", c.Total())
+	}
+	if c.Count("E10") != 2 {
+		t.Errorf("Count(E10) = %d, want 2", c.Count("E10"))
+	}
+	if got := c.Freq("E11"); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("Freq(E11) = %v, want 1/3", got)
+	}
+	est, err := c.FreqEstimate("E10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-2.0/3) > 1e-12 {
+		t.Errorf("FreqEstimate mean = %v, want 2/3", est.Mean)
+	}
+	if _, err := NewCounter().FreqEstimate("none"); err != ErrNoSamples {
+		t.Errorf("FreqEstimate on empty = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi, err := WilsonInterval(5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0 || hi > 1 || lo >= hi {
+		t.Errorf("interval [%v, %v] malformed", lo, hi)
+	}
+	if 0.05 < lo || 0.05 > hi {
+		t.Errorf("point estimate outside interval [%v, %v]", lo, hi)
+	}
+	// Extreme cases stay in [0, 1] and contain the estimate.
+	lo, hi, err = WilsonInterval(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 || hi <= 0 {
+		t.Errorf("zero-success interval [%v, %v]", lo, hi)
+	}
+	lo, hi, err = WilsonInterval(50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi != 1 || lo >= 1 {
+		t.Errorf("all-success interval [%v, %v]", lo, hi)
+	}
+	if _, _, err := WilsonInterval(0, 0); err != ErrNoSamples {
+		t.Errorf("n=0: %v", err)
+	}
+	// Wilson beats Hoeffding for small p.
+	_, hi, err = WilsonInterval(2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if width := hi - 0.002; width >= HoeffdingHalfWidth(1000, 0.05) {
+		t.Errorf("Wilson width %v not tighter than Hoeffding %v", width, HoeffdingHalfWidth(1000, 0.05))
+	}
+}

@@ -1,0 +1,379 @@
+// Package transport executes protocols over real TCP connections: every
+// party runs as a client speaking length-delimited gob frames to a
+// round-synchronizing host over the loopback interface, exercising the
+// same Party machines as the in-memory engine.
+//
+// The transport runs *honest* sessions — it demonstrates that the
+// protocol machines are genuinely message-driven state machines that
+// survive serialization boundaries, and provides the skeleton a real
+// deployment would flesh out. Adversarial executions (rushing,
+// corruption, aborts) remain the in-memory engine's job: fairness is a
+// property quantified against the model's adversary, not against packet
+// loss.
+//
+// Message payloads cross the wire gob-encoded, so protocol packages
+// expose RegisterGobTypes helpers for their payload types.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Codec serializes protocol message payloads.
+type Codec interface {
+	Encode(payload any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+// GobCodec encodes payloads with encoding/gob; concrete payload types
+// must be registered (see the protocols' RegisterGobTypes helpers).
+type GobCodec struct{}
+
+var _ Codec = GobCodec{}
+
+// payloadBox lets gob carry the payload interface.
+type payloadBox struct {
+	V any
+}
+
+// Encode implements Codec.
+func (GobCodec) Encode(payload any) ([]byte, error) {
+	var buf writeBuffer
+	if err := gob.NewEncoder(&buf).Encode(payloadBox{V: payload}); err != nil {
+		return nil, fmt.Errorf("transport: encode payload: %w", err)
+	}
+	return buf.data, nil
+}
+
+// Decode implements Codec.
+func (GobCodec) Decode(data []byte) (any, error) {
+	var box payloadBox
+	if err := gob.NewDecoder(&readBuffer{data: data}).Decode(&box); err != nil {
+		return nil, fmt.Errorf("transport: decode payload: %w", err)
+	}
+	return box.V, nil
+}
+
+type writeBuffer struct{ data []byte }
+
+func (w *writeBuffer) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}
+
+type readBuffer struct {
+	data []byte
+	off  int
+}
+
+func (r *readBuffer) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, errors.New("EOF")
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// frame kinds.
+type frameKind int
+
+const (
+	kindHello frameKind = iota + 1
+	kindSetup
+	kindInbox
+	kindBatch
+	kindOutput
+)
+
+// wireMsg is a serialized sim.Message.
+type wireMsg struct {
+	From, To int
+	Payload  []byte
+}
+
+// frame is the session wire unit.
+type frame struct {
+	Kind         frameKind
+	ID           int // hello: party id
+	Round        int
+	Msgs         []wireMsg
+	SetupOut     []byte
+	SetupAborted bool
+	HasSetup     bool
+	Output       []byte
+	OutputOK     bool
+}
+
+// sessionTimeout bounds every read/write on the loopback sockets.
+const sessionTimeout = 30 * time.Second
+
+// RunSession executes one honest run of proto over loopback TCP: the
+// hybrid setup runs on the host, each party connects as a TCP client,
+// and rounds proceed in lockstep. It returns every party's output.
+func RunSession(proto sim.Protocol, inputs []sim.Value, codec Codec, seed int64) (map[sim.PartyID]sim.OutputRecord, error) {
+	n := proto.NumParties()
+	if len(inputs) != n {
+		return nil, fmt.Errorf("transport: %d inputs for %d parties", len(inputs), n)
+	}
+	master := rand.New(rand.NewSource(seed))
+	setupRNG := rand.New(rand.NewSource(master.Int63()))
+	partySeeds := make([]int64, n)
+	for i := range partySeeds {
+		partySeeds[i] = master.Int63()
+	}
+
+	setupOuts, err := proto.Setup(inputs, setupRNG)
+	if err != nil {
+		return nil, fmt.Errorf("transport: setup: %w", err)
+	}
+	if len(setupOuts) == n+1 {
+		setupOuts = setupOuts[:n] // hidden audit state stays on the host
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	defer func() { _ = ln.Close() }()
+
+	// Launch the party clients.
+	var wg sync.WaitGroup
+	clientErrs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			clientErrs[idx] = runClient(ln.Addr().String(), proto, sim.PartyID(idx+1),
+				inputs[idx], partySeeds[idx], codec)
+		}(i)
+	}
+
+	outputs, hostErr := runHost(ln, proto, setupOuts, codec)
+	wg.Wait()
+	if hostErr != nil {
+		return nil, hostErr
+	}
+	for i, err := range clientErrs {
+		if err != nil {
+			return nil, fmt.Errorf("transport: party %d: %w", i+1, err)
+		}
+	}
+	return outputs, nil
+}
+
+// runHost accepts the n party connections and drives the rounds.
+func runHost(ln net.Listener, proto sim.Protocol, setupOuts []sim.Value, codec Codec) (map[sim.PartyID]sim.OutputRecord, error) {
+	n := proto.NumParties()
+	conns := make(map[sim.PartyID]*peer, n)
+	defer func() {
+		for _, p := range conns {
+			_ = p.conn.Close()
+		}
+	}()
+
+	for i := 0; i < n; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("transport: accept: %w", err)
+		}
+		p := newPeer(conn)
+		hello, err := p.recv()
+		if err != nil {
+			return nil, fmt.Errorf("transport: handshake: %w", err)
+		}
+		if hello.Kind != kindHello || hello.ID < 1 || hello.ID > n {
+			return nil, fmt.Errorf("transport: bad hello %+v", hello)
+		}
+		id := sim.PartyID(hello.ID)
+		if _, dup := conns[id]; dup {
+			return nil, fmt.Errorf("transport: duplicate party %d", id)
+		}
+		conns[id] = p
+		// Send the party its private setup output.
+		sf := frame{Kind: kindSetup}
+		if setupOuts != nil {
+			data, err := codec.Encode(setupOuts[id-1])
+			if err != nil {
+				return nil, err
+			}
+			sf.SetupOut, sf.HasSetup = data, true
+		}
+		if err := p.send(sf); err != nil {
+			return nil, err
+		}
+	}
+
+	inboxes := make(map[sim.PartyID][]wireMsg, n)
+	totalRounds := proto.NumRounds() + 1
+	for r := 1; r <= totalRounds; r++ {
+		// Deliver inboxes.
+		for id, p := range conns {
+			if err := p.send(frame{Kind: kindInbox, Round: r, Msgs: inboxes[id]}); err != nil {
+				return nil, fmt.Errorf("transport: round %d deliver to %d: %w", r, id, err)
+			}
+		}
+		// Collect and route batches.
+		next := make(map[sim.PartyID][]wireMsg, n)
+		for id := sim.PartyID(1); id <= sim.PartyID(n); id++ {
+			batch, err := conns[id].recv()
+			if err != nil {
+				return nil, fmt.Errorf("transport: round %d batch from %d: %w", r, id, err)
+			}
+			if batch.Kind != kindBatch || batch.Round != r {
+				return nil, fmt.Errorf("transport: unexpected frame %+v from %d", batch.Kind, id)
+			}
+			for _, m := range batch.Msgs {
+				m.From = int(id) // the channel authenticates the sender
+				if m.To == int(sim.Broadcast) {
+					for to := sim.PartyID(1); to <= sim.PartyID(n); to++ {
+						next[to] = append(next[to], m)
+					}
+					continue
+				}
+				if m.To >= 1 && m.To <= n {
+					next[sim.PartyID(m.To)] = append(next[sim.PartyID(m.To)], m)
+				}
+			}
+		}
+		inboxes = next
+	}
+
+	// Collect outputs.
+	outputs := make(map[sim.PartyID]sim.OutputRecord, n)
+	for id, p := range conns {
+		of, err := p.recv()
+		if err != nil {
+			return nil, fmt.Errorf("transport: output from %d: %w", id, err)
+		}
+		if of.Kind != kindOutput {
+			return nil, fmt.Errorf("transport: expected output frame from %d", id)
+		}
+		rec := sim.OutputRecord{OK: of.OutputOK}
+		if of.OutputOK {
+			v, err := codec.Decode(of.Output)
+			if err != nil {
+				return nil, err
+			}
+			rec.Value = v
+		}
+		outputs[id] = rec
+	}
+	return outputs, nil
+}
+
+// runClient is one party process: connect, handshake, round loop, output.
+func runClient(addr string, proto sim.Protocol, id sim.PartyID, input sim.Value, seed int64, codec Codec) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	defer func() { _ = conn.Close() }()
+	p := newPeer(conn)
+
+	if err := p.send(frame{Kind: kindHello, ID: int(id)}); err != nil {
+		return err
+	}
+	sf, err := p.recv()
+	if err != nil {
+		return err
+	}
+	if sf.Kind != kindSetup {
+		return fmt.Errorf("expected setup frame, got %v", sf.Kind)
+	}
+	var setupOut sim.Value
+	if sf.HasSetup {
+		v, err := codec.Decode(sf.SetupOut)
+		if err != nil {
+			return err
+		}
+		setupOut = v
+	}
+	machine, err := proto.NewParty(id, input, setupOut, sf.SetupAborted, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+
+	totalRounds := proto.NumRounds() + 1
+	for r := 1; r <= totalRounds; r++ {
+		inf, err := p.recv()
+		if err != nil {
+			return fmt.Errorf("round %d inbox: %w", r, err)
+		}
+		if inf.Kind != kindInbox || inf.Round != r {
+			return fmt.Errorf("round %d: unexpected frame %v/%d", r, inf.Kind, inf.Round)
+		}
+		inbox := make([]sim.Message, 0, len(inf.Msgs))
+		for _, m := range inf.Msgs {
+			payload, err := codec.Decode(m.Payload)
+			if err != nil {
+				return fmt.Errorf("round %d payload: %w", r, err)
+			}
+			inbox = append(inbox, sim.Message{
+				From: sim.PartyID(m.From), To: sim.PartyID(m.To), Payload: payload,
+			})
+		}
+		out, err := machine.Round(r, inbox)
+		if err != nil {
+			return fmt.Errorf("round %d: %w", r, err)
+		}
+		batch := frame{Kind: kindBatch, Round: r}
+		for _, m := range out {
+			data, err := codec.Encode(m.Payload)
+			if err != nil {
+				return fmt.Errorf("round %d encode: %w", r, err)
+			}
+			batch.Msgs = append(batch.Msgs, wireMsg{From: int(id), To: int(m.To), Payload: data})
+		}
+		if err := p.send(batch); err != nil {
+			return err
+		}
+	}
+
+	of := frame{Kind: kindOutput}
+	if v, ok := machine.Output(); ok {
+		data, err := codec.Encode(v)
+		if err != nil {
+			return err
+		}
+		of.Output, of.OutputOK = data, true
+	}
+	return p.send(of)
+}
+
+// peer wraps a connection with gob framing and deadlines.
+type peer struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func newPeer(conn net.Conn) *peer {
+	return &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+func (p *peer) send(f frame) error {
+	if err := p.conn.SetWriteDeadline(time.Now().Add(sessionTimeout)); err != nil {
+		return err
+	}
+	return p.enc.Encode(f)
+}
+
+func (p *peer) recv() (frame, error) {
+	if err := p.conn.SetReadDeadline(time.Now().Add(sessionTimeout)); err != nil {
+		return frame{}, err
+	}
+	var f frame
+	if err := p.dec.Decode(&f); err != nil {
+		return frame{}, err
+	}
+	return f, nil
+}

@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gmwproto"
+	"repro/internal/protocols/contract"
+	"repro/internal/protocols/gordonkatz"
+	"repro/internal/protocols/multiparty"
+	"repro/internal/protocols/twoparty"
+	"repro/internal/sim"
+)
+
+var registerOnce sync.Once
+
+func register() {
+	registerOnce.Do(func() {
+		contract.RegisterGobTypes()
+		twoparty.RegisterGobTypes()
+		multiparty.RegisterGobTypes()
+		gordonkatz.RegisterGobTypes()
+	})
+}
+
+func TestGobCodecRoundTrip(t *testing.T) {
+	register()
+	codec := GobCodec{}
+	for _, v := range []any{uint64(42), contract.Pair{S1: 1, S2: 2}} {
+		data, err := codec.Encode(v)
+		if err != nil {
+			t.Fatalf("encode %T: %v", v, err)
+		}
+		got, err := codec.Decode(data)
+		if err != nil {
+			t.Fatalf("decode %T: %v", v, err)
+		}
+		if !sim.ValuesEqual(v, got) {
+			t.Errorf("roundtrip %T: got %v, want %v", v, got, v)
+		}
+	}
+}
+
+func TestGobCodecDecodeGarbage(t *testing.T) {
+	if _, err := (GobCodec{}).Decode([]byte("not gob")); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+func TestPi1OverTCP(t *testing.T) {
+	register()
+	outs, err := RunSession(contract.Pi1{}, []sim.Value{uint64(101), uint64(202)}, GobCodec{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := contract.Pair{S1: 101, S2: 202}
+	for id, rec := range outs {
+		if !rec.OK || !sim.ValuesEqual(rec.Value, want) {
+			t.Errorf("party %d output %+v, want %v", id, rec, want)
+		}
+	}
+}
+
+func TestPi2OverTCP(t *testing.T) {
+	register()
+	for seed := int64(0); seed < 4; seed++ { // both coin outcomes
+		outs, err := RunSession(contract.Pi2{}, []sim.Value{uint64(7), uint64(8)}, GobCodec{}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := contract.Pair{S1: 7, S2: 8}
+		for id, rec := range outs {
+			if !rec.OK || !sim.ValuesEqual(rec.Value, want) {
+				t.Errorf("seed %d party %d output %+v", seed, id, rec)
+			}
+		}
+	}
+}
+
+func TestOpt2SFEOverTCP(t *testing.T) {
+	register()
+	proto := twoparty.New(twoparty.Swap())
+	for seed := int64(0); seed < 4; seed++ { // both reconstruction orders
+		outs, err := RunSession(proto, []sim.Value{uint64(11), uint64(22)}, GobCodec{}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := twoparty.Swap().Eval(11, 22)
+		for id, rec := range outs {
+			if !rec.OK || !sim.ValuesEqual(rec.Value, want) {
+				t.Errorf("seed %d party %d output %+v, want %v", seed, id, rec, want)
+			}
+		}
+	}
+}
+
+func TestOptNSFEOverTCP(t *testing.T) {
+	register()
+	fn, err := multiparty.Concat(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := multiparty.NewOptN(fn)
+	inputs := []sim.Value{uint64(1), uint64(2), uint64(3), uint64(4)}
+	outs, err := RunSession(proto, inputs, GobCodec{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fn.Eval([]uint64{1, 2, 3, 4})
+	for id, rec := range outs {
+		if !rec.OK || !sim.ValuesEqual(rec.Value, want) {
+			t.Errorf("party %d output %+v, want %v", id, rec, want)
+		}
+	}
+}
+
+func TestGMWHalfOverTCP(t *testing.T) {
+	register()
+	fn, err := multiparty.Concat(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := RunSession(multiparty.NewGMWHalf(fn), []sim.Value{uint64(9), uint64(8), uint64(7)}, GobCodec{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fn.Eval([]uint64{9, 8, 7})
+	for id, rec := range outs {
+		if !rec.OK || !sim.ValuesEqual(rec.Value, want) {
+			t.Errorf("party %d output %+v, want %v", id, rec, want)
+		}
+	}
+}
+
+func TestGordonKatzOverTCP(t *testing.T) {
+	register()
+	proto, err := gordonkatz.NewPolyDomain(gordonkatz.AND(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := RunSession(proto, []sim.Value{uint64(1), uint64(1)}, GobCodec{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, rec := range outs {
+		if !rec.OK || !sim.ValuesEqual(rec.Value, uint64(1)) {
+			t.Errorf("party %d output %+v, want 1", id, rec)
+		}
+	}
+}
+
+func TestInputCountMismatch(t *testing.T) {
+	register()
+	if _, err := RunSession(contract.Pi1{}, []sim.Value{uint64(1)}, GobCodec{}, 1); err == nil {
+		t.Error("mismatched inputs accepted")
+	}
+}
+
+func TestTransportMatchesInMemoryEngine(t *testing.T) {
+	register()
+	proto := twoparty.New(twoparty.Millionaires())
+	inputs := []sim.Value{uint64(90), uint64(45)}
+	outs, err := RunSession(proto, inputs, GobCodec{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(proto, inputs, sim.Passive{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, rec := range outs {
+		if !rec.OK || !sim.ValuesEqual(rec.Value, tr.ExpectedOutput) {
+			t.Errorf("party %d TCP output %+v, engine expected %v", id, rec, tr.ExpectedOutput)
+		}
+	}
+}
+
+func TestGKMultiPartyOverTCP(t *testing.T) {
+	register()
+	proto, err := gordonkatz.NewMultiParty(gordonkatz.ANDn(3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := RunSession(proto, []sim.Value{uint64(1), uint64(1), uint64(1)}, GobCodec{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, rec := range outs {
+		if !rec.OK || !sim.ValuesEqual(rec.Value, uint64(1)) {
+			t.Errorf("party %d output %+v, want 1", id, rec)
+		}
+	}
+}
+
+func TestLemma18OverTCP(t *testing.T) {
+	register()
+	fn, err := multiparty.Concat(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := RunSession(multiparty.NewLemma18(fn),
+		[]sim.Value{uint64(1), uint64(2), uint64(3)}, GobCodec{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fn.Eval([]uint64{1, 2, 3})
+	for id, rec := range outs {
+		if !rec.OK || !sim.ValuesEqual(rec.Value, want) {
+			t.Errorf("party %d output %+v, want %v", id, rec, want)
+		}
+	}
+}
+
+func TestGMWOnlineOverTCP(t *testing.T) {
+	register()
+	gmwproto.RegisterGobTypes()
+	circ, err := circuit.MillionairesCircuit(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := gmwproto.New("m6", circ, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := RunSession(proto, []sim.Value{uint64(50), uint64(20)}, GobCodec{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, rec := range outs {
+		if !rec.OK || !sim.ValuesEqual(rec.Value, uint64(1)) {
+			t.Errorf("party %d output %+v, want 1", id, rec)
+		}
+	}
+}
