@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	fairness [-quick] [-runs N] [-sup N] [-seed S] [-exp E05[,E07]]
+//	fairness [-quick] [-runs N] [-sup N] [-seed S] [-parallel P] [-exp E05[,E07]]
 //
 // The default configuration matches EXPERIMENTS.md; -quick runs a fast
-// smoke sweep.
+// smoke sweep. -parallel sets the estimation worker count (0, the
+// default, means one worker per CPU; 1 forces sequential execution);
+// results are identical for every setting.
 package main
 
 import (
@@ -22,30 +24,47 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
-func run(args []string) int {
+// options is the parsed command line.
+type options struct {
+	cfg      experiments.Config
+	selected map[string]bool
+	format   string
+}
+
+// parseArgs builds the experiment configuration. Overrides apply only
+// when their flag was explicitly given (detected via fs.Visit), so
+// explicit zero values — in particular -seed 0 — are honored instead of
+// silently falling back to the defaults.
+func parseArgs(args []string) (options, error) {
 	fs := flag.NewFlagSet("fairness", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "use the fast smoke-test configuration")
 	runs := fs.Int("runs", 0, "override Monte-Carlo runs per measurement")
 	supRuns := fs.Int("sup", 0, "override per-strategy runs in sup searches")
 	seed := fs.Int64("seed", 0, "override the experiment seed")
+	parallel := fs.Int("parallel", 0, "estimation workers (0 = one per CPU, 1 = sequential)")
 	only := fs.String("exp", "", "comma-separated experiment IDs (default: all)")
 	format := fs.String("format", "text", "output format: text or markdown")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return options{}, err
 	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
-	if *runs > 0 {
+	given := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { given[f.Name] = true })
+	if given["runs"] {
 		cfg.Runs = *runs
 	}
-	if *supRuns > 0 {
+	if given["sup"] {
 		cfg.SupRuns = *supRuns
 	}
-	if *seed != 0 {
+	if given["seed"] {
 		cfg.Seed = *seed
+	}
+	if given["parallel"] {
+		cfg.Parallelism = *parallel
 	}
 
 	selected := map[string]bool{}
@@ -54,13 +73,22 @@ func run(args []string) int {
 			selected[id] = true
 		}
 	}
+	return options{cfg: cfg, selected: selected, format: *format}, nil
+}
+
+func run(args []string) int {
+	opts, err := parseArgs(args)
+	if err != nil {
+		return 2
+	}
+	cfg := opts.cfg
 
 	fmt.Printf("utility-based fairness reproduction (runs=%d sup=%d seed=%d γ=%+v)\n\n",
 		cfg.Runs, cfg.SupRuns, cfg.Seed, cfg.Gamma)
 
 	allPass := true
 	for _, e := range experiments.All() {
-		if len(selected) > 0 && !selected[e.ID] {
+		if len(opts.selected) > 0 && !opts.selected[e.ID] {
 			continue
 		}
 		res, err := e.Run(cfg)
@@ -68,7 +96,7 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			return 1
 		}
-		if *format == "markdown" {
+		if opts.format == "markdown" {
 			printMarkdown(res)
 		} else {
 			printResult(res)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fairsim -proto 2sfe-opt -adv lock-abort:1 -runs 2000 -seed 7
+//	fairsim -proto 2sfe-opt -adv lock-abort:1 -runs 2000 -seed 7 [-parallel P]
 //
 // Protocols: pi1, pi2, 2sfe-opt, 2sfe-fixed2, 2sfe-oneround,
 // nsfe-opt:N, nsfe-gmw12:N, nsfe-lemma18:N, nsfe-hybrid:N,
@@ -45,6 +45,7 @@ func run(args []string) error {
 	advName := fs.String("adv", "agen", "adversary strategy")
 	runs := fs.Int("runs", 1000, "Monte-Carlo runs")
 	seed := fs.Int64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", 0, "estimation workers (0 = one per CPU, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,7 +63,7 @@ func run(args []string) error {
 		gamma = core.GordonKatzPayoff()
 	}
 
-	rep, err := core.EstimateUtility(proto, adv, gamma, sampler, *runs, *seed)
+	rep, err := core.EstimateUtilityParallel(proto, adv, gamma, sampler, *runs, *seed, *parallel)
 	if err != nil {
 		return err
 	}

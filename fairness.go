@@ -76,6 +76,9 @@ type (
 	Party = sim.Party
 	// Adversary is an attack strategy.
 	Adversary = sim.Adversary
+	// AdversaryCloner is the optional capability the parallel estimator
+	// uses to give each worker an independent strategy copy.
+	AdversaryCloner = sim.AdversaryCloner
 	// Message is a round message.
 	Message = sim.Message
 	// PartyID identifies a party (1-based).
@@ -119,8 +122,22 @@ var (
 	Classify = core.Classify
 	// EstimateUtility measures u_A(Π, A) by Monte-Carlo simulation.
 	EstimateUtility = core.EstimateUtility
+	// EstimateUtilityParallel is EstimateUtility on a worker pool; the
+	// report is bit-identical for any parallelism (see the determinism
+	// contract in internal/core).
+	EstimateUtilityParallel = core.EstimateUtilityParallel
 	// SupUtility approximates sup_A u_A(Π, A) over a strategy space.
 	SupUtility = core.SupUtility
+	// SupUtilityParallel is SupUtility with strategies fanned out to a
+	// worker pool, bit-identical to the sequential search.
+	SupUtilityParallel = core.SupUtilityParallel
+	// DefaultParallelism is the worker count used for parallelism <= 0.
+	DefaultParallelism = core.DefaultParallelism
+	// CloneAdversary copies a strategy for an estimation worker.
+	CloneAdversary = sim.CloneAdversary
+	// NewAdversaryFactory adapts a constructor function into a cloneable
+	// strategy for the parallel estimator.
+	NewAdversaryFactory = adversary.NewFactory
 	// Compare orders two sup-utilities under Definition 1.
 	Compare = core.Compare
 	// AtLeastAsFair is the ⪰γ relation.

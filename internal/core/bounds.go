@@ -40,9 +40,10 @@ func BalancedSumBound(g Payoff, n int) float64 {
 
 // GMWEvenNSumLowerBound is the Lemma 17 lower bound for Π_GMW^{1/2} with
 // an even number of parties: the sum of best t-adversary utilities is at
-// least (n−1)(γ10+γ11)/2 + (γ10−γ11)/2, strictly above the balanced
-// bound. (For n/2 ≤ t ≤ n−1 the best adversary earns γ10; for t < n/2 it
-// earns γ11.)
+// least (n/2)·γ10 + (n/2−1)·γ11 = (n−1)(γ10+γ11)/2 + (γ10−γ11)/2 —
+// exceeding BalancedSumBound by exactly (γ10−γ11)/2, so the protocol is
+// not utility balanced. (For n/2 ≤ t ≤ n−1 the best adversary earns γ10;
+// for t < n/2 it earns γ11.)
 func GMWEvenNSumLowerBound(g Payoff, n int) float64 {
 	if n%2 != 0 {
 		return BalancedSumBound(g, n)
@@ -92,12 +93,19 @@ func maxf(a, b float64) float64 {
 //
 // which is ≤ 1/(r·h); with r = p/h this is the 1/p bound of Theorems
 // 23/24. Used to cross-check the Monte-Carlo measurements exactly.
+//
+// At h = 0 the attack succeeds with certainty: no fake value ever
+// coincides with the real output, so the first hit is the switch round i*
+// itself, whichever round that is — Σ_{k=1..r} (1−0)^{k−1}/r = 1, the
+// continuous extension of the closed form. (The attacker still aborts
+// before its round-i* message goes out, so the honest party is left with
+// the F_sfe^$ fallback: event E10 in every run.)
 func GKFirstHitExact(r int, h float64) float64 {
 	if r <= 0 {
 		return 0
 	}
 	if h <= 0 {
-		return 1.0 / float64(r) // only the real value ever hits
+		return 1 // the first hit is i* itself, in every run
 	}
 	acc := 1.0
 	q := 1 - h

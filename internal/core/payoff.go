@@ -113,8 +113,7 @@ func StandardPayoff() Payoff { return Payoff{G00: 0, G01: 0, G10: 1, G11: 0.5} }
 
 // GordonKatzPayoff is the vector ~γ = (0, 0, 1, 0) used in Section 5 to
 // relate utility-based fairness to 1/p-security: the utility then equals
-// Pr[E10]. Note it is in Γfair but not Γ+fair (γ11 = γ00).
-//
-// (Strictly, Γfair requires γ11 < γ10, satisfied; γ00 ≤ γ11 fails for
-// Γ+fair only if γ00 > γ11 — here both are 0, so it is in Γ+fair too.)
+// Pr[E10]. The vector is in Γ+fair (and hence in Γfair): Γ+fair requires
+// 0 = γ01 ≤ γ00 ≤ γ11 < γ10, and here γ00 = γ11 = 0 < γ10 = 1 — the
+// chain holds with equality in the middle, which Γ+fair permits.
 func GordonKatzPayoff() Payoff { return Payoff{G00: 0, G01: 0, G10: 1, G11: 0} }

@@ -176,7 +176,65 @@ func TestGKFirstHitExact(t *testing.T) {
 	if GKFirstHitExact(0, 0.5) != 0 {
 		t.Error("r=0")
 	}
-	if GKFirstHitExact(10, 0) != 0.1 {
-		t.Error("h=0 should give 1/r")
+}
+
+// TestGKFirstHitExactZeroH pins the h→0 behaviour: with no fake hits the
+// attacker's first hit is the switch round i* itself, so Pr[E10] = 1 —
+// the closed form (1−(1−h)^r)/(r·h) tends to 1 as h→0⁺, and the h = 0
+// branch must agree with that limit (regression: it used to return 1/r).
+func TestGKFirstHitExactZeroH(t *testing.T) {
+	if got := GKFirstHitExact(10, 0); got != 1 {
+		t.Errorf("GKFirstHitExact(10, 0) = %v, want 1", got)
+	}
+	if got := GKFirstHitExact(1, 0); got != 1 {
+		t.Errorf("GKFirstHitExact(1, 0) = %v, want 1", got)
+	}
+	// Continuity from above: the value approaches 1 monotonically as h
+	// shrinks, for several r.
+	for _, r := range []int{2, 10, 64} {
+		prev := GKFirstHitExact(r, 0.5)
+		for _, h := range []float64{0.25, 1e-1, 1e-2, 1e-4, 1e-8} {
+			got := GKFirstHitExact(r, h)
+			if got < prev-1e-15 {
+				t.Errorf("r=%d: value decreased from %v to %v as h shrank to %v", r, prev, got, h)
+			}
+			if got > 1+1e-12 {
+				t.Errorf("r=%d h=%v: %v exceeds 1", r, h, got)
+			}
+			prev = got
+		}
+		// The h→0⁺ limit is the h=0 branch.
+		limit := GKFirstHitExact(r, 1e-12)
+		if math.Abs(limit-GKFirstHitExact(r, 0)) > 1e-6 {
+			t.Errorf("r=%d: limit %v disagrees with h=0 value %v", r, limit, GKFirstHitExact(r, 0))
+		}
+	}
+}
+
+// TestGordonKatzPayoffClasses pins the doc-comment claim: ~γ = (0,0,1,0)
+// is in Γ+fair (γ00 = γ11 = 0 is allowed — the chain 0 ≤ γ00 ≤ γ11 < γ10
+// holds with equality in the middle) and therefore also in Γfair.
+func TestGordonKatzPayoffClasses(t *testing.T) {
+	g := GordonKatzPayoff()
+	if err := g.ValidateFair(); err != nil {
+		t.Errorf("GordonKatzPayoff should be Γfair: %v", err)
+	}
+	if err := g.ValidateFairPlus(); err != nil {
+		t.Errorf("GordonKatzPayoff should be Γ+fair: %v", err)
+	}
+}
+
+// TestGMWEvenNExcess pins the Lemma 17 excess: for even n the per-t sum
+// lower bound exceeds the balanced bound by exactly (γ10−γ11)/2 (the
+// quantity DESIGN.md §3 row E8 cites).
+func TestGMWEvenNExcess(t *testing.T) {
+	for _, g := range []Payoff{StandardPayoff(), GordonKatzPayoff(), {G00: 0.1, G10: 2, G11: 0.7}} {
+		for _, n := range []int{4, 6, 10} {
+			excess := GMWEvenNSumLowerBound(g, n) - BalancedSumBound(g, n)
+			want := (g.G10 - g.G11) / 2
+			if math.Abs(excess-want) > 1e-12 {
+				t.Errorf("gamma=%+v n=%d: excess = %v, want (γ10−γ11)/2 = %v", g, n, excess, want)
+			}
+		}
 	}
 }

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -47,25 +50,40 @@ func (r UtilityReport) String() string {
 		r.Utility, r.EventFreq[E00], r.EventFreq[E01], r.EventFreq[E10], r.EventFreq[E11])
 }
 
-// EstimateUtility measures the attacker utility of strategy adv against
-// proto under payoff gamma by repeated seeded simulation: the empirical
-// version of Equation (2) for a fixed (adversary, environment) pair.
-func EstimateUtility(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
-	sampler InputSampler, runs int, seed int64) (UtilityReport, error) {
-	if runs <= 0 {
-		return UtilityReport{}, ErrNoRuns
-	}
+// DefaultParallelism is the worker count used when a parallelism argument
+// is <= 0: one worker per available CPU.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// preparedRun is one pre-drawn Monte-Carlo job: the environment's input
+// vector and the simulation seed for a single run.
+type preparedRun struct {
+	inputs []sim.Value
+	seed   int64
+}
+
+// prepareRuns draws every run's (inputs, seed) pair sequentially from the
+// master seeder. This is the determinism contract of the estimator: the
+// master stream is consumed in exactly the order the original sequential
+// loop used (sampler first, then Int63, per run), so the jobs — and
+// therefore the estimate — are identical no matter how many workers later
+// execute them.
+func prepareRuns(sampler InputSampler, runs int, seed int64) []preparedRun {
 	seeder := rand.New(rand.NewSource(seed))
+	jobs := make([]preparedRun, runs)
+	for i := range jobs {
+		jobs[i].inputs = sampler(seeder)
+		jobs[i].seed = seeder.Int63()
+	}
+	return jobs
+}
+
+// tally folds per-run outcomes — in run-index order — into a report.
+func tally(outcomes []Outcome, gamma Payoff) (UtilityReport, error) {
+	runs := len(outcomes)
 	samples := make([]float64, 0, runs)
 	events := make(map[Event]int, 4)
 	violations, breaches, corrupted := 0, 0, 0
-	for i := 0; i < runs; i++ {
-		inputs := sampler(seeder)
-		tr, err := sim.Run(proto, inputs, adv, seeder.Int63())
-		if err != nil {
-			return UtilityReport{}, fmt.Errorf("core: run %d: %w", i, err)
-		}
-		oc := Classify(tr)
+	for _, oc := range outcomes {
 		events[oc.Event]++
 		if oc.CorrectnessViolation {
 			violations++
@@ -94,6 +112,96 @@ func EstimateUtility(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
 	}, nil
 }
 
+// EstimateUtility measures the attacker utility of strategy adv against
+// proto under payoff gamma by repeated seeded simulation: the empirical
+// version of Equation (2) for a fixed (adversary, environment) pair. It
+// runs on a single goroutine; EstimateUtilityParallel produces the
+// bit-identical report on a worker pool.
+func EstimateUtility(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
+	sampler InputSampler, runs int, seed int64) (UtilityReport, error) {
+	return EstimateUtilityParallel(proto, adv, gamma, sampler, runs, seed, 1)
+}
+
+// EstimateUtilityParallel is EstimateUtility with the runs fanned out to a
+// worker pool. parallelism <= 0 selects DefaultParallelism. The report is
+// byte-identical to the sequential estimator's for the same (runs, seed):
+// all randomness is pre-drawn sequentially by prepareRuns, each run is
+// simulated from its own seed, and outcomes are aggregated in run-index
+// order. Workers never share mutable attacker state: each gets its own
+// strategy via sim.CloneAdversary; a non-cloneable strategy falls back to
+// a single worker.
+func EstimateUtilityParallel(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
+	sampler InputSampler, runs int, seed int64, parallelism int) (UtilityReport, error) {
+	if runs <= 0 {
+		return UtilityReport{}, ErrNoRuns
+	}
+	jobs := prepareRuns(sampler, runs, seed)
+	workers := parallelism
+	if workers <= 0 {
+		workers = DefaultParallelism()
+	}
+	if workers > runs {
+		workers = runs
+	}
+	var clones []sim.Adversary
+	if workers > 1 {
+		clones = make([]sim.Adversary, workers)
+		clones[0] = adv
+		for w := 1; w < workers; w++ {
+			c, ok := sim.CloneAdversary(adv)
+			if !ok {
+				// Fallback: a strategy we cannot copy must not be shared
+				// across goroutines, so serialize its runs.
+				workers = 1
+				clones = nil
+				break
+			}
+			clones[w] = c
+		}
+	}
+	outcomes := make([]Outcome, runs)
+	if workers <= 1 {
+		for i, job := range jobs {
+			tr, err := sim.Run(proto, job.inputs, adv, job.seed)
+			if err != nil {
+				return UtilityReport{}, fmt.Errorf("core: run %d: %w", i, err)
+			}
+			outcomes[i] = Classify(tr)
+		}
+		return tally(outcomes, gamma)
+	}
+	errs := make([]error, runs)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker sim.Adversary) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= runs {
+					return
+				}
+				tr, err := sim.Run(proto, jobs[i].inputs, worker, jobs[i].seed)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				outcomes[i] = Classify(tr)
+			}
+		}(clones[w])
+	}
+	wg.Wait()
+	// Deterministic error reporting: the lowest-index failure, phrased
+	// exactly as the sequential path would phrase it.
+	for i, err := range errs {
+		if err != nil {
+			return UtilityReport{}, fmt.Errorf("core: run %d: %w", i, err)
+		}
+	}
+	return tally(outcomes, gamma)
+}
+
 // NamedAdversary pairs a strategy with a label for sup-utility searches.
 type NamedAdversary struct {
 	Name string
@@ -113,19 +221,80 @@ type SupReport struct {
 // SupUtility approximates sup_A u_A(Π, A) over a finite strategy space —
 // the left-hand side of Definition 1 restricted to the documented
 // strategies (which, for the protocols studied here, include the
-// proof-optimal attackers).
+// proof-optimal attackers). It runs on a single goroutine;
+// SupUtilityParallel produces the bit-identical report on a worker pool.
 func SupUtility(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
 	sampler InputSampler, runs int, seed int64) (SupReport, error) {
+	return SupUtilityParallel(proto, advs, gamma, sampler, runs, seed, 1)
+}
+
+// SupUtilityParallel is SupUtility with the strategies fanned out to a
+// worker pool; parallelism <= 0 selects DefaultParallelism. Each strategy
+// keeps the sequential search's per-strategy seed (seed + i*7919), so
+// every per-strategy report — and the best-strategy selection, which
+// breaks utility ties in slice order — is byte-identical to SupUtility's.
+// The strategies in advs must be distinct instances (as every space in
+// package adversary supplies); each worker estimates a clone when the
+// strategy is cloneable and otherwise owns the instance exclusively while
+// its estimate runs. With a single strategy and parallelism > 1, the
+// parallelism is spent inside EstimateUtilityParallel instead.
+func SupUtilityParallel(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
+	sampler InputSampler, runs int, seed int64, parallelism int) (SupReport, error) {
 	if len(advs) == 0 {
 		return SupReport{}, errors.New("core: empty strategy space")
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = DefaultParallelism()
+	}
+	if workers > len(advs) {
+		workers = len(advs)
+	}
+	// When the strategy space is narrower than the requested parallelism,
+	// push the surplus into the per-strategy run loop.
+	inner := 1
+	if workers == 1 && parallelism != 1 {
+		inner = parallelism
+	}
+	reports := make([]UtilityReport, len(advs))
+	errs := make([]error, len(advs))
+	if workers <= 1 {
+		for i, na := range advs {
+			reports[i], errs[i] = EstimateUtilityParallel(proto, na.Adv, gamma, sampler,
+				runs, seed+int64(i)*7919, inner)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(advs) {
+						return
+					}
+					adv := advs[i].Adv
+					if c, ok := sim.CloneAdversary(adv); ok {
+						adv = c
+					}
+					reports[i], errs[i] = EstimateUtilityParallel(proto, adv, gamma, sampler,
+						runs, seed+int64(i)*7919, 1)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return SupReport{}, fmt.Errorf("core: strategy %q: %w", advs[i].Name, err)
+		}
 	}
 	rep := SupReport{All: make(map[string]UtilityReport, len(advs))}
 	bestU := -1e18
 	for i, na := range advs {
-		r, err := EstimateUtility(proto, na.Adv, gamma, sampler, runs, seed+int64(i)*7919)
-		if err != nil {
-			return SupReport{}, fmt.Errorf("core: strategy %q: %w", na.Name, err)
-		}
+		r := reports[i]
 		rep.All[na.Name] = r
 		if r.Utility.Mean > bestU {
 			bestU = r.Utility.Mean

@@ -87,6 +87,10 @@ func (g *grabber) Act(round int, _ map[sim.PartyID][]sim.Message, rushed []sim.M
 }
 func (g *grabber) Learned() (sim.Value, bool) { return g.learned, g.ok }
 
+// CloneAdversary lets the parallel-estimation tests hand each worker its
+// own grabber (the strategy is stateful across a run).
+func (g *grabber) CloneAdversary() sim.Adversary { return &grabber{} }
+
 func uniformInputs(r *rand.Rand) []sim.Value {
 	return []sim.Value{uint64(r.Intn(16)), uint64(r.Intn(16))}
 }

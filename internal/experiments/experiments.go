@@ -11,9 +11,12 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/mathx"
+	"repro/internal/sim"
 )
 
 // Config controls the Monte-Carlo effort.
@@ -29,6 +32,12 @@ type Config struct {
 	Gamma core.Payoff
 	// Tolerance widens the paper-vs-measured comparison (sampling slack).
 	Tolerance float64
+	// Parallelism is the worker count for RunAll and for every estimate
+	// inside the experiments: 0 selects core.DefaultParallelism (one
+	// worker per CPU), 1 forces sequential execution. Results are
+	// identical either way — see the determinism contract on
+	// core.EstimateUtilityParallel.
+	Parallelism int
 }
 
 // DefaultConfig is the configuration used for EXPERIMENTS.md.
@@ -48,7 +57,23 @@ func QuickConfig() Config {
 	cfg.Runs = 200
 	cfg.SupRuns = 80
 	cfg.Tolerance = 0.12
+	// A fixed worker count (not DefaultParallelism) so that tests exercise
+	// the worker pool even on single-CPU hosts.
+	cfg.Parallelism = 4
 	return cfg
+}
+
+// estimate is core.EstimateUtilityParallel at the configured parallelism;
+// every experiment goes through it so -parallel reaches each measurement.
+func (c Config) estimate(proto sim.Protocol, adv sim.Adversary, g core.Payoff,
+	sampler core.InputSampler, runs int, seed int64) (core.UtilityReport, error) {
+	return core.EstimateUtilityParallel(proto, adv, g, sampler, runs, seed, c.Parallelism)
+}
+
+// sup is core.SupUtilityParallel at the configured parallelism.
+func (c Config) sup(proto sim.Protocol, advs []core.NamedAdversary, g core.Payoff,
+	sampler core.InputSampler, runs int, seed int64) (core.SupReport, error) {
+	return core.SupUtilityParallel(proto, advs, g, sampler, runs, seed, c.Parallelism)
 }
 
 // Row is one paper-vs-measured comparison.
@@ -154,15 +179,48 @@ func All() []Experiment {
 	}
 }
 
-// RunAll executes every experiment.
+// RunAll executes every experiment. With cfg.Parallelism != 1 the
+// experiments run concurrently (each is seeded independently from
+// cfg.Seed, so the results are identical to the sequential order); the
+// returned slice is always in All() order, and on failure the error of
+// the earliest experiment is reported.
 func RunAll(cfg Config) ([]Result, error) {
-	var out []Result
-	for _, e := range All() {
-		r, err := e.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+	all := All()
+	out := make([]Result, len(all))
+	errs := make([]error, len(all))
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = core.DefaultParallelism()
+	}
+	if workers > len(all) {
+		workers = len(all)
+	}
+	if workers <= 1 {
+		for i, e := range all {
+			out[i], errs[i] = e.Run(cfg)
 		}
-		out = append(out, r)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(all) {
+						return
+					}
+					out[i], errs[i] = all[i].Run(cfg)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", all[i].ID, err)
+		}
 	}
 	return out, nil
 }

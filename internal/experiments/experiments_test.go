@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -94,5 +95,66 @@ func TestExperimentsPassQuick(t *testing.T) {
 				t.Errorf("%s %q: NaN measurement", res.ID, row.Label)
 			}
 		}
+	}
+}
+
+// TestParallelMatchesSequential pins the determinism contract at the
+// experiment level: the same Config run sequentially and with a worker
+// pool must produce byte-identical Results.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep skipped in -short mode")
+	}
+	for _, id := range []string{"E04", "E05", "E08"} {
+		var exp *Experiment
+		for _, e := range All() {
+			if e.ID == id {
+				cp := e
+				exp = &cp
+				break
+			}
+		}
+		if exp == nil {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		seqCfg := QuickConfig()
+		seqCfg.Parallelism = 1
+		parCfg := QuickConfig()
+		parCfg.Parallelism = 4
+		seq, err := exp.Run(seqCfg)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		par, err := exp.Run(parCfg)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: parallel result differs from sequential:\nseq: %+v\npar: %+v", id, seq, par)
+		}
+	}
+}
+
+// TestRunAllParallelMatchesSequential checks the experiment-level
+// fan-out too: RunAll at Parallelism 1 and 4 must agree on every row.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep skipped in -short mode")
+	}
+	seqCfg := QuickConfig()
+	seqCfg.Parallelism = 1
+	seqCfg.Runs, seqCfg.SupRuns = 80, 40
+	parCfg := seqCfg
+	parCfg.Parallelism = 4
+	seq, err := RunAll(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAll(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("RunAll results differ between Parallelism 1 and 4")
 	}
 }

@@ -30,7 +30,7 @@ func E11GordonKatz(cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		rep, err := core.EstimateUtility(proto, gordonkatz.NewFirstHit(1), g, worstAND, cfg.Runs, cfg.Seed+int64(p))
+		rep, err := cfg.estimate(proto, gordonkatz.NewFirstHit(1), g, worstAND, cfg.Runs, cfg.Seed+int64(p))
 		if err != nil {
 			return Result{}, err
 		}
@@ -49,7 +49,7 @@ func E11GordonKatz(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rep, err := core.EstimateUtility(pr, adversary.NewLockAbort(1), g, worstAND, cfg.Runs, cfg.Seed+9)
+	rep, err := cfg.estimate(pr, adversary.NewLockAbort(1), g, worstAND, cfg.Runs, cfg.Seed+9)
 	if err != nil {
 		return Result{}, err
 	}
@@ -67,7 +67,7 @@ func E11GordonKatz(cfg Config) (Result, error) {
 		return []sim.Value{uint64(1), uint64(1), uint64(1)}
 	}
 	for _, set := range [][]sim.PartyID{{1}, {1, 2}} {
-		mrep, err := core.EstimateUtility(mp, adversary.NewLockAbort(set...), g, worst3,
+		mrep, err := cfg.estimate(mp, adversary.NewLockAbort(set...), g, worst3,
 			cfg.Runs, cfg.Seed+int64(20+len(set)))
 		if err != nil {
 			return Result{}, err
@@ -105,7 +105,7 @@ func E12PartialFairnessSeparation(cfg Config) (Result, error) {
 		{Name: "leak-extractor", Adv: gordonkatz.NewLeakExtractor()},
 		{Name: "abort-r1-p2", Adv: adversary.NewAbortAt(1, 2)},
 	}
-	sup, err := core.SupUtility(pitilde, advs, g, worstAND, cfg.SupRuns, cfg.Seed+40)
+	sup, err := cfg.sup(pitilde, advs, g, worstAND, cfg.SupRuns, cfg.Seed+40)
 	if err != nil {
 		return Result{}, err
 	}
@@ -115,7 +115,7 @@ func E12PartialFairnessSeparation(cfg Config) (Result, error) {
 	res.Rows = append(res.Rows, supRow)
 
 	// Lemma 26: the extractor breaches privacy w.p. 1/4.
-	leak, err := core.EstimateUtility(pitilde, gordonkatz.NewLeakExtractor(), g,
+	leak, err := cfg.estimate(pitilde, gordonkatz.NewLeakExtractor(), g,
 		func(r *rand.Rand) []sim.Value { return []sim.Value{uint64(r.Intn(2)), uint64(0)} },
 		cfg.Runs, cfg.Seed+41)
 	if err != nil {
@@ -130,7 +130,7 @@ func E12PartialFairnessSeparation(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	clean, err := core.EstimateUtility(genuine, gordonkatz.NewLeakExtractor(), g,
+	clean, err := cfg.estimate(genuine, gordonkatz.NewLeakExtractor(), g,
 		worstAND, cfg.Runs, cfg.Seed+42)
 	if err != nil {
 		return Result{}, err

@@ -36,7 +36,7 @@ func perTSup(p sim.Protocol, g core.Payoff, n int, cfg Config,
 	for t := 1; t < n; t++ {
 		space := adversary.MultiPartyTSpace(n, t, p.NumRounds())
 		space = append(space, extra[t]...)
-		sup, err := core.SupUtility(p, space, g, nSampler(n), cfg.SupRuns, cfg.Seed+int64(100*t))
+		sup, err := cfg.sup(p, space, g, nSampler(n), cfg.SupRuns, cfg.Seed+int64(100*t))
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +75,7 @@ func E05MultiPartyUpper(cfg Config) (Result, error) {
 		}
 		p := multiparty.NewOptN(fn)
 		for t := 1; t < n; t++ {
-			rep, err := core.EstimateUtility(p, adversary.NewLockAbort(adversary.TSubsets(n, t)[0]...),
+			rep, err := cfg.estimate(p, adversary.NewLockAbort(adversary.TSubsets(n, t)[0]...),
 				g, nSampler(n), cfg.Runs, cfg.Seed+int64(10*n+t))
 			if err != nil {
 				return Result{}, err
@@ -103,7 +103,7 @@ func E06MultiPartyLower(cfg Config) (Result, error) {
 			return Result{}, err
 		}
 		p := multiparty.NewOptN(fn)
-		rep, err := core.EstimateUtility(p, adversary.NewAllButMixer(n), g, nSampler(n), cfg.Runs, cfg.Seed+int64(20+n))
+		rep, err := cfg.estimate(p, adversary.NewAllButMixer(n), g, nSampler(n), cfg.Runs, cfg.Seed+int64(20+n))
 		if err != nil {
 			return Result{}, err
 		}
@@ -151,7 +151,7 @@ func E08GMWUnbalanced(cfg Config) (Result, error) {
 	res := Result{
 		ID:    "E08",
 		Title: "Traditional fairness is not utility-balanced (Π_GMW^{1/2}, even n)",
-		Claim: "Lemma 17: t ≥ n/2 → γ10, t < n/2 → γ11; sum exceeds (n−1)(γ10+γ11)/2",
+		Claim: "Lemma 17: t ≥ n/2 → γ10, t < n/2 → γ11; sum exceeds (n−1)(γ10+γ11)/2 by (γ10−γ11)/2",
 	}
 	fn, err := concatFn(n)
 	if err != nil {
@@ -167,7 +167,7 @@ func E08GMWUnbalanced(cfg Config) (Result, error) {
 		res.Rows = append(res.Rows, eqRow(fmt.Sprintf("n=%d t=%d", n, i+1), want, per[i], 0, cfg.Tolerance))
 	}
 	res.Rows = append(res.Rows,
-		geRow("per-t sum vs Lemma 17 bound", core.GMWEvenNSumLowerBound(g, n), per.Sum(), 0, cfg.Tolerance*2),
+		geRow("per-t sum vs balanced bound + (γ10−γ11)/2", core.GMWEvenNSumLowerBound(g, n), per.Sum(), 0, cfg.Tolerance*2),
 		boolRow("utility-balanced", false, core.IsUtilityBalanced(per, g, cfg.Tolerance)))
 	return res, nil
 }
@@ -189,7 +189,7 @@ func E09Separations(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	p18 := multiparty.NewLemma18(fn)
-	special, err := core.EstimateUtility(p18, multiparty.NewLemma18Attacker(1), g, nSampler(n), cfg.Runs, cfg.Seed+30)
+	special, err := cfg.estimate(p18, multiparty.NewLemma18Attacker(1), g, nSampler(n), cfg.Runs, cfg.Seed+30)
 	if err != nil {
 		return Result{}, err
 	}
@@ -216,7 +216,7 @@ func E09Separations(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	p0 := multiparty.NewHybrid(fn5)
-	attack, err := core.EstimateUtility(p0, adversary.NewLockAbort(1, 2, 3), g, nSampler(n), cfg.Runs, cfg.Seed+31)
+	attack, err := cfg.estimate(p0, adversary.NewLockAbort(1, 2, 3), g, nSampler(n), cfg.Runs, cfg.Seed+31)
 	if err != nil {
 		return Result{}, err
 	}

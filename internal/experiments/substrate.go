@@ -42,7 +42,7 @@ func E15SubstrateGap(cfg Config) (Result, error) {
 
 	// The rushing grab at the output round.
 	for _, target := range []sim.PartyID{1, 2} {
-		rep, err := core.EstimateUtility(raw, adversary.NewLockAbort(target), g,
+		rep, err := cfg.estimate(raw, adversary.NewLockAbort(target), g,
 			sampler, cfg.Runs, cfg.Seed+int64(target))
 		if err != nil {
 			return Result{}, err
@@ -54,7 +54,7 @@ func E15SubstrateGap(cfg Config) (Result, error) {
 	}
 
 	// Mid-protocol aborts earn γ00 = nothing.
-	mid, err := core.EstimateUtility(raw, adversary.NewAbortAt(1, 2), g, sampler, cfg.Runs, cfg.Seed+3)
+	mid, err := cfg.estimate(raw, adversary.NewAbortAt(1, 2), g, sampler, cfg.Runs, cfg.Seed+3)
 	if err != nil {
 		return Result{}, err
 	}
@@ -63,7 +63,7 @@ func E15SubstrateGap(cfg Config) (Result, error) {
 
 	// The fair wrapper for the same function.
 	fair := twoparty.New(twoparty.Millionaires())
-	wrapped, err := core.SupUtility(fair, adversary.TwoPartySpace(fair.NumRounds()), g,
+	wrapped, err := cfg.sup(fair, adversary.TwoPartySpace(fair.NumRounds()), g,
 		sampler, cfg.SupRuns, cfg.Seed+4)
 	if err != nil {
 		return Result{}, err

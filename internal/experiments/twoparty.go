@@ -31,12 +31,12 @@ func E01ContractSigning(cfg Config) (Result, error) {
 		Title: "Contract signing: Π2 is twice as fair as Π1",
 		Claim: "Introduction; Π1 → γ10, Π2 → (γ10+γ11)/2",
 	}
-	sup1, err := core.SupUtility(contract.Pi1{}, adversary.TwoPartySpace(contract.Pi1{}.NumRounds()),
+	sup1, err := cfg.sup(contract.Pi1{}, adversary.TwoPartySpace(contract.Pi1{}.NumRounds()),
 		g, contractSampler, cfg.SupRuns, cfg.Seed)
 	if err != nil {
 		return Result{}, err
 	}
-	sup2, err := core.SupUtility(contract.Pi2{}, adversary.TwoPartySpace(contract.Pi2{}.NumRounds()),
+	sup2, err := cfg.sup(contract.Pi2{}, adversary.TwoPartySpace(contract.Pi2{}.NumRounds()),
 		g, contractSampler, cfg.SupRuns, cfg.Seed+1)
 	if err != nil {
 		return Result{}, err
@@ -62,7 +62,7 @@ func E02TwoPartyUpper(cfg Config) (Result, error) {
 		Title: "ΠOpt-2SFE upper bound",
 		Claim: "Theorem 3: u_A(ΠOpt-2SFE, A) ≤ (γ10+γ11)/2",
 	}
-	sup, err := core.SupUtility(p, adversary.TwoPartySpace(p.NumRounds()), g, swapSampler, cfg.SupRuns, cfg.Seed+2)
+	sup, err := cfg.sup(p, adversary.TwoPartySpace(p.NumRounds()), g, swapSampler, cfg.SupRuns, cfg.Seed+2)
 	if err != nil {
 		return Result{}, err
 	}
@@ -71,7 +71,7 @@ func E02TwoPartyUpper(cfg Config) (Result, error) {
 	row.Note = "best: " + sup.Best
 	res.Rows = append(res.Rows, row)
 	// Event split of the best one-sided attack: E10 and E11 each ~1/2.
-	rep, err := core.EstimateUtility(p, adversary.NewLockAbort(1), g, swapSampler, cfg.Runs, cfg.Seed+3)
+	rep, err := cfg.estimate(p, adversary.NewLockAbort(1), g, swapSampler, cfg.Runs, cfg.Seed+3)
 	if err != nil {
 		return Result{}, err
 	}
@@ -93,19 +93,19 @@ func E03TwoPartyLower(cfg Config) (Result, error) {
 		Title: "Two-party lower bounds (swap function)",
 		Claim: "Theorem 4: u(Agen) ≥ (γ10+γ11)/2; Lemma 7: u(A1)+u(A2) ≥ γ10+γ11",
 	}
-	agen, err := core.EstimateUtility(p, adversary.NewAgen(), g, swapSampler, cfg.Runs, cfg.Seed+4)
+	agen, err := cfg.estimate(p, adversary.NewAgen(), g, swapSampler, cfg.Runs, cfg.Seed+4)
 	if err != nil {
 		return Result{}, err
 	}
-	u1, err := core.EstimateUtility(p, adversary.NewLockAbort(1), g, swapSampler, cfg.Runs, cfg.Seed+5)
+	u1, err := cfg.estimate(p, adversary.NewLockAbort(1), g, swapSampler, cfg.Runs, cfg.Seed+5)
 	if err != nil {
 		return Result{}, err
 	}
-	u2, err := core.EstimateUtility(p, adversary.NewLockAbort(2), g, swapSampler, cfg.Runs, cfg.Seed+6)
+	u2, err := cfg.estimate(p, adversary.NewLockAbort(2), g, swapSampler, cfg.Runs, cfg.Seed+6)
 	if err != nil {
 		return Result{}, err
 	}
-	fixed, err := core.EstimateUtility(twoparty.NewFixedOrder(twoparty.Swap(), 2),
+	fixed, err := cfg.estimate(twoparty.NewFixedOrder(twoparty.Swap(), 2),
 		adversary.NewLockAbort(2), g, swapSampler, cfg.Runs, cfg.Seed+7)
 	if err != nil {
 		return Result{}, err
@@ -133,7 +133,7 @@ func E04ReconstructionRounds(cfg Config) (Result, error) {
 	// (Lemma 9's content: the adversary has no advantage before the
 	// reconstruction phase).
 	opt := twoparty.New(twoparty.Swap())
-	setupAbort, err := core.EstimateUtility(opt, adversary.NewSetupAbort(2), g, swapSampler, cfg.Runs, cfg.Seed+8)
+	setupAbort, err := cfg.estimate(opt, adversary.NewSetupAbort(2), g, swapSampler, cfg.Runs, cfg.Seed+8)
 	if err != nil {
 		return Result{}, err
 	}
@@ -142,7 +142,7 @@ func E04ReconstructionRounds(cfg Config) (Result, error) {
 
 	// The single-round protocol: rushing abort at round 1 earns γ10.
 	one := twoparty.NewOneRound(twoparty.Swap())
-	rush, err := core.EstimateUtility(one, adversary.NewAbortAt(1, 2), g, swapSampler, cfg.Runs, cfg.Seed+9)
+	rush, err := cfg.estimate(one, adversary.NewAbortAt(1, 2), g, swapSampler, cfg.Runs, cfg.Seed+9)
 	if err != nil {
 		return Result{}, err
 	}

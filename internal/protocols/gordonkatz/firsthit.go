@@ -31,10 +31,16 @@ type FirstHit struct {
 	learnedOK bool
 }
 
-var _ sim.Adversary = (*FirstHit)(nil)
+var (
+	_ sim.Adversary       = (*FirstHit)(nil)
+	_ sim.AdversaryCloner = (*FirstHit)(nil)
+)
 
 // NewFirstHit corrupts target.
 func NewFirstHit(target sim.PartyID) *FirstHit { return &FirstHit{target: target} }
+
+// CloneAdversary implements sim.AdversaryCloner.
+func (f *FirstHit) CloneAdversary() sim.Adversary { return NewFirstHit(f.target) }
 
 // Reset implements sim.Adversary.
 func (f *FirstHit) Reset(ctx *sim.AdvContext) {

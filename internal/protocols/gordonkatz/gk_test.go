@@ -347,3 +347,36 @@ func TestMeasuredMatchesExactFirstHit(t *testing.T) {
 		}
 	}
 }
+
+// TestZeroFakeHitFirstHitCertain settles the h = 0 semantics of
+// core.GKFirstHitExact by simulation: a poly-range protocol whose fake
+// range can never produce the real output (h = 0 exactly) gives the
+// first-hit attacker its first hit at the switch round i* itself, in
+// every run — Pr[E10] = 1, matching the h→0⁺ limit of the closed form
+// (and refuting the old h = 0 branch, which claimed 1/r).
+func TestZeroFakeHitFirstHitCertain(t *testing.T) {
+	fn := TwoPartyFn{
+		Name:    "sum2",
+		XDomain: []uint64{1},
+		YDomain: []uint64{1},
+		Range:   []uint64{0, 1}, // excludes the real output 1+1 = 2
+		Eval:    func(x, y uint64) uint64 { return x + y },
+	}
+	proto := Protocol{Fn: fn, P: 1, Iterations: 6, mode: fakeByRange}
+	g := core.GordonKatzPayoff()
+	rep, err := core.EstimateUtility(proto, NewFirstHit(1), g,
+		core.FixedInputs(uint64(1), uint64(1)), 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.EventFreq[core.E10]; got != 1 {
+		t.Errorf("zero-fake-hit domain: Pr[E10] = %v, want 1 in every run", got)
+	}
+	exact := core.GKFirstHitExact(proto.Iterations, 0)
+	if exact != 1 {
+		t.Errorf("GKFirstHitExact(r, 0) = %v, want 1", exact)
+	}
+	if rep.Utility.Mean != exact {
+		t.Errorf("measured %v disagrees with exact h=0 value %v", rep.Utility.Mean, exact)
+	}
+}

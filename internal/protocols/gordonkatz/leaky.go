@@ -156,12 +156,16 @@ type LeakExtractor struct {
 }
 
 var (
-	_ sim.Adversary      = (*LeakExtractor)(nil)
-	_ sim.InputExtractor = (*LeakExtractor)(nil)
+	_ sim.Adversary       = (*LeakExtractor)(nil)
+	_ sim.InputExtractor  = (*LeakExtractor)(nil)
+	_ sim.AdversaryCloner = (*LeakExtractor)(nil)
 )
 
 // NewLeakExtractor builds the attack.
 func NewLeakExtractor() *LeakExtractor { return &LeakExtractor{} }
+
+// CloneAdversary implements sim.AdversaryCloner.
+func (l *LeakExtractor) CloneAdversary() sim.Adversary { return NewLeakExtractor() }
 
 // Reset implements sim.Adversary.
 func (l *LeakExtractor) Reset(*sim.AdvContext) {

@@ -21,11 +21,19 @@ type GMWSetupAttacker struct {
 	learnedOK bool
 }
 
-var _ sim.Adversary = (*GMWSetupAttacker)(nil)
+var (
+	_ sim.Adversary       = (*GMWSetupAttacker)(nil)
+	_ sim.AdversaryCloner = (*GMWSetupAttacker)(nil)
+)
 
 // NewGMWSetupAttacker corrupts the given parties.
 func NewGMWSetupAttacker(targets ...sim.PartyID) *GMWSetupAttacker {
 	return &GMWSetupAttacker{targets: targets}
+}
+
+// CloneAdversary implements sim.AdversaryCloner.
+func (a *GMWSetupAttacker) CloneAdversary() sim.Adversary {
+	return NewGMWSetupAttacker(a.targets...)
 }
 
 // Reset implements sim.Adversary.

@@ -168,11 +168,19 @@ type Lemma18Attacker struct {
 	learnedOK bool
 }
 
-var _ sim.Adversary = (*Lemma18Attacker)(nil)
+var (
+	_ sim.Adversary       = (*Lemma18Attacker)(nil)
+	_ sim.AdversaryCloner = (*Lemma18Attacker)(nil)
+)
 
 // NewLemma18Attacker corrupts target.
 func NewLemma18Attacker(target sim.PartyID) *Lemma18Attacker {
 	return &Lemma18Attacker{target: target}
+}
+
+// CloneAdversary implements sim.AdversaryCloner.
+func (a *Lemma18Attacker) CloneAdversary() sim.Adversary {
+	return NewLemma18Attacker(a.target)
 }
 
 // Reset implements sim.Adversary.

@@ -6,7 +6,14 @@ package sim
 // accounts for cases where the adversary does not corrupt any party").
 type Passive struct{}
 
-var _ Adversary = Passive{}
+var (
+	_ Adversary       = Passive{}
+	_ AdversaryCloner = Passive{}
+)
+
+// CloneAdversary implements AdversaryCloner; Passive is stateless, so the
+// value itself is a valid clone.
+func (p Passive) CloneAdversary() Adversary { return p }
 
 // Reset implements Adversary.
 func (Passive) Reset(*AdvContext) {}

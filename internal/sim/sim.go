@@ -150,6 +150,34 @@ type InputExtractor interface {
 	ExtractedInput() (PartyID, Value, bool)
 }
 
+// AdversaryCloner is an optional Adversary capability: producing an
+// independent strategy with the same configuration but no shared mutable
+// state, so the parallel estimator can hand one copy to each worker.
+// Because Reset runs before every simulation, a clone only needs to
+// reproduce the strategy's configuration (targets, stop rounds, wrapped
+// sub-strategies), never its per-run state. CloneAdversary may return nil
+// to signal that this particular instance cannot be cloned (e.g. a mixer
+// wrapping a non-cloneable strategy).
+type AdversaryCloner interface {
+	CloneAdversary() Adversary
+}
+
+// CloneAdversary returns an independent copy of adv if the strategy
+// supports cloning, and reports whether it does. Callers that receive
+// ok=false must not share adv across goroutines and should fall back to
+// sequential execution.
+func CloneAdversary(adv Adversary) (Adversary, bool) {
+	c, ok := adv.(AdversaryCloner)
+	if !ok {
+		return nil, false
+	}
+	clone := c.CloneAdversary()
+	if clone == nil {
+		return nil, false
+	}
+	return clone, true
+}
+
 // AuditedParty is an optional Party capability: exposing protocol-
 // internal audit data (e.g. "last iteration with a valid share") that the
 // trace records for honest parties. Audit data never reaches the
