@@ -1,0 +1,172 @@
+// Command fairbench measures the Monte-Carlo estimator's throughput and
+// writes a machine-readable report (BENCH_estimator.json): ns/run and
+// runs/sec for each workload at parallelism 1, 4, and one-per-CPU. The
+// estimates themselves are checked to be byte-identical across the
+// parallelism settings (the engine's determinism contract), so the
+// numbers compare pure scheduling overhead, never different work.
+//
+// Usage:
+//
+//	fairbench [-runs N] [-seed S] [-o BENCH_estimator.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/protocols/multiparty"
+	"repro/internal/protocols/twoparty"
+	"repro/internal/sim"
+)
+
+// measurement is one workload × parallelism timing.
+type measurement struct {
+	Parallelism int     `json:"parallelism"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	NsPerRun    float64 `json:"ns_per_run"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+	Utility     string  `json:"utility"`
+}
+
+// workloadReport groups one workload's measurements.
+type workloadReport struct {
+	Proto        string        `json:"proto"`
+	Adversary    string        `json:"adversary"`
+	Runs         int           `json:"runs"`
+	Seed         int64         `json:"seed"`
+	Measurements []measurement `json:"measurements"`
+	SpeedupMax   float64       `json:"speedup_max_vs_sequential"`
+}
+
+// report is the BENCH_estimator.json document.
+type report struct {
+	Generated string           `json:"generated"`
+	GoVersion string           `json:"go_version"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	CPUs      int              `json:"cpus"`
+	Workloads []workloadReport `json:"workloads"`
+}
+
+// workload is a protocol × adversary estimation target.
+type workload struct {
+	name    string
+	advName string
+	proto   sim.Protocol
+	adv     func() sim.Adversary
+	sampler core.InputSampler
+}
+
+func workloads() ([]workload, error) {
+	fn, err := multiparty.Concat(4, 8)
+	if err != nil {
+		return nil, err
+	}
+	uniformN := func(parties, max int) core.InputSampler {
+		return func(r *rand.Rand) []sim.Value {
+			in := make([]sim.Value, parties)
+			for i := range in {
+				in[i] = uint64(r.Intn(max))
+			}
+			return in
+		}
+	}
+	return []workload{
+		{
+			name: "2sfe-opt", advName: "lock-abort:1",
+			proto:   twoparty.New(twoparty.Swap()),
+			adv:     func() sim.Adversary { return adversary.NewLockAbort(1) },
+			sampler: uniformN(2, 1<<20),
+		},
+		{
+			name: "nsfe-opt:4", advName: "lock-abort:1+3",
+			proto:   multiparty.NewOptN(fn),
+			adv:     func() sim.Adversary { return adversary.NewLockAbort(1, 3) },
+			sampler: uniformN(4, 256),
+		},
+	}, nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fairbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fairbench", flag.ContinueOnError)
+	runs := fs.Int("runs", 20000, "Monte-Carlo runs per measurement")
+	seed := fs.Int64("seed", 1, "estimation seed")
+	out := fs.String("o", "BENCH_estimator.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	maxPar := core.DefaultParallelism()
+	settings := []int{1, 4, maxPar}
+
+	wls, err := workloads()
+	if err != nil {
+		return err
+	}
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	gamma := core.StandardPayoff()
+	for _, wl := range wls {
+		wr := workloadReport{Proto: wl.name, Adversary: wl.advName, Runs: *runs, Seed: *seed}
+		var baseline core.UtilityReport
+		for i, par := range settings {
+			start := time.Now()
+			r, err := core.EstimateUtilityParallel(wl.proto, wl.adv(), gamma, wl.sampler, *runs, *seed, par)
+			if err != nil {
+				return fmt.Errorf("%s parallelism %d: %w", wl.name, par, err)
+			}
+			elapsed := time.Since(start)
+			if i == 0 {
+				baseline = r
+			} else if r.Utility != baseline.Utility {
+				return fmt.Errorf("%s: parallelism %d utility %v differs from sequential %v",
+					wl.name, par, r.Utility, baseline.Utility)
+			}
+			wr.Measurements = append(wr.Measurements, measurement{
+				Parallelism: par,
+				ElapsedMS:   float64(elapsed.Microseconds()) / 1e3,
+				NsPerRun:    float64(elapsed.Nanoseconds()) / float64(*runs),
+				RunsPerSec:  float64(*runs) / elapsed.Seconds(),
+				Utility:     r.Utility.String(),
+			})
+			fmt.Printf("%-12s %-16s parallelism=%-3d %10.1f ns/run %12.0f runs/s\n",
+				wl.name, wl.advName, par,
+				wr.Measurements[i].NsPerRun, wr.Measurements[i].RunsPerSec)
+		}
+		first, last := wr.Measurements[0], wr.Measurements[len(wr.Measurements)-1]
+		wr.SpeedupMax = first.NsPerRun / last.NsPerRun
+		rep.Workloads = append(rep.Workloads, wr)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	fairness [-quick] [-runs N] [-sup N] [-seed S] [-parallel P] [-exp E05[,E07]]
+//	fairness [-quick] [-runs N] [-sup N] [-seed S] [-parallel P] [-exp E05[,E07]] [-trace F]
 //
 // The default configuration matches EXPERIMENTS.md; -quick runs a fast
 // smoke sweep. -parallel sets the estimation worker count (0, the
 // default, means one worker per CPU; 1 forces sequential execution);
-// results are identical for every setting.
+// results are identical for every setting. -trace writes a JSONL
+// transcript of every simulated run to F (pretty-print it with
+// `fairsim -print-trace F`); expect large files outside -quick/-exp.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/sim/trace"
 )
 
 func main() {
@@ -26,9 +29,10 @@ func main() {
 
 // options is the parsed command line.
 type options struct {
-	cfg      experiments.Config
-	selected map[string]bool
-	format   string
+	cfg       experiments.Config
+	selected  map[string]bool
+	format    string
+	traceFile string
 }
 
 // parseArgs builds the experiment configuration. Overrides apply only
@@ -44,6 +48,7 @@ func parseArgs(args []string) (options, error) {
 	parallel := fs.Int("parallel", 0, "estimation workers (0 = one per CPU, 1 = sequential)")
 	only := fs.String("exp", "", "comma-separated experiment IDs (default: all)")
 	format := fs.String("format", "text", "output format: text or markdown")
+	traceFile := fs.String("trace", "", "write a JSONL transcript of every simulated run to this file")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -73,7 +78,7 @@ func parseArgs(args []string) (options, error) {
 			selected[id] = true
 		}
 	}
-	return options{cfg: cfg, selected: selected, format: *format}, nil
+	return options{cfg: cfg, selected: selected, format: *format, traceFile: *traceFile}, nil
 }
 
 func run(args []string) int {
@@ -82,6 +87,16 @@ func run(args []string) int {
 		return 2
 	}
 	cfg := opts.cfg
+	if opts.traceFile != "" {
+		f, err := os.Create(opts.traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fairness:", err)
+			return 1
+		}
+		defer func() { _ = f.Close() }()
+		cfg.Trace = trace.NewSink(f)
+	}
+	total := &experiments.MetricsCollector{}
 
 	fmt.Printf("utility-based fairness reproduction (runs=%d sup=%d seed=%d γ=%+v)\n\n",
 		cfg.Runs, cfg.SupRuns, cfg.Seed, cfg.Gamma)
@@ -91,11 +106,18 @@ func run(args []string) int {
 		if len(opts.selected) > 0 && !opts.selected[e.ID] {
 			continue
 		}
-		res, err := e.Run(cfg)
+		// A fresh collector per experiment so the printed engine line is
+		// per-experiment; totals aggregate across the sweep.
+		ecfg := cfg
+		col := &experiments.MetricsCollector{}
+		ecfg.Metrics = col
+		res, err := e.Run(ecfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			return 1
 		}
+		res.Metrics = col.Total()
+		total.Add(res.Metrics)
 		if opts.format == "markdown" {
 			printMarkdown(res)
 		} else {
@@ -104,6 +126,17 @@ func run(args []string) int {
 		if !res.Pass() {
 			allPass = false
 		}
+	}
+	m := total.Total()
+	fmt.Printf("engine: runs=%d rounds=%d msgs=%d broadcasts=%d corruptions=%d setup-aborts=%d\n",
+		m.Runs, m.Rounds, m.Messages, m.Broadcasts, m.Corruptions, m.SetupAborts)
+	if cfg.Trace != nil {
+		if err := cfg.Trace.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "fairness: trace:", err)
+			return 1
+		}
+		st := cfg.Trace.Stats()
+		fmt.Printf("trace : %s (%d lines, %d runs)\n", opts.traceFile, st.Lines, st.Runs)
 	}
 	if !allPass {
 		fmt.Println("RESULT: some rows FAILED")
@@ -128,6 +161,10 @@ func printResult(res experiments.Result) {
 		}
 		fmt.Printf("    %-46s %10.4f %2s %10.4f %8s  %s %s\n",
 			row.Label, row.Paper, row.Dir, row.Measured, status, ci, row.Note)
+	}
+	if m := res.Metrics; m.Runs > 0 {
+		fmt.Printf("    engine: runs=%d rounds=%d msgs=%d corruptions=%d setup-aborts=%d\n",
+			m.Runs, m.Rounds, m.Messages, m.Corruptions, m.SetupAborts)
 	}
 	fmt.Println()
 }

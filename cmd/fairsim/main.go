@@ -5,6 +5,12 @@
 // Usage:
 //
 //	fairsim -proto 2sfe-opt -adv lock-abort:1 -runs 2000 -seed 7 [-parallel P]
+//	fairsim -proto 2sfe-opt -adv lock-abort:1 -runs 4 -trace out.jsonl
+//	fairsim -print-trace out.jsonl
+//
+// -trace writes a structured JSONL transcript of every simulated run
+// (the engine's observer event stream); -print-trace pretty-prints such
+// a transcript round by round and exits.
 //
 // Protocols: pi1, pi2, 2sfe-opt, 2sfe-fixed2, 2sfe-oneround,
 // nsfe-opt:N, nsfe-gmw12:N, nsfe-lemma18:N, nsfe-hybrid:N,
@@ -30,6 +36,7 @@ import (
 	"repro/internal/protocols/multiparty"
 	"repro/internal/protocols/twoparty"
 	"repro/internal/sim"
+	"repro/internal/sim/trace"
 )
 
 func main() {
@@ -46,8 +53,18 @@ func run(args []string) error {
 	runs := fs.Int("runs", 1000, "Monte-Carlo runs")
 	seed := fs.Int64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "estimation workers (0 = one per CPU, 1 = sequential)")
+	traceFile := fs.String("trace", "", "write a JSONL transcript of every run to this file")
+	printTrace := fs.String("print-trace", "", "pretty-print a JSONL transcript file and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *printTrace != "" {
+		f, err := os.Open(*printTrace)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		return trace.Fprint(os.Stdout, f)
 	}
 
 	proto, sampler, err := buildProtocol(*protoName)
@@ -63,7 +80,23 @@ func run(args []string) error {
 		gamma = core.GordonKatzPayoff()
 	}
 
-	rep, err := core.EstimateUtilityParallel(proto, adv, gamma, sampler, *runs, *seed, *parallel)
+	var (
+		factory core.ObserverFactory
+		sink    *trace.Sink
+	)
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		sink = trace.NewSink(f)
+		factory = func(run int) sim.Observer {
+			return sink.Recorder(trace.Meta{Strategy: *advName, Run: run})
+		}
+	}
+
+	rep, err := core.EstimateUtilityObserved(proto, adv, gamma, sampler, *runs, *seed, *parallel, factory)
 	if err != nil {
 		return err
 	}
@@ -75,6 +108,20 @@ func run(args []string) error {
 		rep.EventFreq[core.E00], rep.EventFreq[core.E01], rep.EventFreq[core.E10], rep.EventFreq[core.E11])
 	fmt.Printf("violations=%.4f privacy-breaches=%.4f mean-corrupted=%.2f\n",
 		rep.CorrectnessViolations, rep.PrivacyBreaches, rep.MeanCorrupted)
+	m := rep.Metrics
+	fmt.Printf("engine   : runs=%d rounds=%d msgs=%d broadcasts=%d corruptions=%d setup-aborts=%d\n",
+		m.Runs, m.Rounds, m.Messages, m.Broadcasts, m.Corruptions, m.SetupAborts)
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		st := sink.Stats()
+		if st.Runs != m.Runs || st.Rounds != m.Rounds || st.Sends != m.Messages {
+			return fmt.Errorf("trace: transcript stats %+v disagree with engine metrics %+v", st, m)
+		}
+		fmt.Printf("trace    : %s (%d lines, %d runs; counts match engine metrics)\n",
+			*traceFile, st.Lines, st.Runs)
+	}
 	return nil
 }
 

@@ -1,7 +1,11 @@
 // Network: run the paper's protocols over real TCP connections. Every
 // party is a client speaking gob frames to a round-synchronizing host on
 // the loopback interface — the same protocol machines as the in-memory
-// fairness engine, across a genuine serialization boundary.
+// fairness engine, across a genuine serialization boundary. The host is
+// the engine itself: it drives the shared Execution phases over a remote
+// party backend, so observers attached to a TCP session see the exact
+// event stream an in-memory run produces — demonstrated below by
+// recording and printing a session transcript.
 //
 //	go run ./examples/network
 package main
@@ -28,14 +32,30 @@ func main() {
 		fmt.Printf("party %d output: %+v\n", id, outs[id].Value)
 	}
 
-	fmt.Println("\n== ΠOpt-2SFE (millionaires) over TCP ==")
-	outs, err = fairness.RunOverTCP(fairness.NewOptimalTwoParty(fairness.Millionaires()),
-		[]fairness.Value{uint64(52_000), uint64(47_500)}, fairness.GobCodec{}, 2)
+	fmt.Println("\n== ΠOpt-2SFE (millionaires) over TCP, observed ==")
+	rec := fairness.NewTraceRecorder(fairness.TraceMeta{Strategy: "tcp-session"})
+	var metrics fairness.EngineMetrics
+	outs, err = fairness.RunOverTCPConfig(fairness.NewOptimalTwoParty(fairness.Millionaires()),
+		[]fairness.Value{uint64(52_000), uint64(47_500)}, 2,
+		fairness.SessionConfig{Observers: []fairness.Observer{rec, &metrics}})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("party 1: alice richer = %v\nparty 2: alice richer = %v\n",
 		outs[1].Value, outs[2].Value)
+	fmt.Printf("engine metrics: rounds=%d msgs=%d deliveries=%d\n",
+		metrics.Rounds, metrics.Messages, metrics.Deliveries)
+	fmt.Println("transcript excerpt (same observer stream as an in-memory run):")
+	const excerpt = 8
+	for i, line := range rec.Lines() {
+		if i >= excerpt {
+			fmt.Printf("  … %d more lines\n", len(rec.Lines())-excerpt)
+			break
+		}
+		if s := fairness.FormatTraceLine(line); s != "" {
+			fmt.Println(" ", s)
+		}
+	}
 
 	fmt.Println("\n== ΠOpt-nSFE (5-party max) over TCP ==")
 	fn, err := fairness.MaxFn(5)

@@ -38,6 +38,7 @@ import (
 	"repro/internal/protocols/multiparty"
 	"repro/internal/protocols/twoparty"
 	"repro/internal/sim"
+	"repro/internal/sim/trace"
 	"repro/internal/stats"
 	"repro/internal/transport"
 )
@@ -89,6 +90,20 @@ type (
 	Trace = sim.Trace
 	// Passive is the no-corruption adversary.
 	Passive = sim.Passive
+	// OutputRecord is one party's final output (value, ⊥ flag).
+	OutputRecord = sim.OutputRecord
+	// Observer receives the engine's event stream during an execution.
+	Observer = sim.Observer
+	// NopObserver is an embeddable all-no-op Observer.
+	NopObserver = sim.NopObserver
+	// EngineMetrics counts engine events (runs, rounds, messages, …).
+	EngineMetrics = sim.Metrics
+	// Execution is one protocol run decomposed into callable phases
+	// (SetupPhase, Step, Finalize).
+	Execution = sim.Execution
+	// PartyBackend runs the party machines for an Execution (in-memory
+	// or, via the transport, in remote processes).
+	PartyBackend = sim.PartyBackend
 )
 
 // Events.
@@ -118,6 +133,12 @@ var (
 var (
 	// Run executes one protocol instance against an adversary.
 	Run = sim.Run
+	// RunObserved is Run with engine observers attached.
+	RunObserved = sim.RunObserved
+	// NewExecution opens a stepwise execution (SetupPhase/Step/Finalize).
+	NewExecution = sim.NewExecution
+	// NewExecutionWithBackend is NewExecution on an explicit PartyBackend.
+	NewExecutionWithBackend = sim.NewExecutionWithBackend
 	// Classify maps a trace to its ideal-world outcome.
 	Classify = core.Classify
 	// EstimateUtility measures u_A(Π, A) by Monte-Carlo simulation.
@@ -131,6 +152,11 @@ var (
 	// SupUtilityParallel is SupUtility with strategies fanned out to a
 	// worker pool, bit-identical to the sequential search.
 	SupUtilityParallel = core.SupUtilityParallel
+	// EstimateUtilityObserved is EstimateUtilityParallel with a per-run
+	// observer factory and engine metrics in the report.
+	EstimateUtilityObserved = core.EstimateUtilityObserved
+	// SupUtilityObserved is SupUtilityParallel with per-strategy observers.
+	SupUtilityObserved = core.SupUtilityObserved
 	// DefaultParallelism is the worker count used for parallelism <= 0.
 	DefaultParallelism = core.DefaultParallelism
 	// CloneAdversary copies a strategy for an estimation worker.
@@ -283,17 +309,46 @@ var (
 	QuickExperimentConfig = experiments.QuickConfig
 )
 
+// Structured transcripts (JSONL serializations of the observer stream).
+type (
+	// TraceLine is one transcript event.
+	TraceLine = trace.Line
+	// TraceMeta labels a transcript recorder's lines.
+	TraceMeta = trace.Meta
+	// TraceRecorder buffers one run's transcript.
+	TraceRecorder = trace.Recorder
+	// TraceSink multiplexes concurrent runs into one JSONL stream.
+	TraceSink = trace.Sink
+)
+
+var (
+	// NewTraceRecorder builds a standalone one-run transcript recorder.
+	NewTraceRecorder = trace.NewRecorder
+	// NewTraceSink wraps a writer in a JSONL transcript sink.
+	NewTraceSink = trace.NewSink
+	// ParseTranscript reads a JSONL transcript back into lines.
+	ParseTranscript = trace.Parse
+	// FormatTraceLine renders one transcript line for humans.
+	FormatTraceLine = trace.FormatLine
+	// PrintTranscript pretty-prints a JSONL transcript stream.
+	PrintTranscript = trace.Fprint
+)
+
 // Network transport (run protocols over loopback TCP).
 type (
 	// TransportCodec serializes message payloads for TCP sessions.
 	TransportCodec = transport.Codec
 	// GobCodec is the default gob payload codec.
 	GobCodec = transport.GobCodec
+	// SessionConfig tunes a TCP session (codec, round timeout, observers).
+	SessionConfig = transport.SessionConfig
 )
 
 var (
 	// RunOverTCP executes one honest protocol session over loopback TCP.
 	RunOverTCP = transport.RunSession
+	// RunOverTCPConfig is RunOverTCP with an explicit SessionConfig.
+	RunOverTCPConfig = transport.RunSessionConfig
 	// RegisterContractGobTypes enables Π1/Π2 over TCP.
 	RegisterContractGobTypes = contract.RegisterGobTypes
 	// RegisterTwoPartyGobTypes enables ΠOpt-2SFE over TCP.

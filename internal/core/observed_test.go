@@ -1,0 +1,125 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestMetricsAggregation checks that the report's engine metrics are
+// identical for sequential and parallel estimation and consistent with
+// the workload's shape.
+func TestMetricsAggregation(t *testing.T) {
+	const runs = 60
+	seq, err := EstimateUtilityParallel(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, runs, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := EstimateUtilityParallel(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, runs, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sequential and parallel reports diverge:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if seq.Metrics.Runs != runs {
+		t.Errorf("Metrics.Runs = %d, want %d", seq.Metrics.Runs, runs)
+	}
+	wantRounds := int64(runs * (flipProtocol{}.NumRounds() + 1))
+	if seq.Metrics.Rounds != wantRounds {
+		t.Errorf("Metrics.Rounds = %d, want %d", seq.Metrics.Rounds, wantRounds)
+	}
+	if seq.Metrics.Corruptions != runs {
+		t.Errorf("Metrics.Corruptions = %d, want %d (one static corruption per run)", seq.Metrics.Corruptions, runs)
+	}
+	if seq.Metrics.Messages == 0 {
+		t.Error("Metrics.Messages = 0")
+	}
+}
+
+// countingObserver records which run indices it was attached to.
+type countingObserver struct {
+	sim.NopObserver
+	mu   *sync.Mutex
+	runs *[]int
+	run  int
+}
+
+func (c countingObserver) RunFinished(*sim.Trace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	*c.runs = append(*c.runs, c.run)
+}
+
+// TestObserverFactoryCoversEveryRun checks the factory is invoked once
+// per run with the run index, under parallelism, without perturbing the
+// report.
+func TestObserverFactoryCoversEveryRun(t *testing.T) {
+	const runs = 40
+	plain, err := EstimateUtilityParallel(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, runs, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seen []int
+	factory := func(run int) sim.Observer {
+		return countingObserver{mu: &mu, runs: &seen, run: run}
+	}
+	observed, err := EstimateUtilityObserved(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, runs, 5, 3, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatal("attaching observers changed the report")
+	}
+	if len(seen) != runs {
+		t.Fatalf("observer saw %d runs, want %d", len(seen), runs)
+	}
+	covered := make(map[int]bool, runs)
+	for _, r := range seen {
+		covered[r] = true
+	}
+	for i := 0; i < runs; i++ {
+		if !covered[i] {
+			t.Errorf("run %d never observed", i)
+		}
+	}
+}
+
+// TestSupObservedMetrics checks the sup-search surfaces summed metrics
+// and labels the per-strategy observer stream.
+func TestSupObservedMetrics(t *testing.T) {
+	advs := []NamedAdversary{
+		{Name: "grabber", Adv: &grabber{}},
+		{Name: "passive", Adv: sim.Passive{}},
+	}
+	var mu sync.Mutex
+	strategies := map[string]int{}
+	factory := func(strategy string, run int) sim.Observer {
+		mu.Lock()
+		strategies[strategy]++
+		mu.Unlock()
+		return nil
+	}
+	rep, err := SupUtilityObserved(flipProtocol{}, advs, StandardPayoff(), uniformInputs, 20, 3, 2, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want sim.Metrics
+	for _, r := range rep.All {
+		want.Add(r.Metrics)
+	}
+	if rep.Metrics != want {
+		t.Errorf("SupReport.Metrics = %+v, want sum of per-strategy metrics %+v", rep.Metrics, want)
+	}
+	if rep.Metrics.Runs != 40 {
+		t.Errorf("total runs = %d, want 40", rep.Metrics.Runs)
+	}
+	for _, na := range advs {
+		if strategies[na.Name] != 20 {
+			t.Errorf("strategy %q observed %d times, want 20", na.Name, strategies[na.Name])
+		}
+	}
+}

@@ -42,6 +42,10 @@ type UtilityReport struct {
 	MeanCorrupted float64
 	// Runs is the sample count.
 	Runs int
+	// Metrics aggregates the engine's event counters over every run
+	// (rounds stepped, messages committed, corruptions, setup aborts),
+	// merged across the estimation workers.
+	Metrics sim.Metrics
 }
 
 // String renders the report compactly.
@@ -132,6 +136,24 @@ func EstimateUtility(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
 // a single worker.
 func EstimateUtilityParallel(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
 	sampler InputSampler, runs int, seed int64, parallelism int) (UtilityReport, error) {
+	return EstimateUtilityObserved(proto, adv, gamma, sampler, runs, seed, parallelism, nil)
+}
+
+// ObserverFactory builds a per-run engine observer; the estimator calls
+// it once per run (with the run index) and attaches the result to that
+// run's execution. A nil factory, or a nil observer for a given run,
+// attaches nothing. The factory may be called from multiple estimation
+// workers concurrently and must be safe for that; the observers it
+// returns are each used by exactly one run.
+type ObserverFactory func(run int) sim.Observer
+
+// EstimateUtilityObserved is EstimateUtilityParallel with the engine's
+// event stream exposed: every run carries an engine metrics counter
+// (merged into UtilityReport.Metrics) plus the factory's observer, if
+// any. Observers never affect the estimate — the report stays
+// byte-identical for any parallelism and any factory.
+func EstimateUtilityObserved(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
+	sampler InputSampler, runs int, seed int64, parallelism int, factory ObserverFactory) (UtilityReport, error) {
 	if runs <= 0 {
 		return UtilityReport{}, ErrNoRuns
 	}
@@ -159,37 +181,57 @@ func EstimateUtilityParallel(proto sim.Protocol, adv sim.Adversary, gamma Payoff
 			clones[w] = c
 		}
 	}
+	// runOne executes job i with the worker's strategy, feeding the
+	// worker's metrics counter and the per-run observer.
+	runOne := func(i int, worker sim.Adversary, metrics *sim.Metrics) (Outcome, error) {
+		obs := make([]sim.Observer, 0, 2)
+		obs = append(obs, metrics)
+		if factory != nil {
+			if o := factory(i); o != nil {
+				obs = append(obs, o)
+			}
+		}
+		tr, err := sim.RunObserved(proto, jobs[i].inputs, worker, jobs[i].seed, obs...)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Classify(tr), nil
+	}
 	outcomes := make([]Outcome, runs)
 	if workers <= 1 {
-		for i, job := range jobs {
-			tr, err := sim.Run(proto, job.inputs, adv, job.seed)
+		var metrics sim.Metrics
+		for i := range jobs {
+			oc, err := runOne(i, adv, &metrics)
 			if err != nil {
 				return UtilityReport{}, fmt.Errorf("core: run %d: %w", i, err)
 			}
-			outcomes[i] = Classify(tr)
+			outcomes[i] = oc
 		}
-		return tally(outcomes, gamma)
+		rep, err := tally(outcomes, gamma)
+		rep.Metrics = metrics
+		return rep, err
 	}
 	errs := make([]error, runs)
+	workerMetrics := make([]sim.Metrics, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(worker sim.Adversary) {
+		go func(w int, worker sim.Adversary) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= runs {
 					return
 				}
-				tr, err := sim.Run(proto, jobs[i].inputs, worker, jobs[i].seed)
+				oc, err := runOne(i, worker, &workerMetrics[w])
 				if err != nil {
 					errs[i] = err
 					continue
 				}
-				outcomes[i] = Classify(tr)
+				outcomes[i] = oc
 			}
-		}(clones[w])
+		}(w, clones[w])
 	}
 	wg.Wait()
 	// Deterministic error reporting: the lowest-index failure, phrased
@@ -199,7 +241,13 @@ func EstimateUtilityParallel(proto sim.Protocol, adv sim.Adversary, gamma Payoff
 			return UtilityReport{}, fmt.Errorf("core: run %d: %w", i, err)
 		}
 	}
-	return tally(outcomes, gamma)
+	rep, err := tally(outcomes, gamma)
+	// Counter sums are order-independent, so the merged metrics equal the
+	// sequential path's for any worker count.
+	for _, m := range workerMetrics {
+		rep.Metrics.Add(m)
+	}
+	return rep, err
 }
 
 // NamedAdversary pairs a strategy with a label for sup-utility searches.
@@ -216,6 +264,8 @@ type SupReport struct {
 	BestReport UtilityReport
 	// All holds every strategy's report, keyed by label.
 	All map[string]UtilityReport
+	// Metrics sums the engine counters over every strategy's estimation.
+	Metrics sim.Metrics
 }
 
 // SupUtility approximates sup_A u_A(Π, A) over a finite strategy space —
@@ -240,8 +290,26 @@ func SupUtility(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
 // parallelism is spent inside EstimateUtilityParallel instead.
 func SupUtilityParallel(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
 	sampler InputSampler, runs int, seed int64, parallelism int) (SupReport, error) {
+	return SupUtilityObserved(proto, advs, gamma, sampler, runs, seed, parallelism, nil)
+}
+
+// SupObserverFactory builds a per-run observer for a sup-search, keyed by
+// the strategy label and run index. Same contract as ObserverFactory.
+type SupObserverFactory func(strategy string, run int) sim.Observer
+
+// SupUtilityObserved is SupUtilityParallel with the engine's event stream
+// exposed per strategy (see EstimateUtilityObserved). The report —
+// including the best-strategy selection — is unaffected by observation.
+func SupUtilityObserved(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
+	sampler InputSampler, runs int, seed int64, parallelism int, factory SupObserverFactory) (SupReport, error) {
 	if len(advs) == 0 {
 		return SupReport{}, errors.New("core: empty strategy space")
+	}
+	perStrategy := func(name string) ObserverFactory {
+		if factory == nil {
+			return nil
+		}
+		return func(run int) sim.Observer { return factory(name, run) }
 	}
 	workers := parallelism
 	if workers <= 0 {
@@ -260,8 +328,8 @@ func SupUtilityParallel(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
 	errs := make([]error, len(advs))
 	if workers <= 1 {
 		for i, na := range advs {
-			reports[i], errs[i] = EstimateUtilityParallel(proto, na.Adv, gamma, sampler,
-				runs, seed+int64(i)*7919, inner)
+			reports[i], errs[i] = EstimateUtilityObserved(proto, na.Adv, gamma, sampler,
+				runs, seed+int64(i)*7919, inner, perStrategy(na.Name))
 		}
 	} else {
 		var next atomic.Int64
@@ -279,8 +347,8 @@ func SupUtilityParallel(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
 					if c, ok := sim.CloneAdversary(adv); ok {
 						adv = c
 					}
-					reports[i], errs[i] = EstimateUtilityParallel(proto, adv, gamma, sampler,
-						runs, seed+int64(i)*7919, 1)
+					reports[i], errs[i] = EstimateUtilityObserved(proto, adv, gamma, sampler,
+						runs, seed+int64(i)*7919, 1, perStrategy(advs[i].Name))
 				}
 			}()
 		}
@@ -296,6 +364,7 @@ func SupUtilityParallel(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
 	for i, na := range advs {
 		r := reports[i]
 		rep.All[na.Name] = r
+		rep.Metrics.Add(r.Metrics)
 		if r.Utility.Mean > bestU {
 			bestU = r.Utility.Mean
 			rep.Best = na.Name

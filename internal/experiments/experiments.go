@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mathx"
 	"repro/internal/sim"
+	"repro/internal/sim/trace"
 )
 
 // Config controls the Monte-Carlo effort.
@@ -38,6 +39,34 @@ type Config struct {
 	// identical either way — see the determinism contract on
 	// core.EstimateUtilityParallel.
 	Parallelism int
+	// Metrics, when non-nil, accumulates the engine metrics (runs,
+	// rounds, messages, corruptions, …) of every measurement made through
+	// this config. Observation never changes results.
+	Metrics *MetricsCollector
+	// Trace, when non-nil, receives a JSONL transcript of every simulated
+	// run made through this config (labeled with run indices and, inside
+	// sup-searches, strategy names).
+	Trace *trace.Sink
+}
+
+// MetricsCollector aggregates engine metrics across measurements; safe
+// for the concurrent estimates RunAll issues.
+type MetricsCollector struct {
+	mu sync.Mutex
+	m  sim.Metrics
+}
+
+func (c *MetricsCollector) Add(m sim.Metrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.Add(m)
+}
+
+// Total returns the metrics accumulated so far.
+func (c *MetricsCollector) Total() sim.Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m
 }
 
 // DefaultConfig is the configuration used for EXPERIMENTS.md.
@@ -63,17 +92,36 @@ func QuickConfig() Config {
 	return cfg
 }
 
-// estimate is core.EstimateUtilityParallel at the configured parallelism;
-// every experiment goes through it so -parallel reaches each measurement.
+// estimate is core.EstimateUtilityObserved at the configured parallelism;
+// every experiment goes through it so -parallel, the metrics collector,
+// and the transcript sink reach each measurement.
 func (c Config) estimate(proto sim.Protocol, adv sim.Adversary, g core.Payoff,
 	sampler core.InputSampler, runs int, seed int64) (core.UtilityReport, error) {
-	return core.EstimateUtilityParallel(proto, adv, g, sampler, runs, seed, c.Parallelism)
+	var factory core.ObserverFactory
+	if c.Trace != nil {
+		factory = func(run int) sim.Observer { return c.Trace.Recorder(trace.Meta{Run: run}) }
+	}
+	rep, err := core.EstimateUtilityObserved(proto, adv, g, sampler, runs, seed, c.Parallelism, factory)
+	if err == nil && c.Metrics != nil {
+		c.Metrics.Add(rep.Metrics)
+	}
+	return rep, err
 }
 
-// sup is core.SupUtilityParallel at the configured parallelism.
+// sup is core.SupUtilityObserved at the configured parallelism.
 func (c Config) sup(proto sim.Protocol, advs []core.NamedAdversary, g core.Payoff,
 	sampler core.InputSampler, runs int, seed int64) (core.SupReport, error) {
-	return core.SupUtilityParallel(proto, advs, g, sampler, runs, seed, c.Parallelism)
+	var factory core.SupObserverFactory
+	if c.Trace != nil {
+		factory = func(strategy string, run int) sim.Observer {
+			return c.Trace.Recorder(trace.Meta{Strategy: strategy, Run: run})
+		}
+	}
+	rep, err := core.SupUtilityObserved(proto, advs, g, sampler, runs, seed, c.Parallelism, factory)
+	if err == nil && c.Metrics != nil {
+		c.Metrics.Add(rep.Metrics)
+	}
+	return rep, err
 }
 
 // Row is one paper-vs-measured comparison.
@@ -105,6 +153,10 @@ type Result struct {
 	Claim string
 	// Rows are the comparisons.
 	Rows []Row
+	// Metrics aggregates the engine events behind this experiment's
+	// measurements (filled by RunAll; zero when the runner was called
+	// directly without a Config.Metrics collector).
+	Metrics sim.Metrics
 }
 
 // Pass reports whether every row passed.
@@ -195,9 +247,22 @@ func RunAll(cfg Config) ([]Result, error) {
 	if workers > len(all) {
 		workers = len(all)
 	}
+	// Each experiment runs with its own metrics collector so Result.Metrics
+	// is per-experiment; the caller's collector (if any) gets the totals.
+	runOne := func(i int) (Result, error) {
+		ecfg := cfg
+		col := &MetricsCollector{}
+		ecfg.Metrics = col
+		res, err := all[i].Run(ecfg)
+		res.Metrics = col.Total()
+		if cfg.Metrics != nil {
+			cfg.Metrics.Add(res.Metrics)
+		}
+		return res, err
+	}
 	if workers <= 1 {
-		for i, e := range all {
-			out[i], errs[i] = e.Run(cfg)
+		for i := range all {
+			out[i], errs[i] = runOne(i)
 		}
 	} else {
 		var next atomic.Int64
@@ -211,7 +276,7 @@ func RunAll(cfg Config) ([]Result, error) {
 					if i >= len(all) {
 						return
 					}
-					out[i], errs[i] = all[i].Run(cfg)
+					out[i], errs[i] = runOne(i)
 				}
 			}()
 		}

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sim/trace"
 )
 
 func TestRowBuilders(t *testing.T) {
@@ -156,5 +160,69 @@ func TestRunAllParallelMatchesSequential(t *testing.T) {
 	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Error("RunAll results differ between Parallelism 1 and 4")
+	}
+}
+
+// TestMetricsAndTracePlumbing checks that a config-level metrics
+// collector and transcript sink see every run an experiment makes, and
+// that the two agree with each other.
+func TestMetricsAndTracePlumbing(t *testing.T) {
+	var exp *Experiment
+	for _, e := range All() {
+		if e.ID == "E01" {
+			cp := e
+			exp = &cp
+			break
+		}
+	}
+	if exp == nil {
+		t.Fatal("E01 not registered")
+	}
+	cfg := QuickConfig()
+	cfg.Runs, cfg.SupRuns = 40, 20
+	var buf bytes.Buffer
+	cfg.Metrics = &MetricsCollector{}
+	cfg.Trace = trace.NewSink(&buf)
+	if _, err := exp.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Trace.Err(); err != nil {
+		t.Fatal(err)
+	}
+	m := cfg.Metrics.Total()
+	if m.Runs == 0 || m.Rounds == 0 || m.Messages == 0 {
+		t.Fatalf("collector missed the experiment's runs: %+v", m)
+	}
+	st := cfg.Trace.Stats()
+	if st.Runs != m.Runs || st.Rounds != m.Rounds || st.Sends != m.Messages || st.Deliveries != m.Deliveries {
+		t.Errorf("transcript stats %+v disagree with metrics %+v", st, m)
+	}
+	if _, err := trace.Parse(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("transcript not parseable: %v", err)
+	}
+}
+
+// TestRunAllFillsResultMetrics checks RunAll's per-experiment metrics
+// and the caller-level totals.
+func TestRunAllFillsResultMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	cfg := QuickConfig()
+	cfg.Runs, cfg.SupRuns = 40, 20
+	cfg.Metrics = &MetricsCollector{}
+	results, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum sim.Metrics
+	for _, res := range results {
+		if res.Metrics.Runs == 0 {
+			t.Errorf("%s: Result.Metrics empty", res.ID)
+		}
+		sum.Add(res.Metrics)
+	}
+	if total := cfg.Metrics.Total(); total != sum {
+		t.Errorf("config totals %+v != sum of per-experiment metrics %+v", total, sum)
 	}
 }

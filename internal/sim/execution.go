@@ -1,0 +1,493 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// PartyBackend runs the protocol machines for an Execution. The engine
+// owns the model (corruptions, rushing, routing, the trace); the backend
+// owns the machines. The in-memory backend calls Party methods directly;
+// the TCP transport's backend forwards frames to remote party processes.
+type PartyBackend interface {
+	// StartParty builds/initializes party id with its effective input,
+	// private setup output, the setup-abort flag, and the party's RNG
+	// seed (drawn from the execution's master seed, so every backend
+	// reproduces the same machine randomness).
+	StartParty(id PartyID, input Value, setupOut Value, setupAborted bool, seed int64) error
+	// PartyRound advances party id one round on its inbox and returns
+	// its outgoing messages.
+	PartyRound(id PartyID, round int, inbox []Message) ([]Message, error)
+	// PartyOutput returns party id's final output.
+	PartyOutput(id PartyID) (OutputRecord, error)
+	// Machine returns party id's live machine for adversarial handover,
+	// or nil when machines are not host-local. A backend returning nil
+	// supports only honest executions: the engine refuses to corrupt a
+	// party it cannot hand over.
+	Machine(id PartyID) Party
+	// AuditInfo returns party id's AuditInfo when the machine exposes
+	// one (see AuditedParty); ok=false otherwise.
+	AuditInfo(id PartyID) (Value, bool)
+}
+
+// localBackend is the in-memory backend: machines live in-process and
+// are stepped by direct method calls.
+type localBackend struct {
+	proto    Protocol
+	machines []Party
+}
+
+func newLocalBackend(proto Protocol) *localBackend {
+	return &localBackend{proto: proto, machines: make([]Party, proto.NumParties())}
+}
+
+func (b *localBackend) StartParty(id PartyID, input Value, setupOut Value, setupAborted bool, seed int64) error {
+	m, err := b.proto.NewParty(id, input, setupOut, setupAborted, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	b.machines[id-1] = m
+	return nil
+}
+
+func (b *localBackend) PartyRound(id PartyID, round int, inbox []Message) ([]Message, error) {
+	return b.machines[id-1].Round(round, inbox)
+}
+
+func (b *localBackend) PartyOutput(id PartyID) (OutputRecord, error) {
+	v, ok := b.machines[id-1].Output()
+	return OutputRecord{Value: v, OK: ok}, nil
+}
+
+func (b *localBackend) Machine(id PartyID) Party { return b.machines[id-1] }
+
+func (b *localBackend) AuditInfo(id PartyID) (Value, bool) {
+	if ap, ok := b.machines[id-1].(AuditedParty); ok {
+		return ap.AuditInfo(), true
+	}
+	return nil, false
+}
+
+// Execution phase-ordering errors.
+var (
+	// ErrPhase reports a phase method called out of order.
+	ErrPhase = errors.New("sim: execution phase out of order")
+	// ErrRemoteCorruption reports an adversarial corruption against a
+	// backend that cannot hand over machines (e.g. the TCP transport,
+	// whose machines live in remote party processes).
+	ErrRemoteCorruption = errors.New("sim: corruption requires an in-memory backend")
+)
+
+// execState tracks the phase an Execution is in.
+type execState int
+
+const (
+	execCreated execState = iota
+	execRounds
+	execDone
+)
+
+// Execution is one protocol run decomposed into individually callable
+// phases:
+//
+//	e, _ := NewExecution(proto, inputs, adv, seed, observers...)
+//	e.SetupPhase()                  // corruption, substitution, hybrid setup
+//	for r := 1; r <= e.TotalRounds(); r++ {
+//	    e.Step(r)                   // one synchronous message round
+//	}
+//	tr, _ := e.Finalize()           // outputs, audits, verified verdicts
+//
+// Run wraps the four phases back into the classic single call and
+// produces a trace identical to the pre-stepper engine's. The phases
+// exist so that callers can hold the execution open between rounds: the
+// TCP transport drives one wire round per Step, round-level attack
+// strategies can be scheduled between Steps, and Observers stream every
+// engine event as it happens instead of reading a post-hoc trace.
+type Execution struct {
+	proto   Protocol
+	adv     Adversary
+	backend PartyBackend
+	obs     []Observer
+
+	n          int
+	inputs     []Value // environment-chosen inputs
+	effective  []Value // after adversarial substitution
+	setupOuts  []Value
+	partySeeds []int64
+	protoRNG   *rand.Rand
+	trace      *Trace
+
+	inboxes     [][]Message
+	totalRounds int
+	state       execState
+	nextRound   int
+}
+
+// NewExecution prepares an in-memory execution: it seeds the engine's
+// RNG streams (in the same master order as the classic Run) and resets
+// the adversary. No protocol code runs until SetupPhase.
+func NewExecution(proto Protocol, inputs []Value, adv Adversary, seed int64, obs ...Observer) (*Execution, error) {
+	return NewExecutionWithBackend(proto, inputs, adv, seed, nil, obs...)
+}
+
+// NewExecutionWithBackend is NewExecution with the party machines run by
+// an explicit backend; backend == nil selects the in-memory backend.
+func NewExecutionWithBackend(proto Protocol, inputs []Value, adv Adversary, seed int64,
+	backend PartyBackend, obs ...Observer) (*Execution, error) {
+	n := proto.NumParties()
+	if len(inputs) != n {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrInputCount, len(inputs), n)
+	}
+	if backend == nil {
+		backend = newLocalBackend(proto)
+	}
+	master := rand.New(rand.NewSource(seed))
+	protoRNG := rand.New(rand.NewSource(master.Int63()))
+	advRNG := rand.New(rand.NewSource(master.Int63()))
+	partySeeds := make([]int64, n)
+	for i := range partySeeds {
+		partySeeds[i] = master.Int63()
+	}
+
+	e := &Execution{
+		proto:   proto,
+		adv:     adv,
+		backend: backend,
+		obs:     obs,
+		n:       n,
+		inputs:  append([]Value(nil), inputs...),
+		trace: &Trace{
+			ProtocolName:  proto.Name(),
+			Inputs:        append([]Value(nil), inputs...),
+			Corrupted:     make(map[PartyID]bool),
+			HonestOutputs: make(map[PartyID]OutputRecord),
+		},
+		partySeeds:  partySeeds,
+		protoRNG:    protoRNG,
+		totalRounds: proto.NumRounds() + 1, // +1 finalize call
+	}
+
+	adv.Reset(&AdvContext{
+		Protocol:   proto,
+		Inputs:     append([]Value(nil), inputs...),
+		TrueOutput: proto.Func(inputs),
+		RNG:        advRNG,
+	})
+	return e, nil
+}
+
+// TotalRounds returns the number of Step calls an execution takes: the
+// protocol's message rounds plus the finalize round.
+func (e *Execution) TotalRounds() int { return e.totalRounds }
+
+// corruptedSorted returns the currently corrupted set in ascending id
+// order, for deterministic iteration (and a deterministic event stream).
+func (e *Execution) corruptedSorted() []PartyID {
+	ids := make([]PartyID, 0, len(e.trace.Corrupted))
+	for id := range e.trace.Corrupted {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// handover gives the adversary a newly corrupted party's machine. It
+// fails when the backend cannot produce machines (remote executions are
+// honest-only).
+func (e *Execution) handover(id PartyID) error {
+	m := e.backend.Machine(id)
+	if m == nil {
+		if _, isLocal := e.backend.(*localBackend); !isLocal {
+			return fmt.Errorf("%w: party %d", ErrRemoteCorruption, id)
+		}
+	}
+	e.adv.OnCorrupt(id, m, e.setupOutOf(id))
+	return nil
+}
+
+func (e *Execution) setupOutOf(id PartyID) Value {
+	if e.setupOuts == nil {
+		return nil
+	}
+	return e.setupOuts[id-1]
+}
+
+// SetupPhase runs the pre-round phases: static corruption, adversarial
+// input substitution, the hybrid setup (with the adversary's abort
+// decision), and party-machine construction.
+func (e *Execution) SetupPhase() error {
+	if e.state != execCreated {
+		return fmt.Errorf("%w: SetupPhase called twice", ErrPhase)
+	}
+	tr, n := e.trace, e.n
+	for _, o := range e.obs {
+		o.RunStarted(e.proto, tr.Inputs)
+	}
+
+	// Static corruptions and input substitution.
+	for _, id := range e.adv.InitialCorruptions() {
+		if id < 1 || PartyID(n) < id {
+			return fmt.Errorf("%w: %d", ErrBadParty, id)
+		}
+		tr.Corrupted[id] = true
+	}
+	for _, o := range e.obs {
+		for _, id := range e.corruptedSorted() {
+			o.PartyCorrupted(0, id)
+		}
+	}
+	effective := append([]Value(nil), e.inputs...)
+	for _, id := range e.corruptedSorted() {
+		effective[id-1] = e.adv.SubstituteInput(id, e.inputs[id-1])
+		for _, o := range e.obs {
+			o.InputSubstituted(id, e.inputs[id-1], effective[id-1])
+		}
+	}
+	tr.EffectiveInputs = effective
+	e.effective = effective
+
+	// Hybrid setup.
+	setupOuts, err := e.proto.Setup(effective, e.protoRNG)
+	if err != nil {
+		return fmt.Errorf("sim: setup: %w", err)
+	}
+	if setupOuts != nil && len(setupOuts) != n && len(setupOuts) != n+1 {
+		return fmt.Errorf("sim: setup returned %d outputs for %d parties", len(setupOuts), n)
+	}
+	if len(setupOuts) == n+1 {
+		tr.SetupAudit = setupOuts[n]
+		setupOuts = setupOuts[:n]
+	}
+	e.setupOuts = setupOuts
+	corruptedSetup := make(map[PartyID]Value)
+	for id := range tr.Corrupted {
+		corruptedSetup[id] = e.setupOutOf(id)
+	}
+	// A setup abort is only meaningful with at least one corruption, and
+	// the protocol's hybrid may be robust against small coalitions.
+	abortRequested := len(tr.Corrupted) > 0 && e.adv.ObserveSetup(corruptedSetup)
+	if policy, ok := e.proto.(SetupAbortPolicy); ok && abortRequested {
+		abortRequested = policy.SetupAbortable(len(tr.Corrupted))
+	}
+	tr.SetupAborted = abortRequested
+	tr.HybridOutput = e.proto.Func(effective)
+	for _, o := range e.obs {
+		o.SetupFinished(tr.SetupAborted)
+	}
+
+	if tr.SetupAborted {
+		// Honest parties proceed on defaults for corrupted parties.
+		withDefaults := append([]Value(nil), e.inputs...)
+		for id := range tr.Corrupted {
+			withDefaults[id-1] = e.proto.DefaultInput(id)
+		}
+		tr.ExpectedOutput = e.proto.Func(withDefaults)
+		tr.EffectiveInputs = withDefaults
+	} else {
+		tr.ExpectedOutput = e.proto.Func(effective)
+	}
+
+	// Build machines. Corrupted machines are handed to the adversary.
+	for i := 0; i < n; i++ {
+		id := PartyID(i + 1)
+		if err := e.backend.StartParty(id, effective[i], e.setupOutOf(id), tr.SetupAborted, e.partySeeds[i]); err != nil {
+			return fmt.Errorf("sim: new party %d: %w", id, err)
+		}
+	}
+	for _, id := range e.corruptedSorted() {
+		if err := e.handover(id); err != nil {
+			return err
+		}
+	}
+
+	e.inboxes = make([][]Message, n)
+	e.state = execRounds
+	e.nextRound = 1
+	return nil
+}
+
+// Step executes message round `round` (which must be the next round in
+// sequence): adaptive corruption, honest party moves, the rushing
+// adversary's reply, and message routing into the next round's inboxes.
+func (e *Execution) Step(round int) error {
+	if e.state != execRounds || round != e.nextRound || round > e.totalRounds {
+		return fmt.Errorf("%w: Step(%d) in state %d (next round %d)", ErrPhase, round, e.state, e.nextRound)
+	}
+	tr, n, r := e.trace, e.n, round
+	for _, o := range e.obs {
+		o.RoundStarted(r)
+	}
+
+	// Adaptive corruption before the round.
+	for _, id := range e.adv.CorruptBefore(r) {
+		if id < 1 || PartyID(n) < id {
+			return fmt.Errorf("%w: %d", ErrBadParty, id)
+		}
+		if tr.Corrupted[id] {
+			continue
+		}
+		tr.Corrupted[id] = true
+		for _, o := range e.obs {
+			o.PartyCorrupted(r, id)
+		}
+		if err := e.handover(id); err != nil {
+			return err
+		}
+	}
+
+	// Deliver this round's inboxes: honest parties consume them in their
+	// Round call below; corrupted parties' inboxes go to the adversary.
+	for _, o := range e.obs {
+		for i := 0; i < n; i++ {
+			for _, m := range e.inboxes[i] {
+				o.MessageDelivered(r, PartyID(i+1), m)
+			}
+		}
+	}
+
+	// Honest parties move first.
+	var honestOut []Message
+	var rushed []Message
+	for i := 0; i < n; i++ {
+		id := PartyID(i + 1)
+		if tr.Corrupted[id] {
+			continue
+		}
+		out, err := e.backend.PartyRound(id, r, e.inboxes[i])
+		if err != nil {
+			return fmt.Errorf("sim: party %d round %d: %w", id, r, err)
+		}
+		for _, m := range out {
+			m.From = id // the channel authenticates the sender
+			honestOut = append(honestOut, m)
+			if m.To == Broadcast || tr.Corrupted[m.To] {
+				rushed = append(rushed, m)
+			}
+			for _, o := range e.obs {
+				o.MessageSent(r, m, false)
+			}
+		}
+	}
+
+	// Rushing adversary acts, with the corrupted parties' delivered
+	// inboxes and the rushed view of this round's honest messages.
+	corruptInboxes := make(map[PartyID][]Message, len(tr.Corrupted))
+	for id := range tr.Corrupted {
+		corruptInboxes[id] = e.inboxes[id-1]
+	}
+	advOut := e.adv.Act(r, corruptInboxes, rushed)
+	for i := range advOut {
+		if !tr.Corrupted[advOut[i].From] {
+			return fmt.Errorf("sim: adversary sent as honest party %d", advOut[i].From)
+		}
+	}
+	for _, o := range e.obs {
+		for _, m := range advOut {
+			o.MessageSent(r, m, true)
+		}
+	}
+
+	// Route all round-r messages into next-round inboxes. Broadcasts go
+	// to everyone (including the sender) in deterministic order.
+	next := make([][]Message, n)
+	deliver := func(m Message) {
+		if m.To == Broadcast {
+			for i := 0; i < n; i++ {
+				next[i] = append(next[i], m)
+			}
+			return
+		}
+		if m.To >= 1 && m.To <= PartyID(n) {
+			next[m.To-1] = append(next[m.To-1], m)
+		}
+	}
+	for _, m := range honestOut {
+		deliver(m)
+	}
+	for _, m := range advOut {
+		deliver(m)
+	}
+	// Stable delivery order: by sender then position (already stable
+	// since we appended honest in id order, then adversarial).
+	for i := range next {
+		sortStableBySender(next[i])
+	}
+	e.inboxes = next
+	tr.RoundsRun = r
+	for _, o := range e.obs {
+		o.RoundEnded(r)
+	}
+	e.nextRound++
+	return nil
+}
+
+// Finalize collects honest outputs and audit data, verifies the
+// adversary's learned/privacy-breach claims, and returns the finished
+// trace. Every message round must have been stepped first.
+func (e *Execution) Finalize() (*Trace, error) {
+	if e.state != execRounds || e.nextRound <= e.totalRounds {
+		return nil, fmt.Errorf("%w: Finalize in state %d after round %d/%d", ErrPhase, e.state, e.nextRound-1, e.totalRounds)
+	}
+	tr, n := e.trace, e.n
+
+	// Compute the defaulted output w.r.t. the final corrupted set.
+	defaulted := append([]Value(nil), e.inputs...)
+	for id := range tr.Corrupted {
+		defaulted[id-1] = e.proto.DefaultInput(id)
+	}
+	tr.DefaultedOutput = e.proto.Func(defaulted)
+
+	// Collect honest outputs and audit data.
+	tr.HonestAudits = make(map[PartyID]Value)
+	for i := 0; i < n; i++ {
+		id := PartyID(i + 1)
+		if tr.Corrupted[id] {
+			continue
+		}
+		rec, err := e.backend.PartyOutput(id)
+		if err != nil {
+			return nil, fmt.Errorf("sim: output of party %d: %w", id, err)
+		}
+		tr.HonestOutputs[id] = rec
+		if v, ok := e.backend.AuditInfo(id); ok {
+			tr.HonestAudits[id] = v
+		}
+		for _, o := range e.obs {
+			o.OutputProduced(id, rec)
+		}
+	}
+
+	// Verify the adversary's learned-output claim: it must match either
+	// the ideal-world expected output or the value the hybrid computed
+	// before a setup abort. A protocol-level OutcomeAuditor overrides
+	// this default rule.
+	if auditor, ok := e.proto.(OutcomeAuditor); ok {
+		audit := auditor.AuditOutcome(tr)
+		tr.Audit = &audit
+		if audit.Learned {
+			tr.AdvLearned = true
+			tr.AdvValue = audit.LearnedValue
+		}
+	} else if v, ok := e.adv.Learned(); ok &&
+		(ValuesEqual(v, tr.ExpectedOutput) || ValuesEqual(v, tr.HybridOutput)) {
+		tr.AdvLearned = true
+		tr.AdvValue = v
+	}
+	// Verify a privacy-breach claim if the strategy makes one.
+	if ex, ok := e.adv.(InputExtractor); ok {
+		if victim, v, claimed := ex.ExtractedInput(); claimed {
+			if victim >= 1 && victim <= PartyID(n) && !tr.Corrupted[victim] &&
+				ValuesEqual(v, e.inputs[victim-1]) {
+				tr.PrivacyBreach = true
+				tr.BreachedParty = victim
+			}
+		}
+	}
+	e.state = execDone
+	for _, o := range e.obs {
+		o.RunFinished(tr)
+	}
+	return tr, nil
+}

@@ -22,7 +22,6 @@ package sim
 
 import (
 	"errors"
-	"fmt"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -329,232 +328,30 @@ var (
 )
 
 // Run executes one protocol instance against the adversary with the given
-// seed and returns the trace.
+// seed and returns the trace. It is a thin wrapper over the stepwise
+// Execution engine (NewExecution → SetupPhase → Step → Finalize); callers
+// that need per-round control or the engine's event stream use Execution
+// and Observer directly.
 func Run(proto Protocol, inputs []Value, adv Adversary, seed int64) (*Trace, error) {
-	n := proto.NumParties()
-	if len(inputs) != n {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrInputCount, len(inputs), n)
-	}
-	master := rand.New(rand.NewSource(seed))
-	protoRNG := rand.New(rand.NewSource(master.Int63()))
-	advRNG := rand.New(rand.NewSource(master.Int63()))
-	partyRNGs := make([]*rand.Rand, n)
-	for i := range partyRNGs {
-		partyRNGs[i] = rand.New(rand.NewSource(master.Int63()))
-	}
+	return RunObserved(proto, inputs, adv, seed)
+}
 
-	trace := &Trace{
-		ProtocolName:  proto.Name(),
-		Inputs:        append([]Value(nil), inputs...),
-		Corrupted:     make(map[PartyID]bool),
-		HonestOutputs: make(map[PartyID]OutputRecord),
-	}
-
-	adv.Reset(&AdvContext{
-		Protocol:   proto,
-		Inputs:     append([]Value(nil), inputs...),
-		TrueOutput: proto.Func(inputs),
-		RNG:        advRNG,
-	})
-
-	// Initial corruptions and input substitution.
-	for _, id := range adv.InitialCorruptions() {
-		if id < 1 || PartyID(n) < id {
-			return nil, fmt.Errorf("%w: %d", ErrBadParty, id)
-		}
-		trace.Corrupted[id] = true
-	}
-	effective := append([]Value(nil), inputs...)
-	for id := range trace.Corrupted {
-		effective[id-1] = adv.SubstituteInput(id, inputs[id-1])
-	}
-	trace.EffectiveInputs = effective
-
-	// Hybrid setup.
-	setupOuts, err := proto.Setup(effective, protoRNG)
+// RunObserved is Run with the engine's event stream fanned out to the
+// given observers (see the ordering contract on Observer).
+func RunObserved(proto Protocol, inputs []Value, adv Adversary, seed int64, obs ...Observer) (*Trace, error) {
+	e, err := NewExecution(proto, inputs, adv, seed, obs...)
 	if err != nil {
-		return nil, fmt.Errorf("sim: setup: %w", err)
+		return nil, err
 	}
-	if setupOuts != nil && len(setupOuts) != n && len(setupOuts) != n+1 {
-		return nil, fmt.Errorf("sim: setup returned %d outputs for %d parties", len(setupOuts), n)
+	if err := e.SetupPhase(); err != nil {
+		return nil, err
 	}
-	if len(setupOuts) == n+1 {
-		trace.SetupAudit = setupOuts[n]
-		setupOuts = setupOuts[:n]
-	}
-	setupOutOf := func(id PartyID) Value {
-		if setupOuts == nil {
-			return nil
-		}
-		return setupOuts[id-1]
-	}
-	corruptedSetup := make(map[PartyID]Value)
-	for id := range trace.Corrupted {
-		corruptedSetup[id] = setupOutOf(id)
-	}
-	// A setup abort is only meaningful with at least one corruption, and
-	// the protocol's hybrid may be robust against small coalitions.
-	abortRequested := len(trace.Corrupted) > 0 && adv.ObserveSetup(corruptedSetup)
-	if policy, ok := proto.(SetupAbortPolicy); ok && abortRequested {
-		abortRequested = policy.SetupAbortable(len(trace.Corrupted))
-	}
-	trace.SetupAborted = abortRequested
-	trace.HybridOutput = proto.Func(effective)
-
-	if trace.SetupAborted {
-		// Honest parties proceed on defaults for corrupted parties.
-		withDefaults := append([]Value(nil), inputs...)
-		for id := range trace.Corrupted {
-			withDefaults[id-1] = proto.DefaultInput(id)
-		}
-		trace.ExpectedOutput = proto.Func(withDefaults)
-		trace.EffectiveInputs = withDefaults
-	} else {
-		trace.ExpectedOutput = proto.Func(effective)
-	}
-
-	// Build machines. Corrupted machines are handed to the adversary.
-	machines := make([]Party, n)
-	for i := 0; i < n; i++ {
-		id := PartyID(i + 1)
-		m, err := proto.NewParty(id, effective[i], setupOutOf(id), trace.SetupAborted, partyRNGs[i])
-		if err != nil {
-			return nil, fmt.Errorf("sim: new party %d: %w", id, err)
-		}
-		machines[i] = m
-	}
-	for id := range trace.Corrupted {
-		adv.OnCorrupt(id, machines[id-1], setupOutOf(id))
-	}
-
-	// Message rounds. inboxes[i] collects the messages party i+1 receives
-	// at the start of the next round.
-	inboxes := make([][]Message, n)
-	totalRounds := proto.NumRounds() + 1 // +1 finalize call
-	for r := 1; r <= totalRounds; r++ {
-		// Adaptive corruption before the round.
-		for _, id := range adv.CorruptBefore(r) {
-			if id < 1 || PartyID(n) < id {
-				return nil, fmt.Errorf("%w: %d", ErrBadParty, id)
-			}
-			if trace.Corrupted[id] {
-				continue
-			}
-			trace.Corrupted[id] = true
-			adv.OnCorrupt(id, machines[id-1], setupOutOf(id))
-		}
-
-		// Honest parties move first.
-		var honestOut []Message
-		var rushed []Message
-		for i := 0; i < n; i++ {
-			id := PartyID(i + 1)
-			if trace.Corrupted[id] {
-				continue
-			}
-			out, err := machines[i].Round(r, inboxes[i])
-			if err != nil {
-				return nil, fmt.Errorf("sim: party %d round %d: %w", id, r, err)
-			}
-			for _, m := range out {
-				m.From = id // the channel authenticates the sender
-				honestOut = append(honestOut, m)
-				if m.To == Broadcast || trace.Corrupted[m.To] {
-					rushed = append(rushed, m)
-				}
-			}
-		}
-
-		// Rushing adversary acts, with the corrupted parties' delivered
-		// inboxes and the rushed view of this round's honest messages.
-		corruptInboxes := make(map[PartyID][]Message, len(trace.Corrupted))
-		for id := range trace.Corrupted {
-			corruptInboxes[id] = inboxes[id-1]
-		}
-		advOut := adv.Act(r, corruptInboxes, rushed)
-		for i := range advOut {
-			if !trace.Corrupted[advOut[i].From] {
-				return nil, fmt.Errorf("sim: adversary sent as honest party %d", advOut[i].From)
-			}
-		}
-
-		// Route all round-r messages into next-round inboxes. Broadcasts
-		// go to everyone (including the sender) in deterministic order.
-		next := make([][]Message, n)
-		deliver := func(m Message) {
-			if m.To == Broadcast {
-				for i := 0; i < n; i++ {
-					next[i] = append(next[i], m)
-				}
-				return
-			}
-			if m.To >= 1 && m.To <= PartyID(n) {
-				next[m.To-1] = append(next[m.To-1], m)
-			}
-		}
-		for _, m := range honestOut {
-			deliver(m)
-		}
-		for _, m := range advOut {
-			deliver(m)
-		}
-		// Stable delivery order: by sender then position (already stable
-		// since we appended honest in id order, then adversarial).
-		for i := range next {
-			sortStableBySender(next[i])
-		}
-		inboxes = next
-		trace.RoundsRun = r
-	}
-
-	// Compute the defaulted output w.r.t. the final corrupted set.
-	defaulted := append([]Value(nil), inputs...)
-	for id := range trace.Corrupted {
-		defaulted[id-1] = proto.DefaultInput(id)
-	}
-	trace.DefaultedOutput = proto.Func(defaulted)
-
-	// Collect honest outputs and audit data.
-	trace.HonestAudits = make(map[PartyID]Value)
-	for i := 0; i < n; i++ {
-		id := PartyID(i + 1)
-		if trace.Corrupted[id] {
-			continue
-		}
-		v, ok := machines[i].Output()
-		trace.HonestOutputs[id] = OutputRecord{Value: v, OK: ok}
-		if ap, ok := machines[i].(AuditedParty); ok {
-			trace.HonestAudits[id] = ap.AuditInfo()
+	for r := 1; r <= e.TotalRounds(); r++ {
+		if err := e.Step(r); err != nil {
+			return nil, err
 		}
 	}
-
-	// Verify the adversary's learned-output claim: it must match either
-	// the ideal-world expected output or the value the hybrid computed
-	// before a setup abort. A protocol-level LearnedAuditor overrides
-	// this default rule (see LearnedAuditor).
-	if auditor, ok := proto.(OutcomeAuditor); ok {
-		audit := auditor.AuditOutcome(trace)
-		trace.Audit = &audit
-		if audit.Learned {
-			trace.AdvLearned = true
-			trace.AdvValue = audit.LearnedValue
-		}
-	} else if v, ok := adv.Learned(); ok &&
-		(ValuesEqual(v, trace.ExpectedOutput) || ValuesEqual(v, trace.HybridOutput)) {
-		trace.AdvLearned = true
-		trace.AdvValue = v
-	}
-	// Verify a privacy-breach claim if the strategy makes one.
-	if ex, ok := adv.(InputExtractor); ok {
-		if victim, v, claimed := ex.ExtractedInput(); claimed {
-			if victim >= 1 && victim <= PartyID(n) && !trace.Corrupted[victim] &&
-				ValuesEqual(v, inputs[victim-1]) {
-				trace.PrivacyBreach = true
-				trace.BreachedParty = victim
-			}
-		}
-	}
-	return trace, nil
+	return e.Finalize()
 }
 
 func sortStableBySender(ms []Message) {

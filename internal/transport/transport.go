@@ -3,13 +3,20 @@
 // round-synchronizing host over the loopback interface, exercising the
 // same Party machines as the in-memory engine.
 //
+// The host is the shared sim.Execution engine running on a remote
+// PartyBackend: NewExecutionWithBackend → SetupPhase → Step per wire
+// round → Finalize, with party machines living in the client processes
+// instead of in the host's memory. Observers attached via SessionConfig
+// therefore see the identical event stream an in-memory run produces.
+//
 // The transport runs *honest* sessions — it demonstrates that the
 // protocol machines are genuinely message-driven state machines that
 // survive serialization boundaries, and provides the skeleton a real
 // deployment would flesh out. Adversarial executions (rushing,
 // corruption, aborts) remain the in-memory engine's job: fairness is a
 // property quantified against the model's adversary, not against packet
-// loss.
+// loss. Any corruption against the remote backend fails with
+// sim.ErrRemoteCorruption.
 //
 // Message payloads cross the wire gob-encoded, so protocol packages
 // expose RegisterGobTypes helpers for their payload types.
@@ -109,34 +116,54 @@ type frame struct {
 	SetupOut     []byte
 	SetupAborted bool
 	HasSetup     bool
+	Seed         int64 // setup: the party's engine-drawn RNG seed
 	Output       []byte
 	OutputOK     bool
 }
 
-// sessionTimeout bounds every read/write on the loopback sockets.
-const sessionTimeout = 30 * time.Second
+// DefaultRoundTimeout bounds every read/write on the loopback sockets
+// when SessionConfig.RoundTimeout is zero. Each wire round resets the
+// deadline, so it is a per-frame stall bound, not a whole-session one.
+const DefaultRoundTimeout = 30 * time.Second
 
-// RunSession executes one honest run of proto over loopback TCP: the
-// hybrid setup runs on the host, each party connects as a TCP client,
-// and rounds proceed in lockstep. It returns every party's output.
+// SessionConfig tunes a TCP session.
+type SessionConfig struct {
+	// Codec serializes payloads; nil means GobCodec{}.
+	Codec Codec
+	// RoundTimeout is the per-frame read/write deadline on every socket;
+	// zero means DefaultRoundTimeout. A client that stalls mid-round
+	// fails the session with a timeout error instead of hanging the host.
+	RoundTimeout time.Duration
+	// Observers receive the engine's event stream for the hosted run,
+	// exactly as an in-memory sim.RunObserved would deliver it.
+	Observers []sim.Observer
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.Codec == nil {
+		c.Codec = GobCodec{}
+	}
+	if c.RoundTimeout <= 0 {
+		c.RoundTimeout = DefaultRoundTimeout
+	}
+	return c
+}
+
+// RunSession executes one honest run of proto over loopback TCP with the
+// default round timeout. It returns every party's output.
 func RunSession(proto sim.Protocol, inputs []sim.Value, codec Codec, seed int64) (map[sim.PartyID]sim.OutputRecord, error) {
+	return RunSessionConfig(proto, inputs, seed, SessionConfig{Codec: codec})
+}
+
+// RunSessionConfig executes one honest run of proto over loopback TCP:
+// each party connects as a TCP client, and the host drives the shared
+// sim.Execution phases (setup, lockstep rounds, finalize) against the
+// remote machines. It returns every party's output.
+func RunSessionConfig(proto sim.Protocol, inputs []sim.Value, seed int64, cfg SessionConfig) (map[sim.PartyID]sim.OutputRecord, error) {
+	cfg = cfg.withDefaults()
 	n := proto.NumParties()
 	if len(inputs) != n {
 		return nil, fmt.Errorf("transport: %d inputs for %d parties", len(inputs), n)
-	}
-	master := rand.New(rand.NewSource(seed))
-	setupRNG := rand.New(rand.NewSource(master.Int63()))
-	partySeeds := make([]int64, n)
-	for i := range partySeeds {
-		partySeeds[i] = master.Int63()
-	}
-
-	setupOuts, err := proto.Setup(inputs, setupRNG)
-	if err != nil {
-		return nil, fmt.Errorf("transport: setup: %w", err)
-	}
-	if len(setupOuts) == n+1 {
-		setupOuts = setupOuts[:n] // hidden audit state stays on the host
 	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -145,7 +172,8 @@ func RunSession(proto sim.Protocol, inputs []sim.Value, codec Codec, seed int64)
 	}
 	defer func() { _ = ln.Close() }()
 
-	// Launch the party clients.
+	// Launch the party clients. Their machine RNG seeds arrive in the
+	// setup frame, drawn by the engine from the session's master seed.
 	var wg sync.WaitGroup
 	clientErrs := make([]error, n)
 	for i := 0; i < n; i++ {
@@ -153,11 +181,11 @@ func RunSession(proto sim.Protocol, inputs []sim.Value, codec Codec, seed int64)
 		go func(idx int) {
 			defer wg.Done()
 			clientErrs[idx] = runClient(ln.Addr().String(), proto, sim.PartyID(idx+1),
-				inputs[idx], partySeeds[idx], codec)
+				inputs[idx], cfg.Codec, cfg.RoundTimeout)
 		}(i)
 	}
 
-	outputs, hostErr := runHost(ln, proto, setupOuts, codec)
+	outputs, hostErr := hostSession(ln, proto, inputs, seed, cfg)
 	wg.Wait()
 	if hostErr != nil {
 		return nil, hostErr
@@ -170,12 +198,14 @@ func RunSession(proto sim.Protocol, inputs []sim.Value, codec Codec, seed int64)
 	return outputs, nil
 }
 
-// runHost accepts the n party connections and drives the rounds.
-func runHost(ln net.Listener, proto sim.Protocol, setupOuts []sim.Value, codec Codec) (map[sim.PartyID]sim.OutputRecord, error) {
+// hostSession accepts the n party connections and drives the shared
+// execution engine over them.
+func hostSession(ln net.Listener, proto sim.Protocol, inputs []sim.Value, seed int64, cfg SessionConfig) (map[sim.PartyID]sim.OutputRecord, error) {
+	cfg = cfg.withDefaults()
 	n := proto.NumParties()
-	conns := make(map[sim.PartyID]*peer, n)
+	peers := make(map[sim.PartyID]*peer, n)
 	defer func() {
-		for _, p := range conns {
+		for _, p := range peers {
 			_ = p.conn.Close()
 		}
 	}()
@@ -185,99 +215,149 @@ func runHost(ln net.Listener, proto sim.Protocol, setupOuts []sim.Value, codec C
 		if err != nil {
 			return nil, fmt.Errorf("transport: accept: %w", err)
 		}
-		p := newPeer(conn)
+		p := newPeer(conn, cfg.RoundTimeout)
 		hello, err := p.recv()
 		if err != nil {
+			_ = conn.Close()
 			return nil, fmt.Errorf("transport: handshake: %w", err)
 		}
 		if hello.Kind != kindHello || hello.ID < 1 || hello.ID > n {
+			_ = conn.Close()
 			return nil, fmt.Errorf("transport: bad hello %+v", hello)
 		}
 		id := sim.PartyID(hello.ID)
-		if _, dup := conns[id]; dup {
+		if _, dup := peers[id]; dup {
+			_ = conn.Close()
 			return nil, fmt.Errorf("transport: duplicate party %d", id)
 		}
-		conns[id] = p
-		// Send the party its private setup output.
-		sf := frame{Kind: kindSetup}
-		if setupOuts != nil {
-			data, err := codec.Encode(setupOuts[id-1])
-			if err != nil {
-				return nil, err
-			}
-			sf.SetupOut, sf.HasSetup = data, true
-		}
-		if err := p.send(sf); err != nil {
-			return nil, err
-		}
+		peers[id] = p
 	}
 
-	inboxes := make(map[sim.PartyID][]wireMsg, n)
-	totalRounds := proto.NumRounds() + 1
-	for r := 1; r <= totalRounds; r++ {
-		// Deliver inboxes.
-		for id, p := range conns {
-			if err := p.send(frame{Kind: kindInbox, Round: r, Msgs: inboxes[id]}); err != nil {
-				return nil, fmt.Errorf("transport: round %d deliver to %d: %w", r, id, err)
-			}
-		}
-		// Collect and route batches.
-		next := make(map[sim.PartyID][]wireMsg, n)
-		for id := sim.PartyID(1); id <= sim.PartyID(n); id++ {
-			batch, err := conns[id].recv()
-			if err != nil {
-				return nil, fmt.Errorf("transport: round %d batch from %d: %w", r, id, err)
-			}
-			if batch.Kind != kindBatch || batch.Round != r {
-				return nil, fmt.Errorf("transport: unexpected frame %+v from %d", batch.Kind, id)
-			}
-			for _, m := range batch.Msgs {
-				m.From = int(id) // the channel authenticates the sender
-				if m.To == int(sim.Broadcast) {
-					for to := sim.PartyID(1); to <= sim.PartyID(n); to++ {
-						next[to] = append(next[to], m)
-					}
-					continue
-				}
-				if m.To >= 1 && m.To <= n {
-					next[sim.PartyID(m.To)] = append(next[sim.PartyID(m.To)], m)
-				}
-			}
-		}
-		inboxes = next
+	backend := &remoteBackend{peers: peers, codec: cfg.Codec, inputs: inputs}
+	e, err := sim.NewExecutionWithBackend(proto, inputs, sim.Passive{}, seed, backend, cfg.Observers...)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
 	}
-
-	// Collect outputs.
-	outputs := make(map[sim.PartyID]sim.OutputRecord, n)
-	for id, p := range conns {
-		of, err := p.recv()
-		if err != nil {
-			return nil, fmt.Errorf("transport: output from %d: %w", id, err)
-		}
-		if of.Kind != kindOutput {
-			return nil, fmt.Errorf("transport: expected output frame from %d", id)
-		}
-		rec := sim.OutputRecord{OK: of.OutputOK}
-		if of.OutputOK {
-			v, err := codec.Decode(of.Output)
-			if err != nil {
-				return nil, err
-			}
-			rec.Value = v
-		}
-		outputs[id] = rec
+	if err := e.SetupPhase(); err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
 	}
-	return outputs, nil
+	for r := 1; r <= e.TotalRounds(); r++ {
+		if err := e.Step(r); err != nil {
+			return nil, fmt.Errorf("transport: %w", err)
+		}
+	}
+	tr, err := e.Finalize()
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return tr.HonestOutputs, nil
 }
 
+// remoteBackend is the sim.PartyBackend whose machines live in remote
+// party processes: StartParty ships the setup frame, PartyRound trades
+// one inbox frame for one batch frame, PartyOutput reads the output
+// frame. Machine returns nil — remote sessions are honest-only.
+type remoteBackend struct {
+	peers  map[sim.PartyID]*peer
+	codec  Codec
+	inputs []sim.Value // session inputs; clients already hold their own
+}
+
+var _ sim.PartyBackend = (*remoteBackend)(nil)
+
+// StartParty implements sim.PartyBackend. The client keeps its own
+// input, so only the setup output, abort flag, and RNG seed cross the
+// wire; an input differing from the client's (adversarial substitution)
+// is refused — the transport runs honest sessions only.
+func (b *remoteBackend) StartParty(id sim.PartyID, input sim.Value, setupOut sim.Value, setupAborted bool, seed int64) error {
+	if !sim.ValuesEqual(input, b.inputs[id-1]) {
+		return fmt.Errorf("transport: party %d input substituted (%v != %v): %w",
+			id, input, b.inputs[id-1], sim.ErrRemoteCorruption)
+	}
+	sf := frame{Kind: kindSetup, SetupAborted: setupAborted, Seed: seed}
+	if setupOut != nil {
+		data, err := b.codec.Encode(setupOut)
+		if err != nil {
+			return err
+		}
+		sf.SetupOut, sf.HasSetup = data, true
+	}
+	if err := b.peers[id].send(sf); err != nil {
+		return fmt.Errorf("transport: setup to %d: %w", id, err)
+	}
+	return nil
+}
+
+// PartyRound implements sim.PartyBackend.
+func (b *remoteBackend) PartyRound(id sim.PartyID, round int, inbox []sim.Message) ([]sim.Message, error) {
+	p := b.peers[id]
+	inf := frame{Kind: kindInbox, Round: round}
+	for _, m := range inbox {
+		data, err := b.codec.Encode(m.Payload)
+		if err != nil {
+			return nil, err
+		}
+		inf.Msgs = append(inf.Msgs, wireMsg{From: int(m.From), To: int(m.To), Payload: data})
+	}
+	if err := p.send(inf); err != nil {
+		return nil, fmt.Errorf("transport: round %d deliver to %d: %w", round, id, err)
+	}
+	batch, err := p.recv()
+	if err != nil {
+		return nil, fmt.Errorf("transport: round %d batch from %d: %w", round, id, err)
+	}
+	if batch.Kind != kindBatch || batch.Round != round {
+		return nil, fmt.Errorf("transport: unexpected frame %v from %d", batch.Kind, id)
+	}
+	out := make([]sim.Message, 0, len(batch.Msgs))
+	for _, m := range batch.Msgs {
+		payload, err := b.codec.Decode(m.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("transport: round %d payload from %d: %w", round, id, err)
+		}
+		// The channel authenticates the sender; the engine restamps From.
+		out = append(out, sim.Message{From: id, To: sim.PartyID(m.To), Payload: payload})
+	}
+	return out, nil
+}
+
+// PartyOutput implements sim.PartyBackend.
+func (b *remoteBackend) PartyOutput(id sim.PartyID) (sim.OutputRecord, error) {
+	of, err := b.peers[id].recv()
+	if err != nil {
+		return sim.OutputRecord{}, fmt.Errorf("transport: output from %d: %w", id, err)
+	}
+	if of.Kind != kindOutput {
+		return sim.OutputRecord{}, fmt.Errorf("transport: expected output frame from %d", id)
+	}
+	rec := sim.OutputRecord{OK: of.OutputOK}
+	if of.OutputOK {
+		v, err := b.codec.Decode(of.Output)
+		if err != nil {
+			return sim.OutputRecord{}, err
+		}
+		rec.Value = v
+	}
+	return rec, nil
+}
+
+// Machine implements sim.PartyBackend: remote machines cannot be handed
+// over, so corruption attempts fail with sim.ErrRemoteCorruption.
+func (b *remoteBackend) Machine(sim.PartyID) sim.Party { return nil }
+
+// AuditInfo implements sim.PartyBackend: remote machines do not expose
+// audit state to the host.
+func (b *remoteBackend) AuditInfo(sim.PartyID) (sim.Value, bool) { return nil, false }
+
 // runClient is one party process: connect, handshake, round loop, output.
-func runClient(addr string, proto sim.Protocol, id sim.PartyID, input sim.Value, seed int64, codec Codec) error {
+// Its machine RNG seed arrives in the setup frame.
+func runClient(addr string, proto sim.Protocol, id sim.PartyID, input sim.Value, codec Codec, timeout time.Duration) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("dial: %w", err)
 	}
 	defer func() { _ = conn.Close() }()
-	p := newPeer(conn)
+	p := newPeer(conn, timeout)
 
 	if err := p.send(frame{Kind: kindHello, ID: int(id)}); err != nil {
 		return err
@@ -297,7 +377,7 @@ func runClient(addr string, proto sim.Protocol, id sim.PartyID, input sim.Value,
 		}
 		setupOut = v
 	}
-	machine, err := proto.NewParty(id, input, setupOut, sf.SetupAborted, rand.New(rand.NewSource(seed)))
+	machine, err := proto.NewParty(id, input, setupOut, sf.SetupAborted, rand.New(rand.NewSource(sf.Seed)))
 	if err != nil {
 		return err
 	}
@@ -349,26 +429,30 @@ func runClient(addr string, proto sim.Protocol, id sim.PartyID, input sim.Value,
 	return p.send(of)
 }
 
-// peer wraps a connection with gob framing and deadlines.
+// peer wraps a connection with gob framing and per-frame deadlines.
 type peer struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	timeout time.Duration
 }
 
-func newPeer(conn net.Conn) *peer {
-	return &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+func newPeer(conn net.Conn, timeout time.Duration) *peer {
+	if timeout <= 0 {
+		timeout = DefaultRoundTimeout
+	}
+	return &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), timeout: timeout}
 }
 
 func (p *peer) send(f frame) error {
-	if err := p.conn.SetWriteDeadline(time.Now().Add(sessionTimeout)); err != nil {
+	if err := p.conn.SetWriteDeadline(time.Now().Add(p.timeout)); err != nil {
 		return err
 	}
 	return p.enc.Encode(f)
 }
 
 func (p *peer) recv() (frame, error) {
-	if err := p.conn.SetReadDeadline(time.Now().Add(sessionTimeout)); err != nil {
+	if err := p.conn.SetReadDeadline(time.Now().Add(p.timeout)); err != nil {
 		return frame{}, err
 	}
 	var f frame

@@ -1,8 +1,12 @@
 package transport
 
 import (
+	"encoding/gob"
+	"errors"
+	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/gmwproto"
@@ -161,18 +165,84 @@ func TestTransportMatchesInMemoryEngine(t *testing.T) {
 	register()
 	proto := twoparty.New(twoparty.Millionaires())
 	inputs := []sim.Value{uint64(90), uint64(45)}
-	outs, err := RunSession(proto, inputs, GobCodec{}, 8)
+	var m sim.Metrics
+	outs, err := RunSessionConfig(proto, inputs, 8, SessionConfig{Observers: []sim.Observer{&m}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The host drives the same Execution phases and RNG streams as the
+	// in-memory engine, so each party's wire output must equal the
+	// in-memory run's honest output record exactly.
 	tr, err := sim.Run(proto, inputs, sim.Passive{}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(outs) != len(tr.HonestOutputs) {
+		t.Fatalf("TCP produced %d outputs, engine %d", len(outs), len(tr.HonestOutputs))
+	}
 	for id, rec := range outs {
-		if !rec.OK || !sim.ValuesEqual(rec.Value, tr.ExpectedOutput) {
-			t.Errorf("party %d TCP output %+v, engine expected %v", id, rec, tr.ExpectedOutput)
+		if want := tr.HonestOutputs[id]; !rec.OK || !sim.ValuesEqual(rec.Value, want.Value) || rec.OK != want.OK {
+			t.Errorf("party %d TCP output %+v, engine produced %+v", id, rec, want)
 		}
+	}
+	// The session's observer stream is the engine's: compare its metrics
+	// with an in-memory observed run.
+	var want sim.Metrics
+	if _, err := sim.RunObserved(proto, inputs, sim.Passive{}, 8, &want); err != nil {
+		t.Fatal(err)
+	}
+	if m != want {
+		t.Errorf("TCP session metrics %+v, in-memory engine metrics %+v", m, want)
+	}
+}
+
+func TestStalledClientTimesOut(t *testing.T) {
+	register()
+	proto := contract.Pi1{}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	cfg := SessionConfig{Codec: GobCodec{}, RoundTimeout: 200 * time.Millisecond}
+
+	// Party 1 behaves; party 2 says hello and then goes silent forever.
+	go func() { _ = runClient(ln.Addr().String(), proto, 1, uint64(5), cfg.Codec, cfg.RoundTimeout) }()
+	stalled, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = stalled.Close() }()
+	if err := gob.NewEncoder(stalled).Encode(frame{Kind: kindHello, ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := hostSession(ln, proto, []sim.Value{uint64(5), uint64(6)}, 1, cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("host completed despite stalled client")
+		}
+		var nerr net.Error
+		if !errors.As(err, &nerr) || !nerr.Timeout() {
+			t.Fatalf("host error %v, want a net timeout", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("host hung on stalled client instead of honoring RoundTimeout")
+	}
+}
+
+func TestRoundTimeoutDefault(t *testing.T) {
+	cfg := SessionConfig{}.withDefaults()
+	if cfg.RoundTimeout != DefaultRoundTimeout {
+		t.Errorf("default RoundTimeout = %v, want %v", cfg.RoundTimeout, DefaultRoundTimeout)
+	}
+	if cfg.Codec == nil {
+		t.Error("default Codec is nil")
 	}
 }
 
