@@ -8,16 +8,36 @@
 // recording and printing a session transcript.
 //
 //	go run ./examples/network
+//
+// Chaos mode exercises the transport's resilience layer with
+// deterministic, seeded fault injection: transient faults (drops,
+// delays) heal via the reconnect/resume handshake with byte-identical
+// outputs, and killing a party degrades the run into the model's
+// fail-stop abort instead of an error.
+//
+//	go run ./examples/network -chaos-seed 7 -drop 0.05 -delay 0.05
+//	go run ./examples/network -chaos-seed 7 -kill-party 2 -kill-round 1
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	fairness "repro"
 )
 
 func main() {
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault injector")
+	drop := flag.Float64("drop", 0, "per-frame drop probability (chaos mode)")
+	delay := flag.Float64("delay", 0, "per-frame delay probability (chaos mode)")
+	maxDelay := flag.Duration("max-delay", 5*time.Millisecond, "upper bound on injected delays")
+	killParty := flag.Int("kill-party", 0, "party to crash (0 = nobody)")
+	killRound := flag.Int("kill-round", 1, "round at which -kill-party crashes")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-frame round timeout in chaos mode")
+	flag.Parse()
+
 	fairness.RegisterContractGobTypes()
 	fairness.RegisterTwoPartyGobTypes()
 	fairness.RegisterMultiPartyGobTypes()
@@ -62,16 +82,60 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	outs, err = fairness.RunOverTCP(fairness.NewOptimalMultiParty(fn),
-		[]fairness.Value{uint64(310), uint64(455), uint64(290), uint64(505), uint64(470)},
-		fairness.GobCodec{}, 3)
+	auction := []fairness.Value{uint64(310), uint64(455), uint64(290), uint64(505), uint64(470)}
+	outs, err = fairness.RunOverTCP(fairness.NewOptimalMultiParty(fn), auction, fairness.GobCodec{}, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for id := fairness.PartyID(1); id <= 5; id++ {
 		fmt.Printf("party %d winning price: %v\n", id, outs[id].Value)
 	}
-	fmt.Println("\nSame machines, real sockets: the fairness engine's protocols are")
-	fmt.Println("ordinary message-driven state machines. Adversarial measurements")
-	fmt.Println("stay in the in-memory engine, where rushing and corruption live.")
+
+	if *drop > 0 || *delay > 0 || *killParty > 0 {
+		runChaos(fn, auction, *chaosSeed, *drop, *delay, *maxDelay, *killParty, *killRound, *timeout)
+	} else {
+		fmt.Println("\nSame machines, real sockets: the fairness engine's protocols are")
+		fmt.Println("ordinary message-driven state machines. Adversarial measurements")
+		fmt.Println("stay in the in-memory engine, where rushing and corruption live.")
+		fmt.Println("\n(rerun with -drop 0.05, -delay 0.05, or -kill-party 2 to watch the")
+		fmt.Println(" resilience layer heal faults or degrade a crash into a fail-stop)")
+	}
+}
+
+// runChaos reruns the auction under a seeded fault profile and reports
+// how the resilience layer coped.
+func runChaos(fn fairness.MultiPartyFunction, inputs []fairness.Value,
+	seed int64, drop, delay float64, maxDelay time.Duration,
+	killParty, killRound int, timeout time.Duration) {
+	fmt.Printf("\n== chaos: ΠOpt-nSFE under seeded faults (seed %d) ==\n", seed)
+	inj, err := fairness.NewRandomFaults(seed, fairness.FaultProfile{
+		Drop: drop, Delay: delay, MaxDelay: maxDelay,
+		KillParty: killParty, KillRound: killRound,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fairness.RunOverTCPReport(fairness.NewOptimalMultiParty(fn), inputs, seed,
+		fairness.SessionConfig{Fault: inj, RoundTimeout: timeout, MaxResumes: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resume handshakes: %d\n", rep.Resumes)
+	if len(rep.FailStops) == 0 {
+		fmt.Println("fail-stops: none — every fault healed; outputs are byte-identical")
+		fmt.Println("to the fault-free run (same seed ⇒ same faults ⇒ same healing):")
+	} else {
+		for id, info := range rep.FailStops {
+			fmt.Printf("fail-stop: party %d at round %d (%s) — priced like an abort\n",
+				id, info.Round, info.Cause)
+		}
+		fmt.Println("surviving outputs:")
+	}
+	for id := fairness.PartyID(1); id <= fairness.PartyID(len(inputs)); id++ {
+		if rec, ok := rep.Outputs[id]; ok {
+			fmt.Printf("party %d winning price: %v\n", id, rec.Value)
+		} else {
+			fmt.Printf("party %d: no output (fail-stopped)\n", id)
+		}
+	}
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/protocols/contract"
 	"repro/internal/protocols/gordonkatz"
 	"repro/internal/protocols/multiparty"
@@ -104,6 +105,12 @@ type (
 	// PartyBackend runs the party machines for an Execution (in-memory
 	// or, via the transport, in remote processes).
 	PartyBackend = sim.PartyBackend
+	// FailStopInfo records why and when a party fail-stopped (the
+	// fail-stop → abort-adversary degradation).
+	FailStopInfo = sim.FailStopInfo
+	// FailStopObserver is the optional Observer extension receiving
+	// fail-stop abort events.
+	FailStopObserver = sim.FailStopObserver
 )
 
 // Events.
@@ -340,8 +347,12 @@ type (
 	TransportCodec = transport.Codec
 	// GobCodec is the default gob payload codec.
 	GobCodec = transport.GobCodec
-	// SessionConfig tunes a TCP session (codec, round timeout, observers).
+	// SessionConfig tunes a TCP session (codec, timeouts, observers,
+	// fault injection, reconnect/resume budgets).
 	SessionConfig = transport.SessionConfig
+	// SessionReport is the full result of a chaos-tolerant TCP session:
+	// outputs, trace, fail-stop verdicts, resume count.
+	SessionReport = transport.SessionReport
 )
 
 var (
@@ -349,6 +360,10 @@ var (
 	RunOverTCP = transport.RunSession
 	// RunOverTCPConfig is RunOverTCP with an explicit SessionConfig.
 	RunOverTCPConfig = transport.RunSessionConfig
+	// RunOverTCPReport runs a session tolerating faults: transient
+	// connection faults heal via reconnect/resume, unrecoverable peers
+	// degrade into fail-stop aborts reported in the SessionReport.
+	RunOverTCPReport = transport.RunSessionReport
 	// RegisterContractGobTypes enables Π1/Π2 over TCP.
 	RegisterContractGobTypes = contract.RegisterGobTypes
 	// RegisterTwoPartyGobTypes enables ΠOpt-2SFE over TCP.
@@ -357,4 +372,43 @@ var (
 	RegisterMultiPartyGobTypes = multiparty.RegisterGobTypes
 	// RegisterGordonKatzGobTypes enables the GK protocols over TCP.
 	RegisterGordonKatzGobTypes = gordonkatz.RegisterGobTypes
+)
+
+// Deterministic fault injection (chaos-testing the transport; every
+// chaos run is replayable from its seed and schedule alone).
+type (
+	// FaultInjector decides the fate of session frames.
+	FaultInjector = faultinject.Injector
+	// FaultPoint identifies one frame's first transmission.
+	FaultPoint = faultinject.Point
+	// FaultDecision is the injector's verdict for one point.
+	FaultDecision = faultinject.Decision
+	// FaultRule matches points in an explicit fault schedule.
+	FaultRule = faultinject.Rule
+	// FaultSchedule fires explicit rules (first match with budget left).
+	FaultSchedule = faultinject.Schedule
+	// FaultProfile configures the seeded random injector.
+	FaultProfile = faultinject.Profile
+	// FaultOp is the action taken on a frame.
+	FaultOp = faultinject.Op
+)
+
+// Fault operations.
+const (
+	FaultNone       = faultinject.None
+	FaultDrop       = faultinject.Drop
+	FaultDelay      = faultinject.Delay
+	FaultDuplicate  = faultinject.Duplicate
+	FaultReorder    = faultinject.Reorder
+	FaultCorrupt    = faultinject.Corrupt
+	FaultDisconnect = faultinject.Disconnect
+	FaultKill       = faultinject.Kill
+)
+
+var (
+	// NewFaultSchedule builds an explicit, replayable fault plan.
+	NewFaultSchedule = faultinject.NewSchedule
+	// NewRandomFaults builds the seeded hash-based injector: decisions
+	// are a pure function of (seed, party, direction, sequence).
+	NewRandomFaults = faultinject.NewRandom
 )

@@ -1,0 +1,328 @@
+// Package faultinject provides deterministic, seeded fault schedules
+// for chaos-testing the TCP transport. An Injector decides, for every
+// session frame about to cross the wire for the first time, whether the
+// frame is dropped, delayed, duplicated, reordered, or corrupted — or
+// whether the connection disconnects, or the sending party crashes
+// outright (a fail-stop).
+//
+// Determinism contract — a chaos run is replayable from its inputs
+// alone:
+//
+//   - Schedule fires Rules matched on (party, direction, round, seq).
+//     Rules that pin Party and Dir are interleaving-independent, because
+//     each peer's per-direction frame sequence is deterministic; a rule
+//     left at "any party" may fire on whichever peer's frame races there
+//     first, so fully deterministic schedules pin Party and Dir.
+//   - Random derives every decision by hashing (seed, party, dir, seq),
+//     so concurrent peers draw identical decisions no matter how their
+//     goroutines interleave: the whole run is a pure function of
+//     (seed, Profile).
+//
+// The transport consults the injector only on a frame's *first*
+// transmission — retransmissions after a reconnect/resume handshake
+// bypass injection — so every transient fault is survivable by replay
+// and the session's outputs stay byte-identical to a fault-free run.
+// Only Kill (and a peer exceeding its resume budget) is unrecoverable:
+// the engine converts it into the model's fail-stop abort.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Op is the action taken on a frame (or its connection).
+type Op int
+
+const (
+	// None passes the frame through untouched.
+	None Op = iota
+	// Drop suppresses the frame's first transmission; the receiver's
+	// stall triggers a reconnect/resume, and replay heals the loss.
+	Drop
+	// Delay holds the frame for Decision.Delay before writing it.
+	Delay
+	// Duplicate writes the frame twice; the receiver's sequence-number
+	// dedup discards the copy.
+	Duplicate
+	// Reorder holds the frame back and writes it after the next frame;
+	// the receiver's sequence buffer restores order.
+	Reorder
+	// Corrupt flips payload bytes after the checksum is computed; the
+	// receiver detects the mismatch and recovers the pristine frame via
+	// resume replay.
+	Corrupt
+	// Disconnect closes the connection after the frame is written — a
+	// transient fault healed by the reconnect/resume handshake.
+	Disconnect
+	// Kill crashes the sending party process permanently (fail-stop).
+	// Kill is meaningful only on client endpoints (DirClientToHost);
+	// the session host never crashes, so host-side Kill decisions are
+	// downgraded to Disconnect.
+	Kill
+)
+
+// String names the op for logs and error messages.
+func (o Op) String() string {
+	switch o {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Duplicate:
+		return "duplicate"
+	case Reorder:
+		return "reorder"
+	case Corrupt:
+		return "corrupt"
+	case Disconnect:
+		return "disconnect"
+	case Kill:
+		return "kill"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Direction of a frame relative to the session host.
+type Direction int
+
+const (
+	// DirAny is the Rule wildcard matching both directions; Points never
+	// carry it.
+	DirAny Direction = iota
+	// DirHostToClient marks frames the host sends to a party.
+	DirHostToClient
+	// DirClientToHost marks frames a party sends to the host.
+	DirClientToHost
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case DirAny:
+		return "any"
+	case DirHostToClient:
+		return "host→client"
+	case DirClientToHost:
+		return "client→host"
+	default:
+		return fmt.Sprintf("dir(%d)", int(d))
+	}
+}
+
+// Point identifies one frame about to cross the wire for the first time.
+type Point struct {
+	// Party is the 1-based id of the client endpoint of the connection.
+	Party int
+	// Dir is the frame's direction (never DirAny).
+	Dir Direction
+	// Seq is the frame's per-direction reliable sequence number
+	// (1-based; the host's setup frame is seq 1).
+	Seq uint64
+	// Round is the wire round the frame belongs to: 0 for the setup
+	// frame, r for round-r inbox/batch frames, NumRounds()+2 for the
+	// final output frame.
+	Round int
+}
+
+// Decision is the injector's verdict for one Point.
+type Decision struct {
+	Op Op
+	// Delay is the hold duration when Op == Delay.
+	Delay time.Duration
+}
+
+// Injector decides the fate of frames. Implementations must be safe for
+// concurrent use: the host and every client goroutine share one
+// injector.
+type Injector interface {
+	Decide(p Point) Decision
+}
+
+// Rule matches Points and fires an Op a bounded number of times.
+// Zero-valued match fields are wildcards.
+type Rule struct {
+	// Party matches the client endpoint; 0 = any party.
+	Party int
+	// Dir matches the frame direction; DirAny = either. Kill rules
+	// additionally require DirClientToHost regardless (only parties
+	// crash), so a DirAny Kill rule never consumes itself on host
+	// frames.
+	Dir Direction
+	// Round matches the frame's wire round; 0 = any round (the setup
+	// frame, which is round 0, is matched by Seq instead).
+	Round int
+	// Seq matches the per-direction sequence number; 0 = any.
+	Seq uint64
+	// Times bounds how often the rule fires; <= 0 means once.
+	Times int
+	// Op is the action, with Delay as its parameter.
+	Op    Op
+	Delay time.Duration
+}
+
+func (r Rule) matches(p Point) bool {
+	if r.Party != 0 && r.Party != p.Party {
+		return false
+	}
+	if r.Op == Kill && p.Dir != DirClientToHost {
+		return false
+	}
+	if r.Dir != DirAny && r.Dir != p.Dir {
+		return false
+	}
+	if r.Round != 0 && r.Round != p.Round {
+		return false
+	}
+	if r.Seq != 0 && r.Seq != p.Seq {
+		return false
+	}
+	return true
+}
+
+// Schedule is an explicit, replayable fault plan: the first matching
+// rule with budget left fires. The zero Schedule injects nothing.
+type Schedule struct {
+	mu        sync.Mutex
+	rules     []Rule
+	remaining []int
+}
+
+var _ Injector = (*Schedule)(nil)
+
+// NewSchedule builds a schedule from rules, each firing Times times
+// (default once).
+func NewSchedule(rules ...Rule) *Schedule {
+	s := &Schedule{rules: rules, remaining: make([]int, len(rules))}
+	for i, r := range rules {
+		if r.Times <= 0 {
+			s.remaining[i] = 1
+		} else {
+			s.remaining[i] = r.Times
+		}
+	}
+	return s
+}
+
+// Decide implements Injector.
+func (s *Schedule) Decide(p Point) Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range s.rules {
+		if s.remaining[i] == 0 || !r.matches(p) {
+			continue
+		}
+		s.remaining[i]--
+		return Decision{Op: r.Op, Delay: r.Delay}
+	}
+	return Decision{}
+}
+
+// Profile configures the seeded Random injector: independent per-frame
+// fault probabilities (their sum must be <= 1) plus an optional fatal
+// fault.
+type Profile struct {
+	// Drop, Delay, Duplicate, Reorder, Corrupt, Disconnect are the
+	// per-frame probabilities of the corresponding transient fault.
+	Drop, Delay, Duplicate, Reorder, Corrupt, Disconnect float64
+	// MaxDelay bounds the injected delay; the actual hold time is a
+	// seed-determined duration in [0, MaxDelay). Zero disables delays
+	// even when Delay > 0.
+	MaxDelay time.Duration
+	// KillParty/KillRound, when KillParty > 0, crash that party at the
+	// first client→host frame with Round >= KillRound — the fail-stop
+	// fault of the chaos matrix.
+	KillParty int
+	KillRound int
+}
+
+func (p Profile) rateSum() float64 {
+	return p.Drop + p.Delay + p.Duplicate + p.Reorder + p.Corrupt + p.Disconnect
+}
+
+// Random is the seeded, interleaving-independent injector: every
+// decision is a pure hash of (seed, party, dir, seq).
+type Random struct {
+	seed int64
+	prof Profile
+	mu   sync.Mutex
+	dead map[int]bool // parties already killed (guarded by mu)
+}
+
+var _ Injector = (*Random)(nil)
+
+// NewRandom builds a Random injector; it returns an error when the
+// profile's fault probabilities sum past 1.
+func NewRandom(seed int64, prof Profile) (*Random, error) {
+	if s := prof.rateSum(); s > 1 {
+		return nil, fmt.Errorf("faultinject: fault probabilities sum to %.3f > 1", s)
+	}
+	return &Random{seed: seed, prof: prof, dead: make(map[int]bool)}, nil
+}
+
+// Decide implements Injector.
+func (r *Random) Decide(p Point) Decision {
+	if r.prof.KillParty > 0 && p.Party == r.prof.KillParty &&
+		p.Dir == DirClientToHost && p.Round >= r.prof.KillRound {
+		r.mu.Lock()
+		first := !r.dead[p.Party]
+		r.dead[p.Party] = true
+		r.mu.Unlock()
+		if first {
+			return Decision{Op: Kill}
+		}
+		return Decision{}
+	}
+	u := uniform(hashPoint(r.seed, p))
+	cum := 0.0
+	for _, c := range []struct {
+		rate float64
+		op   Op
+	}{
+		{r.prof.Drop, Drop},
+		{r.prof.Delay, Delay},
+		{r.prof.Duplicate, Duplicate},
+		{r.prof.Reorder, Reorder},
+		{r.prof.Corrupt, Corrupt},
+		{r.prof.Disconnect, Disconnect},
+	} {
+		cum += c.rate
+		if c.rate > 0 && u < cum {
+			d := Decision{Op: c.op}
+			if c.op == Delay {
+				if r.prof.MaxDelay <= 0 {
+					return Decision{}
+				}
+				d.Delay = time.Duration(hashPoint(r.seed^0x5bf03635, p) % uint64(r.prof.MaxDelay))
+			}
+			return d
+		}
+	}
+	return Decision{}
+}
+
+// splitmix64 finalizer: a fast, well-mixed 64-bit hash step.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashPoint hashes a frame's identity. Round is deliberately excluded:
+// (party, dir, seq) already identifies a first transmission uniquely,
+// and keeping the hash independent of round numbering makes decisions
+// stable under protocol-length changes.
+func hashPoint(seed int64, p Point) uint64 {
+	h := mix(uint64(seed) ^ 0x6a09e667f3bcc908)
+	h = mix(h ^ uint64(p.Party)<<32 ^ uint64(p.Dir))
+	h = mix(h ^ p.Seq)
+	return h
+}
+
+// uniform maps a hash to [0, 1).
+func uniform(h uint64) float64 { return float64(h>>11) / (1 << 53) }

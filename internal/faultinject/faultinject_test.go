@@ -1,0 +1,169 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestScheduleMatchesAndExhausts(t *testing.T) {
+	s := NewSchedule(
+		Rule{Party: 2, Dir: DirHostToClient, Round: 1, Op: Drop},
+		Rule{Party: 1, Seq: 3, Op: Corrupt, Times: 2},
+	)
+	p := Point{Party: 2, Dir: DirHostToClient, Seq: 2, Round: 1}
+	if d := s.Decide(p); d.Op != Drop {
+		t.Fatalf("first decide = %v, want drop", d.Op)
+	}
+	if d := s.Decide(p); d.Op != None {
+		t.Errorf("rule fired twice: %v", d.Op)
+	}
+	// Wrong party, direction, round: no match.
+	for _, q := range []Point{
+		{Party: 1, Dir: DirHostToClient, Seq: 9, Round: 1},
+		{Party: 2, Dir: DirClientToHost, Seq: 9, Round: 1},
+		{Party: 2, Dir: DirHostToClient, Seq: 9, Round: 2},
+	} {
+		if d := s.Decide(q); d.Op != None {
+			t.Errorf("point %+v matched: %v", q, d.Op)
+		}
+	}
+	// Seq-pinned rule fires Times times.
+	q := Point{Party: 1, Dir: DirClientToHost, Seq: 3, Round: 2}
+	for i := 0; i < 2; i++ {
+		if d := s.Decide(q); d.Op != Corrupt {
+			t.Fatalf("fire %d = %v, want corrupt", i, d.Op)
+		}
+	}
+	if d := s.Decide(q); d.Op != None {
+		t.Errorf("seq rule fired a third time: %v", d.Op)
+	}
+}
+
+func TestScheduleKillRequiresClientDirection(t *testing.T) {
+	s := NewSchedule(Rule{Party: 1, Round: 2, Op: Kill})
+	// A host→client frame at the kill round must not consume the rule.
+	if d := s.Decide(Point{Party: 1, Dir: DirHostToClient, Seq: 4, Round: 2}); d.Op != None {
+		t.Fatalf("kill fired on host frame: %v", d.Op)
+	}
+	if d := s.Decide(Point{Party: 1, Dir: DirClientToHost, Seq: 3, Round: 2}); d.Op != Kill {
+		t.Fatalf("kill did not fire on client frame: %v", d.Op)
+	}
+}
+
+func TestRandomDeterministicAndInterleavingIndependent(t *testing.T) {
+	prof := Profile{Drop: 0.2, Delay: 0.2, Corrupt: 0.1, MaxDelay: 40 * time.Millisecond}
+	a, err := NewRandom(7, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewRandom(7, prof)
+	points := make([]Point, 0, 200)
+	for party := 1; party <= 2; party++ {
+		for seq := uint64(1); seq <= 50; seq++ {
+			points = append(points, Point{Party: party, Dir: DirHostToClient, Seq: seq})
+			points = append(points, Point{Party: party, Dir: DirClientToHost, Seq: seq})
+		}
+	}
+	// Same seed, opposite query order: identical decisions.
+	got := make([]Decision, len(points))
+	for i, p := range points {
+		got[i] = a.Decide(p)
+	}
+	for i := len(points) - 1; i >= 0; i-- {
+		if d := b.Decide(points[i]); d != got[i] {
+			t.Fatalf("point %+v: %v != %v under reordering", points[i], d, got[i])
+		}
+	}
+	// Concurrent queries race-free and still deterministic.
+	c, _ := NewRandom(7, prof)
+	var wg sync.WaitGroup
+	for i := range points {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if d := c.Decide(points[i]); d != got[i] {
+				t.Errorf("concurrent decide mismatch at %+v", points[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	// A different seed must not reproduce the same decision sequence.
+	d2, _ := NewRandom(8, prof)
+	same := true
+	for i, p := range points {
+		if d2.Decide(p) != got[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical fault sequences")
+	}
+}
+
+func TestRandomKillFiresOnce(t *testing.T) {
+	r, err := NewRandom(1, Profile{KillParty: 2, KillRound: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Decide(Point{Party: 2, Dir: DirClientToHost, Seq: 2, Round: 2}); d.Op != None {
+		t.Errorf("killed before the kill round: %v", d.Op)
+	}
+	if d := r.Decide(Point{Party: 2, Dir: DirHostToClient, Seq: 3, Round: 3}); d.Op != None {
+		t.Errorf("killed on a host frame: %v", d.Op)
+	}
+	if d := r.Decide(Point{Party: 2, Dir: DirClientToHost, Seq: 3, Round: 3}); d.Op != Kill {
+		t.Fatalf("no kill at the kill round: %v", d.Op)
+	}
+	if d := r.Decide(Point{Party: 2, Dir: DirClientToHost, Seq: 4, Round: 4}); d.Op != None {
+		t.Errorf("party killed twice: %v", d.Op)
+	}
+	if d := r.Decide(Point{Party: 1, Dir: DirClientToHost, Seq: 3, Round: 3}); d.Op == Kill {
+		t.Error("wrong party killed")
+	}
+}
+
+func TestRandomRejectsOverfullProfile(t *testing.T) {
+	if _, err := NewRandom(1, Profile{Drop: 0.6, Corrupt: 0.6}); err == nil {
+		t.Error("profile with rate sum 1.2 accepted")
+	}
+}
+
+func TestRandomDelayBounded(t *testing.T) {
+	const maxDelay = 10 * time.Millisecond
+	r, err := NewRandom(3, Profile{Delay: 1, MaxDelay: maxDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDelay := false
+	for seq := uint64(1); seq <= 100; seq++ {
+		d := r.Decide(Point{Party: 1, Dir: DirClientToHost, Seq: seq})
+		if d.Op != Delay {
+			t.Fatalf("seq %d: op %v, want delay", seq, d.Op)
+		}
+		if d.Delay < 0 || d.Delay >= maxDelay {
+			t.Fatalf("seq %d: delay %v outside [0, %v)", seq, d.Delay, maxDelay)
+		}
+		if d.Delay > 0 {
+			sawDelay = true
+		}
+	}
+	if !sawDelay {
+		t.Error("every injected delay was zero")
+	}
+}
+
+func TestOpAndDirectionStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		None: "none", Drop: "drop", Delay: "delay", Duplicate: "duplicate",
+		Reorder: "reorder", Corrupt: "corrupt", Disconnect: "disconnect", Kill: "kill",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+	if DirHostToClient.String() == DirClientToHost.String() {
+		t.Error("direction strings collide")
+	}
+}

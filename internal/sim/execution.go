@@ -182,6 +182,41 @@ func NewExecutionWithBackend(proto Protocol, inputs []Value, adv Adversary, seed
 // protocol's message rounds plus the finalize round.
 func (e *Execution) TotalRounds() int { return e.totalRounds }
 
+// FailStop converts party id into a fail-stop abort: from the next Step
+// on, the party's machine is no longer driven, no messages are routed to
+// it, and Finalize collects no output from it — exactly the silence an
+// abort adversary produces after corrupting the party and stopping, so
+// surviving honest parties default the crashed party's input and the
+// fairness classifier prices the run like an adversarial abort (see
+// Trace.FailStops and core.Classify).
+//
+// round is the wire round the failure was detected in (0 = setup phase).
+// FailStop may be called between SetupPhase and Finalize — typically by
+// a transport host that lost a peer irrecoverably — and is idempotent
+// per party. Observers implementing FailStopObserver receive the event.
+func (e *Execution) FailStop(id PartyID, round int, cause string) error {
+	if e.state != execRounds {
+		return fmt.Errorf("%w: FailStop(%d) in state %d", ErrPhase, id, e.state)
+	}
+	if id < 1 || PartyID(e.n) < id {
+		return fmt.Errorf("%w: %d", ErrBadParty, id)
+	}
+	tr := e.trace
+	if tr.FailStops == nil {
+		tr.FailStops = make(map[PartyID]FailStopInfo)
+	}
+	if _, dup := tr.FailStops[id]; dup {
+		return nil
+	}
+	tr.FailStops[id] = FailStopInfo{Round: round, Cause: cause}
+	for _, o := range e.obs {
+		if f, ok := o.(FailStopObserver); ok {
+			f.PartyFailStopped(round, id, cause)
+		}
+	}
+	return nil
+}
+
 // corruptedSorted returns the currently corrupted set in ascending id
 // order, for deterministic iteration (and a deterministic event stream).
 func (e *Execution) corruptedSorted() []PartyID {
@@ -339,20 +374,25 @@ func (e *Execution) Step(round int) error {
 
 	// Deliver this round's inboxes: honest parties consume them in their
 	// Round call below; corrupted parties' inboxes go to the adversary.
+	// Fail-stopped parties are gone — nothing is delivered to them.
 	for _, o := range e.obs {
 		for i := 0; i < n; i++ {
+			if tr.FailStopped(PartyID(i + 1)) {
+				continue
+			}
 			for _, m := range e.inboxes[i] {
 				o.MessageDelivered(r, PartyID(i+1), m)
 			}
 		}
 	}
 
-	// Honest parties move first.
+	// Honest parties move first. Fail-stopped parties stay silent, the
+	// same silence an abort adversary produces after round FailStops[id].
 	var honestOut []Message
 	var rushed []Message
 	for i := 0; i < n; i++ {
 		id := PartyID(i + 1)
-		if tr.Corrupted[id] {
+		if tr.Corrupted[id] || tr.FailStopped(id) {
 			continue
 		}
 		out, err := e.backend.PartyRound(id, r, e.inboxes[i])
@@ -395,11 +435,14 @@ func (e *Execution) Step(round int) error {
 	deliver := func(m Message) {
 		if m.To == Broadcast {
 			for i := 0; i < n; i++ {
+				if tr.FailStopped(PartyID(i + 1)) {
+					continue
+				}
 				next[i] = append(next[i], m)
 			}
 			return
 		}
-		if m.To >= 1 && m.To <= PartyID(n) {
+		if m.To >= 1 && m.To <= PartyID(n) && !tr.FailStopped(m.To) {
 			next[m.To-1] = append(next[m.To-1], m)
 		}
 	}
@@ -432,18 +475,24 @@ func (e *Execution) Finalize() (*Trace, error) {
 	}
 	tr, n := e.trace, e.n
 
-	// Compute the defaulted output w.r.t. the final corrupted set.
+	// Compute the defaulted output w.r.t. the final deviating set:
+	// corrupted parties and fail-stopped parties alike are the ones whose
+	// inputs surviving honest parties replace with defaults.
 	defaulted := append([]Value(nil), e.inputs...)
 	for id := range tr.Corrupted {
 		defaulted[id-1] = e.proto.DefaultInput(id)
 	}
+	for id := range tr.FailStops {
+		defaulted[id-1] = e.proto.DefaultInput(id)
+	}
 	tr.DefaultedOutput = e.proto.Func(defaulted)
 
-	// Collect honest outputs and audit data.
+	// Collect honest outputs and audit data. Fail-stopped parties are
+	// gone — they produce no output, like a corrupted aborter.
 	tr.HonestAudits = make(map[PartyID]Value)
 	for i := 0; i < n; i++ {
 		id := PartyID(i + 1)
-		if tr.Corrupted[id] {
+		if tr.Corrupted[id] || tr.FailStopped(id) {
 			continue
 		}
 		rec, err := e.backend.PartyOutput(id)

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// failStopLog records FailStopObserver events alongside the full stream.
+type failStopLog struct {
+	NopObserver
+	events []string
+}
+
+func (l *failStopLog) PartyFailStopped(round int, id PartyID, cause string) {
+	l.events = append(l.events, fmt.Sprintf("p%d@r%d:%s", id, round, cause))
+}
+
+func TestFailStopConvertsPartyToAbort(t *testing.T) {
+	var m Metrics
+	log := &failStopLog{}
+	e, err := NewExecution(exchangeProtocol{}, []Value{uint64(3), uint64(4)}, Passive{}, 1, &m, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetupPhase(); err != nil {
+		t.Fatal(err)
+	}
+	// Party 1 crashes before round 1: from here on it is silent.
+	if err := e.FailStop(1, 1, "connection lost"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: a second report of the same party is a no-op.
+	if err := e.FailStop(1, 2, "stall"); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= e.TotalRounds(); r++ {
+		if err := e.Step(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := e.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, ok := tr.FailStops[1]
+	if !ok {
+		t.Fatal("no FailStops entry for party 1")
+	}
+	if info.Round != 1 || info.Cause != "connection lost" {
+		t.Errorf("FailStops[1] = %+v, want round 1 cause %q", info, "connection lost")
+	}
+	if !tr.FailStopped(1) || tr.FailStopped(2) {
+		t.Errorf("FailStopped flags wrong: %+v", tr.FailStops)
+	}
+	if tr.NumCorrupted() != 0 {
+		t.Errorf("fail-stop recorded as corruption: %d", tr.NumCorrupted())
+	}
+	if tr.NumDeviating() != 1 {
+		t.Errorf("NumDeviating = %d, want 1", tr.NumDeviating())
+	}
+	// The crashed party produces no output; the survivor is recorded.
+	if _, ok := tr.HonestOutputs[1]; ok {
+		t.Error("fail-stopped party has an output record")
+	}
+	if _, ok := tr.HonestOutputs[2]; !ok {
+		t.Error("surviving party has no output record")
+	}
+	// The defaulted output substitutes the crashed party's default input.
+	if !ValuesEqual(tr.DefaultedOutput, uint64(4)) {
+		t.Errorf("DefaultedOutput = %v, want 4 (default 0 + 4)", tr.DefaultedOutput)
+	}
+	if m.FailStops != 1 {
+		t.Errorf("Metrics.FailStops = %d, want 1", m.FailStops)
+	}
+	if len(log.events) != 1 {
+		t.Errorf("observer saw %d fail-stop events, want 1: %v", len(log.events), log.events)
+	}
+}
+
+func TestFailStopBeforeSetupOrBadPartyRejected(t *testing.T) {
+	e, err := NewExecution(exchangeProtocol{}, []Value{uint64(1), uint64(2)}, Passive{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FailStop(1, 0, "too early"); !errors.Is(err, ErrPhase) {
+		t.Errorf("FailStop before SetupPhase: %v, want ErrPhase", err)
+	}
+	if err := e.SetupPhase(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FailStop(9, 1, "no such party"); !errors.Is(err, ErrBadParty) {
+		t.Errorf("FailStop(9): %v, want ErrBadParty", err)
+	}
+}
+
+func TestFailStopSkipsDeliveriesToDeadParty(t *testing.T) {
+	var withStop, without Metrics
+	run := func(m *Metrics, stop bool) *Trace {
+		e, err := NewExecution(exchangeProtocol{}, []Value{uint64(5), uint64(6)}, Passive{}, 4, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SetupPhase(); err != nil {
+			t.Fatal(err)
+		}
+		if stop {
+			if err := e.FailStop(2, 1, "killed"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for r := 1; r <= e.TotalRounds(); r++ {
+			if err := e.Step(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr, err := e.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	run(&without, false)
+	run(&withStop, true)
+	// Party 2 dead from round 1: it neither sends nor receives, so both
+	// the send and delivery counts drop relative to the honest run.
+	if withStop.Messages >= without.Messages {
+		t.Errorf("messages %d with fail-stop, %d without — dead party still sending",
+			withStop.Messages, without.Messages)
+	}
+	if withStop.Deliveries >= without.Deliveries {
+		t.Errorf("deliveries %d with fail-stop, %d without — messages still delivered to dead party",
+			withStop.Deliveries, without.Deliveries)
+	}
+}

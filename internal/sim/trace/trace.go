@@ -77,6 +77,10 @@ type Line struct {
 	Learned   bool `json:"learned,omitempty"`
 	Breach    bool `json:"breach,omitempty"`
 	Corrupted int  `json:"corrupted,omitempty"`
+	// Cause is the canonical failure description (failstop lines);
+	// FailStops counts fail-stopped parties (run_end lines).
+	Cause     string `json:"cause,omitempty"`
+	FailStops int    `json:"failstops,omitempty"`
 }
 
 // render stringifies a protocol value for the transcript.
@@ -107,7 +111,10 @@ type Recorder struct {
 	sink  *Sink
 }
 
-var _ sim.Observer = (*Recorder)(nil)
+var (
+	_ sim.Observer         = (*Recorder)(nil)
+	_ sim.FailStopObserver = (*Recorder)(nil)
+)
 
 // NewRecorder returns a standalone Recorder for one run.
 func NewRecorder(meta Meta) *Recorder { return &Recorder{meta: meta} }
@@ -177,6 +184,12 @@ func (r *Recorder) OutputProduced(id sim.PartyID, rec sim.OutputRecord) {
 	r.add(Line{Type: "output", Party: int(id), OK: rec.OK, Value: render(rec.Value)})
 }
 
+// PartyFailStopped implements sim.FailStopObserver: a party removed
+// from the run by an unrecoverable infrastructure failure.
+func (r *Recorder) PartyFailStopped(round int, id sim.PartyID, cause string) {
+	r.add(Line{Type: "failstop", Round: round, Party: int(id), Cause: cause})
+}
+
 // RunFinished implements sim.Observer.
 func (r *Recorder) RunFinished(tr *sim.Trace) {
 	r.add(Line{
@@ -185,6 +198,7 @@ func (r *Recorder) RunFinished(tr *sim.Trace) {
 		Learned:   tr.AdvLearned,
 		Breach:    tr.PrivacyBreach,
 		Corrupted: tr.NumCorrupted(),
+		FailStops: len(tr.FailStops),
 	})
 	if r.sink != nil {
 		r.sink.flush(r.lines)

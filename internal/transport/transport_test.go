@@ -2,8 +2,8 @@ package transport
 
 import (
 	"encoding/gob"
-	"errors"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -196,7 +196,12 @@ func TestTransportMatchesInMemoryEngine(t *testing.T) {
 	}
 }
 
-func TestStalledClientTimesOut(t *testing.T) {
+// TestStalledClientFailStops pins the degradation contract: a party
+// that says hello and then goes silent forever no longer fails the
+// session with a timeout error — the host declares it dead within the
+// 2×RoundTimeout recovery budget and completes the run with a fail-stop
+// verdict naming the party, the round, and a stall cause.
+func TestStalledClientFailStops(t *testing.T) {
 	register()
 	proto := contract.Pi1{}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -207,7 +212,7 @@ func TestStalledClientTimesOut(t *testing.T) {
 	cfg := SessionConfig{Codec: GobCodec{}, RoundTimeout: 200 * time.Millisecond}
 
 	// Party 1 behaves; party 2 says hello and then goes silent forever.
-	go func() { _ = runClient(ln.Addr().String(), proto, 1, uint64(5), cfg.Codec, cfg.RoundTimeout) }()
+	go func() { _ = runClient(ln.Addr().String(), proto, 1, uint64(5), cfg) }()
 	stalled, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)
@@ -217,22 +222,45 @@ func TestStalledClientTimesOut(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	done := make(chan error, 1)
+	start := time.Now()
+	type result struct {
+		rep *SessionReport
+		err error
+	}
+	done := make(chan result, 1)
 	go func() {
-		_, err := hostSession(ln, proto, []sim.Value{uint64(5), uint64(6)}, 1, cfg)
-		done <- err
+		rep, err := hostSessionReport(ln, proto, []sim.Value{uint64(5), uint64(6)}, 1, cfg)
+		done <- result{rep, err}
 	}()
+	var res result
 	select {
-	case err := <-done:
-		if err == nil {
-			t.Fatal("host completed despite stalled client")
-		}
-		var nerr net.Error
-		if !errors.As(err, &nerr) || !nerr.Timeout() {
-			t.Fatalf("host error %v, want a net timeout", err)
-		}
+	case res = <-done:
 	case <-time.After(10 * time.Second):
-		t.Fatal("host hung on stalled client instead of honoring RoundTimeout")
+		t.Fatal("host hung on stalled client instead of honoring the recovery budget")
+	}
+	if res.err != nil {
+		t.Fatalf("host errored instead of degrading: %v", res.err)
+	}
+	info, ok := res.rep.FailStops[2]
+	if !ok {
+		t.Fatalf("no fail-stop verdict for party 2: %+v", res.rep.FailStops)
+	}
+	if info.Round != 1 {
+		t.Errorf("fail-stop round = %d, want 1", info.Round)
+	}
+	if !strings.Contains(info.Cause, "stall") {
+		t.Errorf("fail-stop cause %q does not name the stall", info.Cause)
+	}
+	if _, ok := res.rep.Outputs[1]; !ok {
+		t.Error("surviving party 1 has no output record")
+	}
+	if _, ok := res.rep.Outputs[2]; ok {
+		t.Error("fail-stopped party 2 has an output record")
+	}
+	// Detection costs ~1.5×RoundTimeout (read timeout + reconnect wait);
+	// the generous ceiling absorbs CI scheduling noise.
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("session took %v, want well under the recovery budget", elapsed)
 	}
 }
 
@@ -243,6 +271,21 @@ func TestRoundTimeoutDefault(t *testing.T) {
 	}
 	if cfg.Codec == nil {
 		t.Error("default Codec is nil")
+	}
+	if cfg.AcceptTimeout != cfg.RoundTimeout {
+		t.Errorf("default AcceptTimeout = %v, want RoundTimeout", cfg.AcceptTimeout)
+	}
+	if cfg.DialTimeout != cfg.RoundTimeout {
+		t.Errorf("default DialTimeout = %v, want RoundTimeout", cfg.DialTimeout)
+	}
+	if cfg.DialAttempts != DefaultDialAttempts {
+		t.Errorf("default DialAttempts = %d, want %d", cfg.DialAttempts, DefaultDialAttempts)
+	}
+	if cfg.ReconnectWait != cfg.RoundTimeout/2 {
+		t.Errorf("default ReconnectWait = %v, want RoundTimeout/2", cfg.ReconnectWait)
+	}
+	if cfg.MaxResumes != DefaultMaxResumes {
+		t.Errorf("default MaxResumes = %d, want %d", cfg.MaxResumes, DefaultMaxResumes)
 	}
 }
 
