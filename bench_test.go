@@ -218,6 +218,52 @@ func BenchmarkSubstrateClassify(b *testing.B) {
 	}
 }
 
+// Estimator hot-path benchmarks: the batched engine end to end (master
+// stream, worker arena, classify, tally), sized so one benchmark
+// iteration is one Monte-Carlo run — ns/op and allocs/op read directly
+// as per-run costs. CI enforces an allocs/op budget on these (see the
+// bench-smoke job); the arena-level budget lives in
+// internal/sim.TestArenaRunAllocs and internal/core.TestEstimateAllocs.
+
+func benchEstimate(b *testing.B, proto Protocol, adv Adversary, sampler InputSampler, opts ...EstimatorOption) {
+	b.Helper()
+	b.ReportAllocs()
+	rep, err := EstimateUtility(proto, adv, StandardPayoff(), sampler, b.N, 1, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rep.Utility.Mean, "utility")
+}
+
+func BenchmarkEstimate2SFE(b *testing.B) {
+	sampler := func(r *rand.Rand) []Value {
+		return []Value{uint64(r.Intn(1 << 20)), uint64(r.Intn(1 << 20))}
+	}
+	benchEstimate(b, NewOptimalTwoParty(Swap()), NewLockAbort(1), sampler, WithParallelism(1))
+}
+
+func BenchmarkEstimate2SFEDefaultParallel(b *testing.B) {
+	sampler := func(r *rand.Rand) []Value {
+		return []Value{uint64(r.Intn(1 << 20)), uint64(r.Intn(1 << 20))}
+	}
+	benchEstimate(b, NewOptimalTwoParty(Swap()), NewLockAbort(1), sampler)
+}
+
+func BenchmarkEstimateNSFE(b *testing.B) {
+	fn, err := Concat(4, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sampler := func(r *rand.Rand) []Value {
+		in := make([]Value, 4)
+		for i := range in {
+			in[i] = uint64(r.Intn(256))
+		}
+		return in
+	}
+	benchEstimate(b, NewOptimalMultiParty(fn), NewLockAbort(1, 3), sampler, WithParallelism(1))
+}
+
 // Parallel-estimation benchmarks: the same E05/E07-class multi-party
 // workload at worker counts 1 and 4. The determinism contract makes the
 // two produce identical reports, so the only delta is wall-clock.

@@ -1,9 +1,17 @@
 // Command fairbench measures the Monte-Carlo estimator's throughput and
-// writes a machine-readable report (BENCH_estimator.json): ns/run and
-// runs/sec for each workload at parallelism 1, 4, and one-per-CPU. The
-// estimates themselves are checked to be byte-identical across the
-// parallelism settings (the engine's determinism contract), so the
-// numbers compare pure scheduling overhead, never different work.
+// writes a machine-readable report (BENCH_estimator.json): ns/run,
+// runs/sec, and allocation counts for each workload at parallelism 1, 4,
+// and one-per-CPU. The estimates themselves are checked to be
+// byte-identical across the parallelism settings (the engine's
+// determinism contract), so the numbers compare pure scheduling
+// overhead, never different work.
+//
+// Parallelism settings above the machine's CPU count are skipped (they
+// measure oversubscription, not speedup); the skip is recorded in the
+// report. The output file keeps a trajectory: each invocation appends
+// its report to the history instead of overwriting, so regressions are
+// visible across commits. A pre-trajectory single-report file is
+// wrapped as the first history entry.
 //
 // Usage:
 //
@@ -28,11 +36,13 @@ import (
 
 // measurement is one workload × parallelism timing.
 type measurement struct {
-	Parallelism int     `json:"parallelism"`
-	ElapsedMS   float64 `json:"elapsed_ms"`
-	NsPerRun    float64 `json:"ns_per_run"`
-	RunsPerSec  float64 `json:"runs_per_sec"`
-	Utility     string  `json:"utility"`
+	Parallelism  int     `json:"parallelism"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	NsPerRun     float64 `json:"ns_per_run"`
+	RunsPerSec   float64 `json:"runs_per_sec"`
+	AllocsPerRun float64 `json:"allocs_per_run"`
+	BytesPerRun  float64 `json:"bytes_per_run"`
+	Utility      string  `json:"utility"`
 }
 
 // workloadReport groups one workload's measurements.
@@ -43,16 +53,28 @@ type workloadReport struct {
 	Seed         int64         `json:"seed"`
 	Measurements []measurement `json:"measurements"`
 	SpeedupMax   float64       `json:"speedup_max_vs_sequential"`
+	// SkippedParallelism lists requested settings above the CPU count.
+	SkippedParallelism []int `json:"skipped_parallelism,omitempty"`
 }
 
-// report is the BENCH_estimator.json document.
+// report is one fairbench invocation's document.
 type report struct {
-	Generated string           `json:"generated"`
-	GoVersion string           `json:"go_version"`
-	GOOS      string           `json:"goos"`
-	GOARCH    string           `json:"goarch"`
-	CPUs      int              `json:"cpus"`
-	Workloads []workloadReport `json:"workloads"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// GOMAXPROCS is the scheduler's actual worker ceiling — it can differ
+	// from CPUs under cgroup limits or an explicit GOMAXPROCS setting,
+	// and it, not CPUs, bounds the achievable speedup.
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Workloads  []workloadReport `json:"workloads"`
+}
+
+// trajectory is the BENCH_estimator.json document: every invocation's
+// report, oldest first.
+type trajectory struct {
+	History []report `json:"history"`
 }
 
 // workload is a protocol × adversary estimation target.
@@ -101,6 +123,29 @@ func main() {
 	}
 }
 
+// loadTrajectory reads an existing output file, accepting both the
+// trajectory schema and the pre-trajectory single-report schema (which
+// becomes the first history entry). A missing file yields an empty
+// trajectory.
+func loadTrajectory(path string) (trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return trajectory{}, nil
+		}
+		return trajectory{}, err
+	}
+	var tr trajectory
+	if err := json.Unmarshal(data, &tr); err == nil && tr.History != nil {
+		return tr, nil
+	}
+	var single report
+	if err := json.Unmarshal(data, &single); err == nil && len(single.Workloads) > 0 {
+		return trajectory{History: []report{single}}, nil
+	}
+	return trajectory{}, fmt.Errorf("unrecognized report schema in %s", path)
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("fairbench", flag.ContinueOnError)
 	runs := fs.Int("runs", 20000, "Monte-Carlo runs per measurement")
@@ -110,52 +155,88 @@ func run(args []string) error {
 		return err
 	}
 
-	maxPar := core.DefaultParallelism()
-	settings := []int{1, 4, maxPar}
+	cpus := runtime.NumCPU()
+	requested := []int{1, 4, core.DefaultParallelism()}
+	var settings, skipped []int
+	for _, par := range requested {
+		switch {
+		case par > cpus:
+			// Oversubscribed workers measure scheduler churn, not the
+			// engine; record the skip instead of a misleading number.
+			skipped = append(skipped, par)
+		case contains(settings, par):
+			// A duplicate setting (e.g. one-per-CPU == 1 on a 1-CPU host)
+			// would just repeat the measurement.
+		default:
+			settings = append(settings, par)
+		}
+	}
 
 	wls, err := workloads()
 	if err != nil {
 		return err
 	}
 	rep := report{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       cpus,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	gamma := core.StandardPayoff()
 	for _, wl := range wls {
-		wr := workloadReport{Proto: wl.name, Adversary: wl.advName, Runs: *runs, Seed: *seed}
+		wr := workloadReport{
+			Proto: wl.name, Adversary: wl.advName,
+			Runs: *runs, Seed: *seed,
+			SkippedParallelism: skipped,
+		}
 		var baseline core.UtilityReport
 		for i, par := range settings {
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
 			start := time.Now()
-			r, err := core.EstimateUtilityParallel(wl.proto, wl.adv(), gamma, wl.sampler, *runs, *seed, par)
+			r, err := core.EstimateUtility(wl.proto, wl.adv(), gamma, wl.sampler, *runs, *seed,
+				core.WithParallelism(par))
 			if err != nil {
 				return fmt.Errorf("%s parallelism %d: %w", wl.name, par, err)
 			}
 			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
 			if i == 0 {
 				baseline = r
 			} else if r.Utility != baseline.Utility {
 				return fmt.Errorf("%s: parallelism %d utility %v differs from sequential %v",
 					wl.name, par, r.Utility, baseline.Utility)
 			}
-			wr.Measurements = append(wr.Measurements, measurement{
-				Parallelism: par,
-				ElapsedMS:   float64(elapsed.Microseconds()) / 1e3,
-				NsPerRun:    float64(elapsed.Nanoseconds()) / float64(*runs),
-				RunsPerSec:  float64(*runs) / elapsed.Seconds(),
-				Utility:     r.Utility.String(),
-			})
-			fmt.Printf("%-12s %-16s parallelism=%-3d %10.1f ns/run %12.0f runs/s\n",
-				wl.name, wl.advName, par,
-				wr.Measurements[i].NsPerRun, wr.Measurements[i].RunsPerSec)
+			m := measurement{
+				Parallelism:  par,
+				ElapsedMS:    float64(elapsed.Microseconds()) / 1e3,
+				NsPerRun:     float64(elapsed.Nanoseconds()) / float64(*runs),
+				RunsPerSec:   float64(*runs) / elapsed.Seconds(),
+				AllocsPerRun: float64(after.Mallocs-before.Mallocs) / float64(*runs),
+				BytesPerRun:  float64(after.TotalAlloc-before.TotalAlloc) / float64(*runs),
+				Utility:      r.Utility.String(),
+			}
+			wr.Measurements = append(wr.Measurements, m)
+			fmt.Printf("%-12s %-16s parallelism=%-3d %10.1f ns/run %12.0f runs/s %8.1f allocs/run\n",
+				wl.name, wl.advName, par, m.NsPerRun, m.RunsPerSec, m.AllocsPerRun)
+		}
+		for _, par := range skipped {
+			fmt.Printf("%-12s %-16s parallelism=%-3d skipped (> %d CPUs)\n",
+				wl.name, wl.advName, par, cpus)
 		}
 		first, last := wr.Measurements[0], wr.Measurements[len(wr.Measurements)-1]
 		wr.SpeedupMax = first.NsPerRun / last.NsPerRun
 		rep.Workloads = append(rep.Workloads, wr)
 	}
+
+	traj, err := loadTrajectory(*out)
+	if err != nil {
+		return err
+	}
+	traj.History = append(traj.History, rep)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -164,9 +245,18 @@ func run(args []string) error {
 	defer func() { _ = f.Close() }()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := enc.Encode(traj); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s (%d reports in trajectory)\n", *out, len(traj.History))
 	return nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }

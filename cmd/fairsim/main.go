@@ -80,10 +80,8 @@ func run(args []string) error {
 		gamma = core.GordonKatzPayoff()
 	}
 
-	var (
-		factory core.ObserverFactory
-		sink    *trace.Sink
-	)
+	opts := []core.Option{core.WithParallelism(*parallel)}
+	var sink *trace.Sink
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
@@ -91,12 +89,12 @@ func run(args []string) error {
 		}
 		defer func() { _ = f.Close() }()
 		sink = trace.NewSink(f)
-		factory = func(run int) sim.Observer {
+		opts = append(opts, core.WithObserver(func(run int) sim.Observer {
 			return sink.Recorder(trace.Meta{Strategy: *advName, Run: run})
-		}
+		}))
 	}
 
-	rep, err := core.EstimateUtilityObserved(proto, adv, gamma, sampler, *runs, *seed, *parallel, factory)
+	rep, err := core.EstimateUtility(proto, adv, gamma, sampler, *runs, *seed, opts...)
 	if err != nil {
 		return err
 	}

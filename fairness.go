@@ -60,6 +60,15 @@ type (
 	NamedAdversary = core.NamedAdversary
 	// InputSampler draws one input vector per run (the environment Z).
 	InputSampler = core.InputSampler
+	// EstimatorOption configures EstimateUtility / SupUtility
+	// (parallelism, batch size, observers, metrics). Options tune
+	// scheduling and instrumentation only — the estimate is a pure
+	// function of (runs, seed).
+	EstimatorOption = core.Option
+	// ObserverFactory builds one engine observer per estimation run.
+	ObserverFactory = core.ObserverFactory
+	// SupObserverFactory builds per-run observers keyed by strategy label.
+	SupObserverFactory = core.SupObserverFactory
 	// Relation orders two protocols under Definition 1.
 	Relation = core.Relation
 	// PerTUtilities holds best t-adversary utilities for t = 1..n−1.
@@ -148,21 +157,50 @@ var (
 	NewExecutionWithBackend = sim.NewExecutionWithBackend
 	// Classify maps a trace to its ideal-world outcome.
 	Classify = core.Classify
-	// EstimateUtility measures u_A(Π, A) by Monte-Carlo simulation.
+	// EstimateUtility measures u_A(Π, A) by Monte-Carlo simulation on
+	// the batched estimation engine. Configure it with options:
+	//
+	//	fairness.EstimateUtility(proto, adv, gamma, sampler, runs, seed,
+	//	    fairness.WithParallelism(4), fairness.WithObserver(factory))
+	//
+	// The report is bit-identical for any option combination (see the
+	// determinism contract in internal/core).
 	EstimateUtility = core.EstimateUtility
-	// EstimateUtilityParallel is EstimateUtility on a worker pool; the
-	// report is bit-identical for any parallelism (see the determinism
-	// contract in internal/core).
-	EstimateUtilityParallel = core.EstimateUtilityParallel
-	// SupUtility approximates sup_A u_A(Π, A) over a strategy space.
+	// SupUtility approximates sup_A u_A(Π, A) over a strategy space;
+	// it takes the same options as EstimateUtility.
 	SupUtility = core.SupUtility
-	// SupUtilityParallel is SupUtility with strategies fanned out to a
-	// worker pool, bit-identical to the sequential search.
+	// WithParallelism sets the estimation worker count (<= 0 selects
+	// DefaultParallelism).
+	WithParallelism = core.WithParallelism
+	// WithBatchSize sets how many runs a worker leases at a time.
+	WithBatchSize = core.WithBatchSize
+	// WithObserver attaches a per-run engine observer factory.
+	WithObserver = core.WithObserver
+	// WithSupObserver attaches per-run observers keyed by strategy label.
+	WithSupObserver = core.WithSupObserver
+	// WithMetrics accumulates merged engine counters into a caller's
+	// sim.Metrics across estimations.
+	WithMetrics = core.WithMetrics
+	// EstimateUtilityParallel is EstimateUtility with a positional
+	// worker count.
+	//
+	// Deprecated: use EstimateUtility with WithParallelism.
+	EstimateUtilityParallel = core.EstimateUtilityParallel
+	// SupUtilityParallel is SupUtility with a positional worker count.
+	//
+	// Deprecated: use SupUtility with WithParallelism.
 	SupUtilityParallel = core.SupUtilityParallel
-	// EstimateUtilityObserved is EstimateUtilityParallel with a per-run
-	// observer factory and engine metrics in the report.
+	// EstimateUtilityObserved is EstimateUtility with positional
+	// parallelism and observer-factory arguments.
+	//
+	// Deprecated: use EstimateUtility with WithParallelism and
+	// WithObserver.
 	EstimateUtilityObserved = core.EstimateUtilityObserved
-	// SupUtilityObserved is SupUtilityParallel with per-strategy observers.
+	// SupUtilityObserved is SupUtility with positional parallelism and
+	// observer-factory arguments.
+	//
+	// Deprecated: use SupUtility with WithParallelism and
+	// WithSupObserver.
 	SupUtilityObserved = core.SupUtilityObserved
 	// DefaultParallelism is the worker count used for parallelism <= 0.
 	DefaultParallelism = core.DefaultParallelism

@@ -9,21 +9,31 @@
 package adversary
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/sim"
 )
 
 // driver manages the corrupted parties' machines, running them honestly
-// on demand. Strategies embed it and decide when to stop.
+// on demand. Strategies embed it and decide when to stop. Its scratch
+// buffers persist across Reset so a strategy reused by the estimation
+// arena runs allocation-free in steady state; the slice stepHonest
+// returns is valid only until the strategy's next Act.
 type driver struct {
 	ctx      *sim.AdvContext
 	machines map[sim.PartyID]sim.Party
+
+	idScratch  []sim.PartyID
+	outScratch []sim.Message
 }
 
 func (d *driver) reset(ctx *sim.AdvContext) {
 	d.ctx = ctx
-	d.machines = make(map[sim.PartyID]sim.Party)
+	if d.machines == nil {
+		d.machines = make(map[sim.PartyID]sim.Party)
+	} else {
+		clear(d.machines)
+	}
 }
 
 func (d *driver) add(id sim.PartyID, m sim.Party) {
@@ -32,21 +42,23 @@ func (d *driver) add(id sim.PartyID, m sim.Party) {
 	}
 }
 
-// ids returns the corrupted party IDs in deterministic order.
+// ids returns the corrupted party IDs in deterministic order. The slice
+// is driver-owned scratch, valid until the next ids call.
 func (d *driver) ids() []sim.PartyID {
-	out := make([]sim.PartyID, 0, len(d.machines))
+	out := d.idScratch[:0]
 	for id := range d.machines {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	d.idScratch = out
 	return out
 }
 
 // stepHonest advances every corrupted machine one round on its delivered
 // inbox and returns their outgoing messages, exactly as honest execution
-// would.
+// would. The returned slice is driver-owned scratch.
 func (d *driver) stepHonest(round int, inboxes map[sim.PartyID][]sim.Message) []sim.Message {
-	var out []sim.Message
+	out := d.outScratch[:0]
 	for _, id := range d.ids() {
 		msgs, err := d.machines[id].Round(round, inboxes[id])
 		if err != nil {
@@ -57,6 +69,7 @@ func (d *driver) stepHonest(round int, inboxes map[sim.PartyID][]sim.Message) []
 			out = append(out, m)
 		}
 	}
+	d.outScratch = out
 	return out
 }
 

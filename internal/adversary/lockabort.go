@@ -28,6 +28,18 @@ import (
 type LockAbort struct {
 	Static
 	aborted bool
+	la      lookaheadScratch
+}
+
+// lookaheadScratch holds the buffers the two per-round lock checks churn
+// through. They persist across Reset (the estimation arena reuses one
+// strategy instance for every run) and are never shared: CloneAdversary
+// rebuilds from configuration, so each worker's LockAbort owns its own.
+type lookaheadScratch struct {
+	clones   map[sim.PartyID]sim.Party
+	seed     map[sim.PartyID][]sim.Message
+	lanes    [2]map[sim.PartyID][]sim.Message
+	produced []sim.Message
 }
 
 var _ sim.Adversary = (*LockAbort)(nil)
@@ -70,7 +82,7 @@ func (l *LockAbort) Act(round int, inboxes map[sim.PartyID][]sim.Message, rushed
 	// Delivered-lock check: would the coalition, after processing this
 	// round's inboxes, reach the true output with all honest parties
 	// silent?
-	if v, ok := coalitionLookahead(l.machines, round, inboxes, last, l.ctx.TrueOutput); ok {
+	if v, ok := l.coalitionLookahead(round, inboxes, last, l.ctx.TrueOutput); ok {
 		l.learnedVal, l.learnedOK = v, true
 		l.aborted = true
 		// Abort before sending this round's messages; still let the live
@@ -93,8 +105,11 @@ func (l *LockAbort) Act(round int, inboxes map[sim.PartyID][]sim.Message, rushed
 	// honest parties whatever our messages would have given them. (This
 	// is exactly the Lemma 10 attack on single-reconstruction-round
 	// protocols.)
-	seed := routeToCorrupted(l.machines, rushed)
-	if v, ok := coalitionLookahead(l.machines, round+1, seed, last, l.ctx.TrueOutput); ok {
+	if l.la.seed == nil {
+		l.la.seed = make(map[sim.PartyID][]sim.Message, len(l.machines))
+	}
+	seed := routeInto(l.la.seed, l.machines, rushed)
+	if v, ok := l.coalitionLookahead(round+1, seed, last, l.ctx.TrueOutput); ok {
 		l.learnedVal, l.learnedOK = v, true
 		l.aborted = true
 		return nil
@@ -109,23 +124,25 @@ func (l *LockAbort) consume(round int, inboxes map[sim.PartyID][]sim.Message) {
 	}
 }
 
-// routeToCorrupted builds per-machine inboxes from a message batch:
-// direct messages go to their corrupted recipient, broadcasts to every
-// corrupted machine.
-func routeToCorrupted(machines map[sim.PartyID]sim.Party, msgs []sim.Message) map[sim.PartyID][]sim.Message {
-	out := make(map[sim.PartyID][]sim.Message, len(machines))
+// routeInto builds per-machine inboxes from a message batch into dst,
+// truncating its lanes in place: direct messages go to their corrupted
+// recipient, broadcasts to every corrupted machine.
+func routeInto(dst map[sim.PartyID][]sim.Message, machines map[sim.PartyID]sim.Party, msgs []sim.Message) map[sim.PartyID][]sim.Message {
+	for id := range dst {
+		dst[id] = dst[id][:0]
+	}
 	for _, m := range msgs {
 		if m.To == sim.Broadcast {
 			for id := range machines {
-				out[id] = append(out[id], m)
+				dst[id] = append(dst[id], m)
 			}
 			continue
 		}
 		if _, ok := machines[m.To]; ok {
-			out[m.To] = append(out[m.To], m)
+			dst[m.To] = append(dst[m.To], m)
 		}
 	}
-	return out
+	return dst
 }
 
 // coalitionLookahead clones every machine and plays the coalition forward
@@ -134,32 +151,41 @@ func routeToCorrupted(machines map[sim.PartyID]sim.Party, msgs []sim.Message) ma
 // are silent). It reports whether any clone reaches the target output —
 // Lemma 12's "some p_j would provide output if the execution continued
 // without p_i" test, restricted to the *actual* output so that
-// default-input fallbacks don't count (as in A1's check).
-func coalitionLookahead(machines map[sim.PartyID]sim.Party, startRound int,
+// default-input fallbacks don't count (as in A1's check). seed is only
+// read; the routed rounds double-buffer through the scratch lanes.
+func (l *LockAbort) coalitionLookahead(startRound int,
 	seed map[sim.PartyID][]sim.Message, last int, target sim.Value) (sim.Value, bool) {
-	clones := make(map[sim.PartyID]sim.Party, len(machines))
-	for id, m := range machines {
-		clones[id] = m.Clone()
+	s := &l.la
+	if s.clones == nil {
+		s.clones = make(map[sim.PartyID]sim.Party, len(l.machines))
+		s.lanes[0] = make(map[sim.PartyID][]sim.Message, len(l.machines))
+		s.lanes[1] = make(map[sim.PartyID][]sim.Message, len(l.machines))
+	}
+	clear(s.clones)
+	for id, m := range l.machines {
+		s.clones[id] = m.Clone()
 	}
 	inboxes := seed
+	lane := 0
 	for r := startRound; r <= last; r++ {
-		var produced []sim.Message
-		for id, c := range clones {
+		s.produced = s.produced[:0]
+		for id, c := range s.clones {
 			msgs, err := c.Round(r, inboxes[id])
 			if err != nil {
 				continue
 			}
 			for _, m := range msgs {
 				m.From = id
-				produced = append(produced, m)
+				s.produced = append(s.produced, m)
 			}
 		}
-		for _, c := range clones {
+		for _, c := range s.clones {
 			if v, ok := c.Output(); ok && sim.ValuesEqual(v, target) {
 				return v, true
 			}
 		}
-		inboxes = routeToCorrupted(clones, produced)
+		inboxes = routeInto(s.lanes[lane], s.clones, s.produced)
+		lane = 1 - lane
 	}
 	return nil, false
 }

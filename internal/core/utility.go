@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -54,200 +52,45 @@ func (r UtilityReport) String() string {
 		r.Utility, r.EventFreq[E00], r.EventFreq[E01], r.EventFreq[E10], r.EventFreq[E11])
 }
 
-// DefaultParallelism is the worker count used when a parallelism argument
-// is <= 0: one worker per available CPU.
+// DefaultParallelism is the worker count used when no parallelism has
+// been requested (or a non-positive one): one worker per available CPU.
 func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
-
-// preparedRun is one pre-drawn Monte-Carlo job: the environment's input
-// vector and the simulation seed for a single run.
-type preparedRun struct {
-	inputs []sim.Value
-	seed   int64
-}
-
-// prepareRuns draws every run's (inputs, seed) pair sequentially from the
-// master seeder. This is the determinism contract of the estimator: the
-// master stream is consumed in exactly the order the original sequential
-// loop used (sampler first, then Int63, per run), so the jobs — and
-// therefore the estimate — are identical no matter how many workers later
-// execute them.
-func prepareRuns(sampler InputSampler, runs int, seed int64) []preparedRun {
-	seeder := rand.New(rand.NewSource(seed))
-	jobs := make([]preparedRun, runs)
-	for i := range jobs {
-		jobs[i].inputs = sampler(seeder)
-		jobs[i].seed = seeder.Int63()
-	}
-	return jobs
-}
-
-// tally folds per-run outcomes — in run-index order — into a report.
-func tally(outcomes []Outcome, gamma Payoff) (UtilityReport, error) {
-	runs := len(outcomes)
-	samples := make([]float64, 0, runs)
-	events := make(map[Event]int, 4)
-	violations, breaches, corrupted := 0, 0, 0
-	for _, oc := range outcomes {
-		events[oc.Event]++
-		if oc.CorrectnessViolation {
-			violations++
-		}
-		if oc.PrivacyBreach {
-			breaches++
-		}
-		corrupted += oc.Corrupted
-		samples = append(samples, gamma.Of(oc.Event))
-	}
-	est, err := stats.MeanEstimate(samples)
-	if err != nil {
-		return UtilityReport{}, err
-	}
-	freq := make(map[Event]float64, 4)
-	for _, e := range Events() {
-		freq[e] = float64(events[e]) / float64(runs)
-	}
-	return UtilityReport{
-		Utility:               est,
-		EventFreq:             freq,
-		CorrectnessViolations: float64(violations) / float64(runs),
-		PrivacyBreaches:       float64(breaches) / float64(runs),
-		MeanCorrupted:         float64(corrupted) / float64(runs),
-		Runs:                  runs,
-	}, nil
-}
-
-// EstimateUtility measures the attacker utility of strategy adv against
-// proto under payoff gamma by repeated seeded simulation: the empirical
-// version of Equation (2) for a fixed (adversary, environment) pair. It
-// runs on a single goroutine; EstimateUtilityParallel produces the
-// bit-identical report on a worker pool.
-func EstimateUtility(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
-	sampler InputSampler, runs int, seed int64) (UtilityReport, error) {
-	return EstimateUtilityParallel(proto, adv, gamma, sampler, runs, seed, 1)
-}
-
-// EstimateUtilityParallel is EstimateUtility with the runs fanned out to a
-// worker pool. parallelism <= 0 selects DefaultParallelism. The report is
-// byte-identical to the sequential estimator's for the same (runs, seed):
-// all randomness is pre-drawn sequentially by prepareRuns, each run is
-// simulated from its own seed, and outcomes are aggregated in run-index
-// order. Workers never share mutable attacker state: each gets its own
-// strategy via sim.CloneAdversary; a non-cloneable strategy falls back to
-// a single worker.
-func EstimateUtilityParallel(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
-	sampler InputSampler, runs int, seed int64, parallelism int) (UtilityReport, error) {
-	return EstimateUtilityObserved(proto, adv, gamma, sampler, runs, seed, parallelism, nil)
-}
 
 // ObserverFactory builds a per-run engine observer; the estimator calls
 // it once per run (with the run index) and attaches the result to that
 // run's execution. A nil factory, or a nil observer for a given run,
 // attaches nothing. The factory may be called from multiple estimation
 // workers concurrently and must be safe for that; the observers it
-// returns are each used by exactly one run.
+// returns are each used by exactly one run. The observed trace is
+// engine-owned and valid only for the duration of the callback (see
+// sim.Observer).
 type ObserverFactory func(run int) sim.Observer
 
-// EstimateUtilityObserved is EstimateUtilityParallel with the engine's
-// event stream exposed: every run carries an engine metrics counter
-// (merged into UtilityReport.Metrics) plus the factory's observer, if
-// any. Observers never affect the estimate — the report stays
-// byte-identical for any parallelism and any factory.
+// SupObserverFactory builds a per-run observer for a sup-search, keyed by
+// the strategy label and run index. Same contract as ObserverFactory.
+type SupObserverFactory func(strategy string, run int) sim.Observer
+
+// EstimateUtilityParallel is EstimateUtility with an explicit worker
+// count.
+//
+// Deprecated: call EstimateUtility with WithParallelism(parallelism);
+// this wrapper only forwards.
+func EstimateUtilityParallel(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
+	sampler InputSampler, runs int, seed int64, parallelism int) (UtilityReport, error) {
+	return EstimateUtility(proto, adv, gamma, sampler, runs, seed,
+		WithParallelism(parallelism))
+}
+
+// EstimateUtilityObserved is EstimateUtility with an explicit worker
+// count and the engine's event stream exposed through a per-run
+// observer factory.
+//
+// Deprecated: call EstimateUtility with WithParallelism(parallelism)
+// and WithObserver(factory); this wrapper only forwards.
 func EstimateUtilityObserved(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
 	sampler InputSampler, runs int, seed int64, parallelism int, factory ObserverFactory) (UtilityReport, error) {
-	if runs <= 0 {
-		return UtilityReport{}, ErrNoRuns
-	}
-	jobs := prepareRuns(sampler, runs, seed)
-	workers := parallelism
-	if workers <= 0 {
-		workers = DefaultParallelism()
-	}
-	if workers > runs {
-		workers = runs
-	}
-	var clones []sim.Adversary
-	if workers > 1 {
-		clones = make([]sim.Adversary, workers)
-		clones[0] = adv
-		for w := 1; w < workers; w++ {
-			c, ok := sim.CloneAdversary(adv)
-			if !ok {
-				// Fallback: a strategy we cannot copy must not be shared
-				// across goroutines, so serialize its runs.
-				workers = 1
-				clones = nil
-				break
-			}
-			clones[w] = c
-		}
-	}
-	// runOne executes job i with the worker's strategy, feeding the
-	// worker's metrics counter and the per-run observer.
-	runOne := func(i int, worker sim.Adversary, metrics *sim.Metrics) (Outcome, error) {
-		obs := make([]sim.Observer, 0, 2)
-		obs = append(obs, metrics)
-		if factory != nil {
-			if o := factory(i); o != nil {
-				obs = append(obs, o)
-			}
-		}
-		tr, err := sim.RunObserved(proto, jobs[i].inputs, worker, jobs[i].seed, obs...)
-		if err != nil {
-			return Outcome{}, err
-		}
-		return Classify(tr), nil
-	}
-	outcomes := make([]Outcome, runs)
-	if workers <= 1 {
-		var metrics sim.Metrics
-		for i := range jobs {
-			oc, err := runOne(i, adv, &metrics)
-			if err != nil {
-				return UtilityReport{}, fmt.Errorf("core: run %d: %w", i, err)
-			}
-			outcomes[i] = oc
-		}
-		rep, err := tally(outcomes, gamma)
-		rep.Metrics = metrics
-		return rep, err
-	}
-	errs := make([]error, runs)
-	workerMetrics := make([]sim.Metrics, workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int, worker sim.Adversary) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= runs {
-					return
-				}
-				oc, err := runOne(i, worker, &workerMetrics[w])
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				outcomes[i] = oc
-			}
-		}(w, clones[w])
-	}
-	wg.Wait()
-	// Deterministic error reporting: the lowest-index failure, phrased
-	// exactly as the sequential path would phrase it.
-	for i, err := range errs {
-		if err != nil {
-			return UtilityReport{}, fmt.Errorf("core: run %d: %w", i, err)
-		}
-	}
-	rep, err := tally(outcomes, gamma)
-	// Counter sums are order-independent, so the merged metrics equal the
-	// sequential path's for any worker count.
-	for _, m := range workerMetrics {
-		rep.Metrics.Add(m)
-	}
-	return rep, err
+	return EstimateUtility(proto, adv, gamma, sampler, runs, seed,
+		WithParallelism(parallelism), WithObserver(factory))
 }
 
 // NamedAdversary pairs a strategy with a label for sup-utility searches.
@@ -268,110 +111,25 @@ type SupReport struct {
 	Metrics sim.Metrics
 }
 
-// SupUtility approximates sup_A u_A(Π, A) over a finite strategy space —
-// the left-hand side of Definition 1 restricted to the documented
-// strategies (which, for the protocols studied here, include the
-// proof-optimal attackers). It runs on a single goroutine;
-// SupUtilityParallel produces the bit-identical report on a worker pool.
-func SupUtility(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
-	sampler InputSampler, runs int, seed int64) (SupReport, error) {
-	return SupUtilityParallel(proto, advs, gamma, sampler, runs, seed, 1)
-}
-
-// SupUtilityParallel is SupUtility with the strategies fanned out to a
-// worker pool; parallelism <= 0 selects DefaultParallelism. Each strategy
-// keeps the sequential search's per-strategy seed (seed + i*7919), so
-// every per-strategy report — and the best-strategy selection, which
-// breaks utility ties in slice order — is byte-identical to SupUtility's.
-// The strategies in advs must be distinct instances (as every space in
-// package adversary supplies); each worker estimates a clone when the
-// strategy is cloneable and otherwise owns the instance exclusively while
-// its estimate runs. With a single strategy and parallelism > 1, the
-// parallelism is spent inside EstimateUtilityParallel instead.
+// SupUtilityParallel is SupUtility with an explicit worker count.
+//
+// Deprecated: call SupUtility with WithParallelism(parallelism); this
+// wrapper only forwards.
 func SupUtilityParallel(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
 	sampler InputSampler, runs int, seed int64, parallelism int) (SupReport, error) {
-	return SupUtilityObserved(proto, advs, gamma, sampler, runs, seed, parallelism, nil)
+	return SupUtility(proto, advs, gamma, sampler, runs, seed,
+		WithParallelism(parallelism))
 }
 
-// SupObserverFactory builds a per-run observer for a sup-search, keyed by
-// the strategy label and run index. Same contract as ObserverFactory.
-type SupObserverFactory func(strategy string, run int) sim.Observer
-
-// SupUtilityObserved is SupUtilityParallel with the engine's event stream
-// exposed per strategy (see EstimateUtilityObserved). The report —
-// including the best-strategy selection — is unaffected by observation.
+// SupUtilityObserved is SupUtility with an explicit worker count and the
+// engine's event stream exposed per strategy.
+//
+// Deprecated: call SupUtility with WithParallelism(parallelism) and
+// WithSupObserver(factory); this wrapper only forwards.
 func SupUtilityObserved(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
 	sampler InputSampler, runs int, seed int64, parallelism int, factory SupObserverFactory) (SupReport, error) {
-	if len(advs) == 0 {
-		return SupReport{}, errors.New("core: empty strategy space")
-	}
-	perStrategy := func(name string) ObserverFactory {
-		if factory == nil {
-			return nil
-		}
-		return func(run int) sim.Observer { return factory(name, run) }
-	}
-	workers := parallelism
-	if workers <= 0 {
-		workers = DefaultParallelism()
-	}
-	if workers > len(advs) {
-		workers = len(advs)
-	}
-	// When the strategy space is narrower than the requested parallelism,
-	// push the surplus into the per-strategy run loop.
-	inner := 1
-	if workers == 1 && parallelism != 1 {
-		inner = parallelism
-	}
-	reports := make([]UtilityReport, len(advs))
-	errs := make([]error, len(advs))
-	if workers <= 1 {
-		for i, na := range advs {
-			reports[i], errs[i] = EstimateUtilityObserved(proto, na.Adv, gamma, sampler,
-				runs, seed+int64(i)*7919, inner, perStrategy(na.Name))
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(advs) {
-						return
-					}
-					adv := advs[i].Adv
-					if c, ok := sim.CloneAdversary(adv); ok {
-						adv = c
-					}
-					reports[i], errs[i] = EstimateUtilityObserved(proto, adv, gamma, sampler,
-						runs, seed+int64(i)*7919, 1, perStrategy(advs[i].Name))
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	for i, err := range errs {
-		if err != nil {
-			return SupReport{}, fmt.Errorf("core: strategy %q: %w", advs[i].Name, err)
-		}
-	}
-	rep := SupReport{All: make(map[string]UtilityReport, len(advs))}
-	bestU := -1e18
-	for i, na := range advs {
-		r := reports[i]
-		rep.All[na.Name] = r
-		rep.Metrics.Add(r.Metrics)
-		if r.Utility.Mean > bestU {
-			bestU = r.Utility.Mean
-			rep.Best = na.Name
-			rep.BestReport = r
-		}
-	}
-	return rep, nil
+	return SupUtility(proto, advs, gamma, sampler, runs, seed,
+		WithParallelism(parallelism), WithSupObserver(factory))
 }
 
 // Relation is the outcome of comparing two protocols' sup-utilities under

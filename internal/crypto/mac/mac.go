@@ -71,6 +71,12 @@ func (k Key) SignVector(ms []field.Element) []Tag {
 	return tags
 }
 
+// SignAt signs position i of a vector under the position-i derived key —
+// one element of SignVector's result, without allocating the tag slice.
+func (k Key) SignAt(i int, m field.Element) Tag {
+	return k.posKey(i).Sign(m)
+}
+
 // VerifyVector checks a full vector signature.
 func (k Key) VerifyVector(ms []field.Element, tags []Tag) bool {
 	if len(ms) != len(tags) {

@@ -72,23 +72,27 @@ func AuthDeal(r io.Reader, secret field.Element) (AuthShare, AuthShare, error) {
 	}
 	payload := [authWidth]field.Element{secret, k1.Sign(secret), k2.Sign(secret)}
 
+	// Inline 2-of-2 additive sharing (same randomness stream as
+	// AdditiveShare(r, ·, 2)) — the hot path runs once per simulated
+	// execution and must not allocate.
 	var s1, s2 [authWidth]field.Element
 	for j := 0; j < authWidth; j++ {
-		parts, err := AdditiveShare(r, payload[j], 2)
+		a, err := field.Rand(r)
 		if err != nil {
-			return AuthShare{}, AuthShare{}, err
+			return AuthShare{}, AuthShare{}, fmt.Errorf("share: additive: %w", err)
 		}
-		s1[j], s2[j] = parts[0], parts[1]
+		s1[j] = a
+		s2[j] = payload[j].Sub(a)
 	}
 
 	sh1 := AuthShare{Index: 1, Summand: s1, Key: k1}
 	sh2 := AuthShare{Index: 2, Summand: s2, Key: k2}
 	// Tag each summand under the other party's key so the receiver can
 	// verify it during reconstruction.
-	tags1 := k2.SignVector(s1[:])
-	tags2 := k1.SignVector(s2[:])
-	copy(sh1.SummandTags[:], tags1)
-	copy(sh2.SummandTags[:], tags2)
+	for j := 0; j < authWidth; j++ {
+		sh1.SummandTags[j] = k2.SignAt(j, s1[j])
+		sh2.SummandTags[j] = k1.SignAt(j, s2[j])
+	}
 	return sh1, sh2, nil
 }
 

@@ -37,7 +37,7 @@ type Config struct {
 	// inside the experiments: 0 selects core.DefaultParallelism (one
 	// worker per CPU), 1 forces sequential execution. Results are
 	// identical either way — see the determinism contract on
-	// core.EstimateUtilityParallel.
+	// core.EstimateUtility.
 	Parallelism int
 	// Metrics, when non-nil, accumulates the engine metrics (runs,
 	// rounds, messages, corruptions, …) of every measurement made through
@@ -92,32 +92,34 @@ func QuickConfig() Config {
 	return cfg
 }
 
-// estimate is core.EstimateUtilityObserved at the configured parallelism;
-// every experiment goes through it so -parallel, the metrics collector,
-// and the transcript sink reach each measurement.
+// estimate is core.EstimateUtility at the configured parallelism; every
+// experiment goes through it so -parallel, the metrics collector, and
+// the transcript sink reach each measurement.
 func (c Config) estimate(proto sim.Protocol, adv sim.Adversary, g core.Payoff,
 	sampler core.InputSampler, runs int, seed int64) (core.UtilityReport, error) {
-	var factory core.ObserverFactory
+	opts := []core.Option{core.WithParallelism(c.Parallelism)}
 	if c.Trace != nil {
-		factory = func(run int) sim.Observer { return c.Trace.Recorder(trace.Meta{Run: run}) }
+		opts = append(opts, core.WithObserver(func(run int) sim.Observer {
+			return c.Trace.Recorder(trace.Meta{Run: run})
+		}))
 	}
-	rep, err := core.EstimateUtilityObserved(proto, adv, g, sampler, runs, seed, c.Parallelism, factory)
+	rep, err := core.EstimateUtility(proto, adv, g, sampler, runs, seed, opts...)
 	if err == nil && c.Metrics != nil {
 		c.Metrics.Add(rep.Metrics)
 	}
 	return rep, err
 }
 
-// sup is core.SupUtilityObserved at the configured parallelism.
+// sup is core.SupUtility at the configured parallelism.
 func (c Config) sup(proto sim.Protocol, advs []core.NamedAdversary, g core.Payoff,
 	sampler core.InputSampler, runs int, seed int64) (core.SupReport, error) {
-	var factory core.SupObserverFactory
+	opts := []core.Option{core.WithParallelism(c.Parallelism)}
 	if c.Trace != nil {
-		factory = func(strategy string, run int) sim.Observer {
+		opts = append(opts, core.WithSupObserver(func(strategy string, run int) sim.Observer {
 			return c.Trace.Recorder(trace.Meta{Strategy: strategy, Run: run})
-		}
+		}))
 	}
-	rep, err := core.SupUtilityObserved(proto, advs, g, sampler, runs, seed, c.Parallelism, factory)
+	rep, err := core.SupUtility(proto, advs, g, sampler, runs, seed, opts...)
 	if err == nil && c.Metrics != nil {
 		c.Metrics.Add(rep.Metrics)
 	}

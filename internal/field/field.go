@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"math/rand"
 )
 
 // Modulus is the field characteristic, the Mersenne prime 2^61 - 1.
@@ -141,9 +142,28 @@ func FromBytes(b []byte) (Element, error) {
 // Rand draws a uniform field element from r. It uses rejection sampling so
 // the distribution is exactly uniform over [0, Modulus).
 func Rand(r io.Reader) (Element, error) {
+	// Concrete fast path: with a *rand.Rand the read buffer stays on the
+	// stack (the interface call below forces it to the heap). The byte
+	// stream consumed is identical either way.
+	if rr, ok := r.(*rand.Rand); ok {
+		return randFromRand(rr)
+	}
 	var buf [8]byte
 	for {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, fmt.Errorf("field: read randomness: %w", err)
+		}
+		v := binary.BigEndian.Uint64(buf[:]) >> 3 // 61 random bits
+		if v < Modulus {
+			return Element(v), nil
+		}
+	}
+}
+
+func randFromRand(r *rand.Rand) (Element, error) {
+	var buf [8]byte
+	for {
+		if _, err := r.Read(buf[:]); err != nil {
 			return 0, fmt.Errorf("field: read randomness: %w", err)
 		}
 		v := binary.BigEndian.Uint64(buf[:]) >> 3 // 61 random bits

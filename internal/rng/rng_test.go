@@ -1,0 +1,102 @@
+package rng
+
+import (
+	"math/rand"
+	"testing"
+)
+
+var seeds = []int64{
+	0, 1, -1, 2, 42, 7919, 89482311,
+	1<<31 - 1, 1 << 31, 1<<31 + 1, -(1<<31 - 1),
+	1<<62 + 12345, -(1<<62 + 12345), 1<<63 - 1, -1 << 63,
+}
+
+// TestMatchesMathRand pins the drop-in contract at the Source level: for
+// every seed the raw Uint64/Int63 stream is identical to
+// rand.NewSource's.
+func TestMatchesMathRand(t *testing.T) {
+	for _, seed := range seeds {
+		want := rand.NewSource(seed).(rand.Source64)
+		got := NewSource(seed)
+		for i := 0; i < 3000; i++ {
+			if g, w := got.Uint64(), want.Uint64(); g != w {
+				t.Fatalf("seed %d: Uint64 #%d = %d, want %d", seed, i, g, w)
+			}
+		}
+		want.Seed(seed + 1)
+		got.Seed(seed + 1)
+		for i := 0; i < 700; i++ {
+			if g, w := got.Int63(), want.Int63(); g != w {
+				t.Fatalf("seed %d: post-reseed Int63 #%d = %d, want %d", seed, i, g, w)
+			}
+		}
+	}
+}
+
+// TestRandMethodsMatch pins the contract one level up: a *rand.Rand on a
+// Source reproduces every derived method of a stock *rand.Rand,
+// including the buffered Read path.
+func TestRandMethodsMatch(t *testing.T) {
+	for _, seed := range seeds {
+		want := rand.New(rand.NewSource(seed))
+		got := rand.New(NewSource(seed))
+		for i := 0; i < 200; i++ {
+			if g, w := got.Intn(1000), want.Intn(1000); g != w {
+				t.Fatalf("seed %d: Intn #%d = %d, want %d", seed, i, g, w)
+			}
+			if g, w := got.Float64(), want.Float64(); g != w {
+				t.Fatalf("seed %d: Float64 #%d = %v, want %v", seed, i, g, w)
+			}
+			if g, w := got.NormFloat64(), want.NormFloat64(); g != w {
+				t.Fatalf("seed %d: NormFloat64 #%d = %v, want %v", seed, i, g, w)
+			}
+		}
+		gb, wb := make([]byte, 33), make([]byte, 33)
+		for i := 0; i < 8; i++ {
+			if _, err := got.Read(gb); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := want.Read(wb); err != nil {
+				t.Fatal(err)
+			}
+			if string(gb) != string(wb) {
+				t.Fatalf("seed %d: Read #%d = %x, want %x", seed, i, gb, wb)
+			}
+		}
+		// Rand.Seed must reset the Read buffer alongside the source.
+		got.Seed(seed ^ 0x5ca1e)
+		want.Seed(seed ^ 0x5ca1e)
+		if g, w := got.Int63(), want.Int63(); g != w {
+			t.Fatalf("seed %d: post-Rand.Seed Int63 = %d, want %d", seed, g, w)
+		}
+	}
+}
+
+// TestReseedNoAlloc pins the arena property the package exists for:
+// reseeding an existing source allocates nothing.
+func TestReseedNoAlloc(t *testing.T) {
+	s := NewSource(1)
+	n := testing.AllocsPerRun(100, func() {
+		s.Seed(12345)
+		_ = s.Uint64()
+	})
+	if n != 0 {
+		t.Fatalf("Seed+Uint64 allocates %v times per run, want 0", n)
+	}
+}
+
+func BenchmarkSeed(b *testing.B) {
+	s := NewSource(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Seed(int64(i))
+	}
+}
+
+func BenchmarkStdlibSeed(b *testing.B) {
+	s := rand.NewSource(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Seed(int64(i))
+	}
+}

@@ -1,0 +1,70 @@
+package sim_test
+
+// Arena-parity test: a reused Arena must produce traces
+// reflect.DeepEqual-identical to one-shot sim.Run for every protocol ×
+// adversary pair the experiment harness exercises, regardless of what
+// ran on the arena before. This is the reuse half of the estimator's
+// determinism contract (the frozen-legacy half is parity_test.go).
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/protocols/twoparty"
+	"repro/internal/sim"
+)
+
+func TestArenaMatchesRun(t *testing.T) {
+	for _, tc := range parityCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			proto, inputs, err := tc.proto()
+			if err != nil {
+				t.Fatal(err)
+			}
+			arena := sim.NewArena(proto)
+			// One adversary instance across every arena run — exactly how
+			// the estimator drives it (Reset per run); the reference run
+			// gets a fresh instance each time.
+			adv := tc.newAdv()
+			for seed := int64(0); seed < 12; seed++ {
+				got, gotErr := arena.Run(inputs, adv, seed)
+				want, wantErr := sim.Run(proto, inputs, tc.newAdv(), seed)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("seed %d: run err %v, arena err %v", seed, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("seed %d: traces diverge\nrun:   %+v\narena: %+v", seed, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestArenaRunAllocs pins the allocation-lean property the Arena exists
+// for: a steady-state ΠOpt-2SFE run must stay within a small allocation
+// budget (protocol machine construction and sharing included).
+func TestArenaRunAllocs(t *testing.T) {
+	proto := twoparty.New(twoparty.Swap())
+	adv := adversary.NewLockAbort(1)
+	inputs := []sim.Value{uint64(111), uint64(222)}
+	arena := sim.NewArena(proto)
+	if _, err := arena.Run(inputs, adv, 0); err != nil {
+		t.Fatal(err)
+	}
+	seed := int64(1)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := arena.Run(inputs, adv, seed); err != nil {
+			t.Fatal(err)
+		}
+		seed++
+	})
+	const budget = 25
+	if allocs > budget {
+		t.Fatalf("arena run allocates %.1f times, budget %d", allocs, budget)
+	}
+	t.Logf("arena run: %.1f allocs", allocs)
+}

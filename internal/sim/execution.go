@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
+
+	"repro/internal/rng"
 )
 
 // PartyBackend runs the protocol machines for an Execution. The engine
@@ -33,18 +35,29 @@ type PartyBackend interface {
 }
 
 // localBackend is the in-memory backend: machines live in-process and
-// are stepped by direct method calls.
+// are stepped by direct method calls. Party RNGs are retained and
+// reseeded across runs (machines draw all randomness at construction,
+// so a previous run's machine never touches a reseeded stream).
 type localBackend struct {
 	proto    Protocol
 	machines []Party
+	rngs     []*rand.Rand
 }
 
 func newLocalBackend(proto Protocol) *localBackend {
-	return &localBackend{proto: proto, machines: make([]Party, proto.NumParties())}
+	n := proto.NumParties()
+	return &localBackend{proto: proto, machines: make([]Party, n), rngs: make([]*rand.Rand, n)}
 }
 
 func (b *localBackend) StartParty(id PartyID, input Value, setupOut Value, setupAborted bool, seed int64) error {
-	m, err := b.proto.NewParty(id, input, setupOut, setupAborted, rand.New(rand.NewSource(seed)))
+	r := b.rngs[id-1]
+	if r == nil {
+		r = rng.New(seed)
+		b.rngs[id-1] = r
+	} else {
+		r.Seed(seed)
+	}
+	m, err := b.proto.NewParty(id, input, setupOut, setupAborted, r)
 	if err != nil {
 		return err
 	}
@@ -105,6 +118,12 @@ const (
 // TCP transport drives one wire round per Step, round-level attack
 // strategies can be scheduled between Steps, and Observers stream every
 // engine event as it happens instead of reading a post-hoc trace.
+//
+// Every per-run allocation (trace maps, inbox lanes, RNG streams, the
+// adversary context, scratch buffers) lives on the Execution and is
+// reinitialized in place by reset, so an Arena can replay millions of
+// runs on one Execution without reallocating; a one-shot Execution pays
+// each allocation exactly once, as before.
 type Execution struct {
 	proto   Protocol
 	adv     Adversary
@@ -116,13 +135,129 @@ type Execution struct {
 	effective  []Value // after adversarial substitution
 	setupOuts  []Value
 	partySeeds []int64
+	master     *rand.Rand
 	protoRNG   *rand.Rand
+	advRNG     *rand.Rand
 	trace      *Trace
 
 	inboxes     [][]Message
 	totalRounds int
 	state       execState
 	nextRound   int
+
+	// Reusable per-run state. traceStore backs trace; the buffers below
+	// are truncated/cleared by reset, never freed, so their capacity
+	// survives across arena runs.
+	traceStore     Trace
+	advCtx         AdvContext
+	spare          [][]Message // next-round lanes, swapped with inboxes
+	honestOut      []Message
+	rushed         []Message
+	corruptScratch []PartyID
+	corruptSetup   map[PartyID]Value
+	corruptInboxes map[PartyID][]Message
+	effectiveBuf   []Value
+	setupDefaults  []Value
+	finalDefaults  []Value
+	ctxInputs      []Value
+}
+
+// newExecutionShell builds an Execution skeleton bound to a protocol and
+// backend but no run; reset readies it for one.
+func newExecutionShell(proto Protocol, backend PartyBackend) *Execution {
+	if backend == nil {
+		backend = newLocalBackend(proto)
+	}
+	return &Execution{
+		proto:       proto,
+		backend:     backend,
+		n:           proto.NumParties(),
+		totalRounds: proto.NumRounds() + 1, // +1 finalize call
+	}
+}
+
+// reset (re)initializes the execution for one run, reusing every buffer,
+// map, and RNG stream the previous run left behind. The master-stream
+// draw order is the engine's determinism contract — protocol stream,
+// adversary stream, then one seed per party — and matches the classic
+// Run exactly, so a reused execution reproduces a fresh one bit for bit.
+func (e *Execution) reset(inputs []Value, adv Adversary, seed int64, obs []Observer) error {
+	if len(inputs) != e.n {
+		return fmt.Errorf("%w: got %d, want %d", ErrInputCount, len(inputs), e.n)
+	}
+	e.adv = adv
+	e.obs = obs
+	if e.master == nil {
+		e.master = rng.New(seed)
+		e.protoRNG = rng.New(e.master.Int63())
+		e.advRNG = rng.New(e.master.Int63())
+		e.partySeeds = make([]int64, e.n)
+	} else {
+		e.master.Seed(seed)
+		e.protoRNG.Seed(e.master.Int63())
+		e.advRNG.Seed(e.master.Int63())
+	}
+	for i := range e.partySeeds {
+		e.partySeeds[i] = e.master.Int63()
+	}
+
+	e.inputs = append(e.inputs[:0], inputs...)
+	e.effective = nil
+	e.setupOuts = nil
+	e.state = execCreated
+	e.nextRound = 0
+	if e.inboxes == nil {
+		e.inboxes = make([][]Message, e.n)
+		e.spare = make([][]Message, e.n)
+	} else {
+		for i := range e.inboxes {
+			e.inboxes[i] = e.inboxes[i][:0]
+			e.spare[i] = e.spare[i][:0]
+		}
+	}
+
+	tr := &e.traceStore
+	e.trace = tr
+	tr.ProtocolName = e.proto.Name()
+	tr.Inputs = append(tr.Inputs[:0], inputs...)
+	tr.EffectiveInputs = nil
+	tr.ExpectedOutput = nil
+	tr.DefaultedOutput = nil
+	tr.HybridOutput = nil
+	tr.SetupAudit = nil
+	tr.Audit = nil
+	if tr.HonestAudits == nil {
+		tr.HonestAudits = make(map[PartyID]Value)
+	} else {
+		clear(tr.HonestAudits)
+	}
+	tr.SetupAborted = false
+	if tr.Corrupted == nil {
+		tr.Corrupted = make(map[PartyID]bool)
+	} else {
+		clear(tr.Corrupted)
+	}
+	if tr.HonestOutputs == nil {
+		tr.HonestOutputs = make(map[PartyID]OutputRecord)
+	} else {
+		clear(tr.HonestOutputs)
+	}
+	tr.FailStops = nil
+	tr.AdvLearned = false
+	tr.AdvValue = nil
+	tr.PrivacyBreach = false
+	tr.BreachedParty = 0
+	tr.RoundsRun = 0
+
+	e.ctxInputs = append(e.ctxInputs[:0], inputs...)
+	e.advCtx = AdvContext{
+		Protocol:   e.proto,
+		Inputs:     e.ctxInputs,
+		TrueOutput: e.proto.Func(inputs),
+		RNG:        e.advRNG,
+	}
+	adv.Reset(&e.advCtx)
+	return nil
 }
 
 // NewExecution prepares an in-memory execution: it seeds the engine's
@@ -136,45 +271,10 @@ func NewExecution(proto Protocol, inputs []Value, adv Adversary, seed int64, obs
 // an explicit backend; backend == nil selects the in-memory backend.
 func NewExecutionWithBackend(proto Protocol, inputs []Value, adv Adversary, seed int64,
 	backend PartyBackend, obs ...Observer) (*Execution, error) {
-	n := proto.NumParties()
-	if len(inputs) != n {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrInputCount, len(inputs), n)
+	e := newExecutionShell(proto, backend)
+	if err := e.reset(inputs, adv, seed, obs); err != nil {
+		return nil, err
 	}
-	if backend == nil {
-		backend = newLocalBackend(proto)
-	}
-	master := rand.New(rand.NewSource(seed))
-	protoRNG := rand.New(rand.NewSource(master.Int63()))
-	advRNG := rand.New(rand.NewSource(master.Int63()))
-	partySeeds := make([]int64, n)
-	for i := range partySeeds {
-		partySeeds[i] = master.Int63()
-	}
-
-	e := &Execution{
-		proto:   proto,
-		adv:     adv,
-		backend: backend,
-		obs:     obs,
-		n:       n,
-		inputs:  append([]Value(nil), inputs...),
-		trace: &Trace{
-			ProtocolName:  proto.Name(),
-			Inputs:        append([]Value(nil), inputs...),
-			Corrupted:     make(map[PartyID]bool),
-			HonestOutputs: make(map[PartyID]OutputRecord),
-		},
-		partySeeds:  partySeeds,
-		protoRNG:    protoRNG,
-		totalRounds: proto.NumRounds() + 1, // +1 finalize call
-	}
-
-	adv.Reset(&AdvContext{
-		Protocol:   proto,
-		Inputs:     append([]Value(nil), inputs...),
-		TrueOutput: proto.Func(inputs),
-		RNG:        advRNG,
-	})
 	return e, nil
 }
 
@@ -219,12 +319,14 @@ func (e *Execution) FailStop(id PartyID, round int, cause string) error {
 
 // corruptedSorted returns the currently corrupted set in ascending id
 // order, for deterministic iteration (and a deterministic event stream).
+// The returned slice is scratch, valid until the next call.
 func (e *Execution) corruptedSorted() []PartyID {
-	ids := make([]PartyID, 0, len(e.trace.Corrupted))
+	ids := e.corruptScratch[:0]
 	for id := range e.trace.Corrupted {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
+	e.corruptScratch = ids
 	return ids
 }
 
@@ -273,7 +375,8 @@ func (e *Execution) SetupPhase() error {
 			o.PartyCorrupted(0, id)
 		}
 	}
-	effective := append([]Value(nil), e.inputs...)
+	effective := append(e.effectiveBuf[:0], e.inputs...)
+	e.effectiveBuf = effective
 	for _, id := range e.corruptedSorted() {
 		effective[id-1] = e.adv.SubstituteInput(id, e.inputs[id-1])
 		for _, o := range e.obs {
@@ -296,13 +399,17 @@ func (e *Execution) SetupPhase() error {
 		setupOuts = setupOuts[:n]
 	}
 	e.setupOuts = setupOuts
-	corruptedSetup := make(map[PartyID]Value)
+	if e.corruptSetup == nil {
+		e.corruptSetup = make(map[PartyID]Value)
+	} else {
+		clear(e.corruptSetup)
+	}
 	for id := range tr.Corrupted {
-		corruptedSetup[id] = e.setupOutOf(id)
+		e.corruptSetup[id] = e.setupOutOf(id)
 	}
 	// A setup abort is only meaningful with at least one corruption, and
 	// the protocol's hybrid may be robust against small coalitions.
-	abortRequested := len(tr.Corrupted) > 0 && e.adv.ObserveSetup(corruptedSetup)
+	abortRequested := len(tr.Corrupted) > 0 && e.adv.ObserveSetup(e.corruptSetup)
 	if policy, ok := e.proto.(SetupAbortPolicy); ok && abortRequested {
 		abortRequested = policy.SetupAbortable(len(tr.Corrupted))
 	}
@@ -314,7 +421,8 @@ func (e *Execution) SetupPhase() error {
 
 	if tr.SetupAborted {
 		// Honest parties proceed on defaults for corrupted parties.
-		withDefaults := append([]Value(nil), e.inputs...)
+		withDefaults := append(e.setupDefaults[:0], e.inputs...)
+		e.setupDefaults = withDefaults
 		for id := range tr.Corrupted {
 			withDefaults[id-1] = e.proto.DefaultInput(id)
 		}
@@ -337,10 +445,28 @@ func (e *Execution) SetupPhase() error {
 		}
 	}
 
-	e.inboxes = make([][]Message, n)
 	e.state = execRounds
 	e.nextRound = 1
 	return nil
+}
+
+// deliverInto routes one round message into the next-round lanes.
+// Broadcasts go to everyone (including the sender) in deterministic
+// order; fail-stopped parties receive nothing.
+func (e *Execution) deliverInto(next [][]Message, m Message) {
+	tr, n := e.trace, e.n
+	if m.To == Broadcast {
+		for i := 0; i < n; i++ {
+			if tr.FailStopped(PartyID(i + 1)) {
+				continue
+			}
+			next[i] = append(next[i], m)
+		}
+		return
+	}
+	if m.To >= 1 && m.To <= PartyID(n) && !tr.FailStopped(m.To) {
+		next[m.To-1] = append(next[m.To-1], m)
+	}
 }
 
 // Step executes message round `round` (which must be the next round in
@@ -388,8 +514,8 @@ func (e *Execution) Step(round int) error {
 
 	// Honest parties move first. Fail-stopped parties stay silent, the
 	// same silence an abort adversary produces after round FailStops[id].
-	var honestOut []Message
-	var rushed []Message
+	honestOut := e.honestOut[:0]
+	rushed := e.rushed[:0]
 	for i := 0; i < n; i++ {
 		id := PartyID(i + 1)
 		if tr.Corrupted[id] || tr.FailStopped(id) {
@@ -410,14 +536,20 @@ func (e *Execution) Step(round int) error {
 			}
 		}
 	}
+	e.honestOut, e.rushed = honestOut, rushed
 
 	// Rushing adversary acts, with the corrupted parties' delivered
-	// inboxes and the rushed view of this round's honest messages.
-	corruptInboxes := make(map[PartyID][]Message, len(tr.Corrupted))
-	for id := range tr.Corrupted {
-		corruptInboxes[id] = e.inboxes[id-1]
+	// inboxes and the rushed view of this round's honest messages. The
+	// map and slices are engine scratch: valid only during Act.
+	if e.corruptInboxes == nil {
+		e.corruptInboxes = make(map[PartyID][]Message)
+	} else {
+		clear(e.corruptInboxes)
 	}
-	advOut := e.adv.Act(r, corruptInboxes, rushed)
+	for id := range tr.Corrupted {
+		e.corruptInboxes[id] = e.inboxes[id-1]
+	}
+	advOut := e.adv.Act(r, e.corruptInboxes, rushed)
 	for i := range advOut {
 		if !tr.Corrupted[advOut[i].From] {
 			return fmt.Errorf("sim: adversary sent as honest party %d", advOut[i].From)
@@ -429,35 +561,27 @@ func (e *Execution) Step(round int) error {
 		}
 	}
 
-	// Route all round-r messages into next-round inboxes. Broadcasts go
-	// to everyone (including the sender) in deterministic order.
-	next := make([][]Message, n)
-	deliver := func(m Message) {
-		if m.To == Broadcast {
-			for i := 0; i < n; i++ {
-				if tr.FailStopped(PartyID(i + 1)) {
-					continue
-				}
-				next[i] = append(next[i], m)
-			}
-			return
-		}
-		if m.To >= 1 && m.To <= PartyID(n) && !tr.FailStopped(m.To) {
-			next[m.To-1] = append(next[m.To-1], m)
-		}
-	}
+	// Route all round-r messages into next-round inboxes.
+	next := e.spare
 	for _, m := range honestOut {
-		deliver(m)
+		e.deliverInto(next, m)
 	}
 	for _, m := range advOut {
-		deliver(m)
+		e.deliverInto(next, m)
 	}
 	// Stable delivery order: by sender then position (already stable
 	// since we appended honest in id order, then adversarial).
 	for i := range next {
 		sortStableBySender(next[i])
 	}
+	// Swap lanes: the consumed inboxes become next round's (truncated)
+	// routing target.
+	old := e.inboxes
 	e.inboxes = next
+	for i := range old {
+		old[i] = old[i][:0]
+	}
+	e.spare = old
 	tr.RoundsRun = r
 	for _, o := range e.obs {
 		o.RoundEnded(r)
@@ -469,6 +593,10 @@ func (e *Execution) Step(round int) error {
 // Finalize collects honest outputs and audit data, verifies the
 // adversary's learned/privacy-breach claims, and returns the finished
 // trace. Every message round must have been stepped first.
+//
+// The trace (and everything it references) belongs to the execution:
+// with a one-shot Execution it stays valid indefinitely, but an Arena
+// invalidates it at the next Run.
 func (e *Execution) Finalize() (*Trace, error) {
 	if e.state != execRounds || e.nextRound <= e.totalRounds {
 		return nil, fmt.Errorf("%w: Finalize in state %d after round %d/%d", ErrPhase, e.state, e.nextRound-1, e.totalRounds)
@@ -478,7 +606,8 @@ func (e *Execution) Finalize() (*Trace, error) {
 	// Compute the defaulted output w.r.t. the final deviating set:
 	// corrupted parties and fail-stopped parties alike are the ones whose
 	// inputs surviving honest parties replace with defaults.
-	defaulted := append([]Value(nil), e.inputs...)
+	defaulted := append(e.finalDefaults[:0], e.inputs...)
+	e.finalDefaults = defaulted
 	for id := range tr.Corrupted {
 		defaulted[id-1] = e.proto.DefaultInput(id)
 	}
@@ -489,7 +618,6 @@ func (e *Execution) Finalize() (*Trace, error) {
 
 	// Collect honest outputs and audit data. Fail-stopped parties are
 	// gone — they produce no output, like a corrupted aborter.
-	tr.HonestAudits = make(map[PartyID]Value)
 	for i := 0; i < n; i++ {
 		id := PartyID(i + 1)
 		if tr.Corrupted[id] || tr.FailStopped(id) {

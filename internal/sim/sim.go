@@ -24,7 +24,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
-	"sort"
+	"slices"
 )
 
 // PartyID identifies a party, 1-based as in the paper (p1, p2, …, pn).
@@ -397,5 +397,5 @@ func RunObserved(proto Protocol, inputs []Value, adv Adversary, seed int64, obs 
 }
 
 func sortStableBySender(ms []Message) {
-	sort.SliceStable(ms, func(i, j int) bool { return ms[i].From < ms[j].From })
+	slices.SortStableFunc(ms, func(a, b Message) int { return int(a.From) - int(b.From) })
 }

@@ -82,6 +82,53 @@ func MeanEstimate(samples []float64) (Estimate, error) {
 	return Estimate{Mean: mean, HalfWidth: hw, N: n}, nil
 }
 
+// EstimateFromCounts is the streaming-tally form of MeanEstimate: the
+// mean and confidence half-width of a sample multiset that takes value
+// values[i] with multiplicity counts[i]. Estimation loops that classify
+// runs into a few categories (the fairness events E00..E11) accumulate
+// plain integer counts per worker — order-independent, so per-worker
+// tallies merge into one total by addition — and reduce them here,
+// deterministically in index order, instead of materializing a
+// per-run sample slice.
+//
+// When every value (and hence every partial sum of samples) is exactly
+// representable — true for dyadic payoff vectors like the paper's
+// (0, 0, 1, ½) — the Mean is bit-identical to MeanEstimate over the
+// expanded samples in any order. The half-width is evaluated from the
+// counts in index order, which can differ from a per-sample summation
+// in the last few ulps (floating-point associativity).
+func EstimateFromCounts(values []float64, counts []int64) (Estimate, error) {
+	if len(values) != len(counts) {
+		return Estimate{}, fmt.Errorf("stats: %d values for %d counts", len(values), len(counts))
+	}
+	var n int64
+	for _, c := range counts {
+		if c < 0 {
+			return Estimate{}, fmt.Errorf("stats: negative count %d", c)
+		}
+		n += c
+	}
+	if n == 0 {
+		return Estimate{}, ErrNoSamples
+	}
+	var sum float64
+	for i, c := range counts {
+		sum += float64(c) * values[i]
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for i, c := range counts {
+		d := values[i] - mean
+		ss += float64(c) * (d * d)
+	}
+	variance := 0.0
+	if n > 1 {
+		variance = ss / float64(n-1)
+	}
+	hw := 1.96 * math.Sqrt(variance/float64(n))
+	return Estimate{Mean: mean, HalfWidth: hw, N: int(n)}, nil
+}
+
 // BernoulliEstimate computes the empirical probability of successes
 // successes out of n trials with a Hoeffding-style 95% confidence interval
 // (half-width sqrt(ln(2/0.05) / (2n))), which is distribution-free.

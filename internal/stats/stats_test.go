@@ -220,3 +220,49 @@ func TestWilsonInterval(t *testing.T) {
 		t.Errorf("Wilson width %v not tighter than Hoeffding %v", width, HoeffdingHalfWidth(1000, 0.05))
 	}
 }
+
+func TestEstimateFromCountsMatchesMeanEstimate(t *testing.T) {
+	values := []float64{0, 0, 1, 0.5}
+	cases := [][]int64{
+		{1, 0, 0, 0},
+		{0, 0, 7, 0},
+		{3, 1, 4, 1},
+		{120, 7, 993, 880},
+		{0, 0, 12345, 54321},
+	}
+	for _, counts := range cases {
+		var samples []float64
+		for i, c := range counts {
+			for j := int64(0); j < c; j++ {
+				samples = append(samples, values[i])
+			}
+		}
+		want, err := MeanEstimate(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EstimateFromCounts(values, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Mean != want.Mean || got.N != want.N {
+			t.Fatalf("counts %v: got %+v, want %+v", counts, got, want)
+		}
+		// Dyadic values: the half-width agrees too, up to associativity.
+		if diff := math.Abs(got.HalfWidth - want.HalfWidth); diff > 1e-12 {
+			t.Fatalf("counts %v: half-width %v vs %v (diff %v)", counts, got.HalfWidth, want.HalfWidth, diff)
+		}
+	}
+}
+
+func TestEstimateFromCountsErrors(t *testing.T) {
+	if _, err := EstimateFromCounts([]float64{1}, []int64{0}); err != ErrNoSamples {
+		t.Fatalf("zero counts: err = %v, want ErrNoSamples", err)
+	}
+	if _, err := EstimateFromCounts([]float64{1, 2}, []int64{1}); err == nil {
+		t.Fatal("length mismatch: expected error")
+	}
+	if _, err := EstimateFromCounts([]float64{1}, []int64{-1}); err == nil {
+		t.Fatal("negative count: expected error")
+	}
+}
