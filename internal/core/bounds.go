@@ -1,7 +1,43 @@
 package core
 
+import (
+	"errors"
+	"fmt"
+)
+
 // Closed-form bounds from the paper, used to validate the measured
-// utilities in EXPERIMENTS.md.
+// utilities in EXPERIMENTS.md and, grid-wide, by the sweep engine
+// (internal/sweep).
+//
+// The bound functions validate their parameters and panic on nonsense
+// inputs (n ≤ 0, t outside 0..n, p ≤ 0) instead of silently returning
+// NaN/±Inf: they are pure formulas whose callers construct the arguments,
+// so an out-of-range value is a programming error, and the sweep grid —
+// which enumerates exactly these edges — must be able to rely on a loud
+// failure rather than a poisoned certificate. The panic values wrap
+// ErrBadT / ErrBadN / ErrBadP so recovering callers can errors.Is them.
+
+// Validation errors for bound parameters (ErrBadT lives in balance.go).
+var (
+	// ErrBadN is returned (via panic) for party counts n ≤ 0.
+	ErrBadN = errors.New("core: party count n out of range")
+	// ErrBadP is returned (via panic) for Gordon–Katz parameters p ≤ 0.
+	ErrBadP = errors.New("core: partial-fairness parameter p out of range")
+)
+
+// checkN panics unless n ≥ 1.
+func checkN(fn string, n int) {
+	if n <= 0 {
+		panic(fmt.Errorf("%w: %s(n=%d)", ErrBadN, fn, n))
+	}
+}
+
+// checkT panics unless 0 ≤ t ≤ n.
+func checkT(fn string, n, t int) {
+	if t < 0 || t > n {
+		panic(fmt.Errorf("%w: %s(n=%d, t=%d)", ErrBadT, fn, n, t))
+	}
+}
 
 // TwoPartyOptimalBound is (γ10 + γ11)/2 — the exact optimal-fairness
 // value for general two-party SFE (Theorems 3 and 4): ΠOpt-2SFE's best
@@ -19,22 +55,29 @@ func TwoPartyLowerPairSum(g Payoff) float64 {
 }
 
 // MultiPartyTBound is (t·γ10 + (n−t)·γ11)/n — Lemma 11's bound on any
-// t-adversary against ΠOpt-nSFE.
+// t-adversary against ΠOpt-nSFE. It panics (wrapping ErrBadN/ErrBadT)
+// for n ≤ 0 or t outside 0..n; the degenerate ends t = 0 and t = n are
+// allowed and give γ11 and γ10.
 func MultiPartyTBound(g Payoff, n, t int) float64 {
+	checkN("MultiPartyTBound", n)
+	checkT("MultiPartyTBound", n, t)
 	return (float64(t)*g.G10 + float64(n-t)*g.G11) / float64(n)
 }
 
 // MultiPartyOptimalBound is ((n−1)·γ10 + γ11)/n — the sup over t of
 // Lemma 11 (t = n−1), matched by the Lemma 13 lower bound for the
-// concatenation function.
+// concatenation function. Panics (wrapping ErrBadN) for n ≤ 0.
 func MultiPartyOptimalBound(g Payoff, n int) float64 {
+	checkN("MultiPartyOptimalBound", n)
 	return MultiPartyTBound(g, n, n-1)
 }
 
 // BalancedSumBound is (n−1)(γ10 + γ11)/2 — Lemma 14's bound on the sum of
 // best-t-adversary utilities for t = 1..n−1, tight by Lemma 16; the
-// defining quantity of utility-balanced fairness (Definition 5).
+// defining quantity of utility-balanced fairness (Definition 5). Panics
+// (wrapping ErrBadN) for n ≤ 0.
 func BalancedSumBound(g Payoff, n int) float64 {
+	checkN("BalancedSumBound", n)
 	return float64(n-1) * (g.G10 + g.G11) / 2
 }
 
@@ -45,6 +88,7 @@ func BalancedSumBound(g Payoff, n int) float64 {
 // not utility balanced. (For n/2 ≤ t ≤ n−1 the best adversary earns γ10;
 // for t < n/2 it earns γ11.)
 func GMWEvenNSumLowerBound(g Payoff, n int) float64 {
+	checkN("GMWEvenNSumLowerBound", n)
 	if n%2 != 0 {
 		return BalancedSumBound(g, n)
 	}
@@ -63,8 +107,11 @@ func IdealBound(g Payoff) float64 {
 // GordonKatzBound is ((p−1)·γ11 + γ10)/p — the utility ceiling achieved
 // by the Gordon–Katz 1/p-secure protocols (Section 5): fairness holds
 // with probability (p−1)/p (event E11 at best) and fails with
-// probability 1/p (event E10).
+// probability 1/p (event E10). Panics (wrapping ErrBadP) for p ≤ 0.
 func GordonKatzBound(g Payoff, p int) float64 {
+	if p <= 0 {
+		panic(fmt.Errorf("%w: GordonKatzBound(p=%d)", ErrBadP, p))
+	}
 	return (float64(p-1)*g.G11 + g.G10) / float64(p)
 }
 
@@ -73,6 +120,7 @@ func GordonKatzBound(g Payoff, p int) float64 {
 // Lemma 18 protocol — strictly above 2/(n−1)·BalancedSumBound's per-pair
 // share, witnessing that optimal fairness does not imply utility balance.
 func Lemma18SumLowerBound(g Payoff, n int) float64 {
+	checkN("Lemma18SumLowerBound", n)
 	nn := float64(n)
 	return ((3*nn-1)*g.G10 + (nn+1)*g.G11) / (2 * nn)
 }
@@ -101,6 +149,9 @@ func maxf(a, b float64) float64 {
 // before its round-i* message goes out, so the honest party is left with
 // the F_sfe^$ fallback: event E10 in every run.)
 func GKFirstHitExact(r int, h float64) float64 {
+	if h > 1 || h != h {
+		panic(fmt.Errorf("%w: GKFirstHitExact(h=%v) outside [0,1]", ErrBadP, h))
+	}
 	if r <= 0 {
 		return 0
 	}

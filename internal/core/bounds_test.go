@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// mustPanicWith runs f and asserts it panics with an error wrapping want.
+func mustPanicWith(t *testing.T, want error, name string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("%s: expected panic wrapping %v, got none", name, want)
+			return
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Errorf("%s: panic value %v is not an error", name, r)
+			return
+		}
+		if !errors.Is(err, want) {
+			t.Errorf("%s: panic %v does not wrap %v", name, err, want)
+		}
+	}()
+	f()
+}
+
+func TestBoundValues(t *testing.T) {
+	g := StandardPayoff() // (0, 0, 1, 1/2)
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"TwoPartyOptimalBound", TwoPartyOptimalBound(g), 0.75},
+		{"TwoPartyLowerPairSum", TwoPartyLowerPairSum(g), 1.5},
+		{"MultiPartyTBound n=4 t=2", MultiPartyTBound(g, 4, 2), 0.75},
+		{"MultiPartyTBound t=0", MultiPartyTBound(g, 4, 0), g.G11},
+		{"MultiPartyTBound t=n", MultiPartyTBound(g, 4, 4), g.G10},
+		{"MultiPartyOptimalBound n=4", MultiPartyOptimalBound(g, 4), (3 + 0.5) / 4},
+		{"MultiPartyOptimalBound n=1", MultiPartyOptimalBound(g, 1), g.G11},
+		{"BalancedSumBound n=5", BalancedSumBound(g, 5), 3},
+		{"BalancedSumBound n=1", BalancedSumBound(g, 1), 0},
+		{"GordonKatzBound p=4", GordonKatzBound(g, 4), (3*0.5 + 1) / 4},
+		{"GordonKatzBound p=1", GordonKatzBound(g, 1), g.G10},
+		{"IdealBound", IdealBound(g), g.G11},
+		{"GMWEvenNSumLowerBound n=4", GMWEvenNSumLowerBound(g, 4), 2*g.G10 + 1*g.G11},
+		{"Lemma18SumLowerBound n=4", Lemma18SumLowerBound(g, 4), (11 + 2.5) / 8},
+	}
+	for _, c := range cases {
+		if math.Abs(c.got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+		if math.IsNaN(c.got) || math.IsInf(c.got, 0) {
+			t.Errorf("%s = %v: not finite", c.name, c.got)
+		}
+	}
+}
+
+// TestBoundEdgeValidation pins the loud-failure contract the sweep grid
+// relies on: out-of-range n, t, p never produce NaN/±Inf, they panic
+// with a value wrapping the package's sentinel errors.
+func TestBoundEdgeValidation(t *testing.T) {
+	g := StandardPayoff()
+	mustPanicWith(t, ErrBadN, "MultiPartyTBound n=0", func() { MultiPartyTBound(g, 0, 0) })
+	mustPanicWith(t, ErrBadN, "MultiPartyTBound n=-3", func() { MultiPartyTBound(g, -3, 1) })
+	mustPanicWith(t, ErrBadT, "MultiPartyTBound t=-1", func() { MultiPartyTBound(g, 4, -1) })
+	mustPanicWith(t, ErrBadT, "MultiPartyTBound t=n+1", func() { MultiPartyTBound(g, 4, 5) })
+	mustPanicWith(t, ErrBadN, "MultiPartyOptimalBound n=0", func() { MultiPartyOptimalBound(g, 0) })
+	mustPanicWith(t, ErrBadN, "MultiPartyOptimalBound n=-1", func() { MultiPartyOptimalBound(g, -1) })
+	mustPanicWith(t, ErrBadN, "BalancedSumBound n=0", func() { BalancedSumBound(g, 0) })
+	mustPanicWith(t, ErrBadN, "GMWEvenNSumLowerBound n=0", func() { GMWEvenNSumLowerBound(g, 0) })
+	mustPanicWith(t, ErrBadN, "Lemma18SumLowerBound n=0", func() { Lemma18SumLowerBound(g, 0) })
+	mustPanicWith(t, ErrBadP, "GordonKatzBound p=0", func() { GordonKatzBound(g, 0) })
+	mustPanicWith(t, ErrBadP, "GordonKatzBound p=-2", func() { GordonKatzBound(g, -2) })
+	mustPanicWith(t, ErrBadP, "GKFirstHitExact h=1.5", func() { GKFirstHitExact(4, 1.5) })
+	mustPanicWith(t, ErrBadP, "GKFirstHitExact h=NaN", func() { GKFirstHitExact(4, math.NaN()) })
+}
+
+func TestGKFirstHitExactEdges(t *testing.T) {
+	if got := GKFirstHitExact(0, 0.5); got != 0 {
+		t.Errorf("r=0: got %v, want 0", got)
+	}
+	if got := GKFirstHitExact(-1, 0.5); got != 0 {
+		t.Errorf("r<0: got %v, want 0", got)
+	}
+	if got := GKFirstHitExact(6, 0); got != 1 {
+		t.Errorf("h=0: got %v, want 1", got)
+	}
+	// h = 1: every pre-switch round hits, so the attack succeeds only when
+	// i* = 1, i.e. with probability 1/r.
+	if got := GKFirstHitExact(8, 1); math.Abs(got-1.0/8) > 1e-15 {
+		t.Errorf("h=1: got %v, want 1/8", got)
+	}
+	// The closed form (1−(1−h)^r)/(r·h) matches the recurrence.
+	for _, r := range []int{1, 2, 5, 16} {
+		for _, h := range []float64{0.1, 0.5, 0.9} {
+			want := (1 - math.Pow(1-h, float64(r))) / (float64(r) * h)
+			if got := GKFirstHitExact(r, h); math.Abs(got-want) > 1e-12 {
+				t.Errorf("GKFirstHitExact(%d, %v) = %v, want %v", r, h, got, want)
+			}
+			if got := GKFirstHitExact(r, h); got > 1/(float64(r)*h)+1e-12 {
+				t.Errorf("GKFirstHitExact(%d, %v) = %v exceeds 1/(r·h)", r, h, got)
+			}
+		}
+	}
+}

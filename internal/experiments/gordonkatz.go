@@ -2,13 +2,33 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/protocols/gordonkatz"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
+
+// wilsonRow cross-checks a small empirical frequency against an upper
+// bound with a Wilson score interval, which stays informative near 0
+// where the Hoeffding/normal half-widths are hopelessly loose. freq is
+// the measured frequency over runs trials; the row passes when the
+// Wilson lower end stays consistent with freq ≤ bound + tol.
+func wilsonRow(label string, bound, freq float64, runs int, tol float64) (Row, error) {
+	successes := int(math.Round(freq * float64(runs)))
+	lo, hi, err := stats.WilsonInterval(successes, runs)
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		Label: label, Paper: bound, Measured: freq, CI: (hi - lo) / 2, Dir: "<=",
+		Pass: lo <= bound+tol,
+		Note: fmt.Sprintf("Wilson 95%% [%.4f, %.4f]", lo, hi),
+	}, nil
+}
 
 // worstAND is the Gordon–Katz worst-case environment for AND: x = (1, 1).
 func worstAND(*rand.Rand) []sim.Value {
@@ -41,6 +61,15 @@ func E11GordonKatz(cfg Config) (Result, error) {
 		// The attack matches the exact closed form (1−(1−h)^r)/(r·h).
 		res.Rows = append(res.Rows, eqRow(fmt.Sprintf("polydomain p=%d vs exact first-hit", p),
 			core.GKFirstHitExact(proto.Iterations, 0.5), rep.Utility.Mean, rep.Utility.HalfWidth, cfg.Tolerance/2))
+		// The same 1/p ceiling on Pr[E10] itself, certified with a Wilson
+		// score interval — the small-frequency cross-check the normal CI
+		// is too loose for at large p.
+		wr, err := wilsonRow(fmt.Sprintf("polydomain p=%d Pr[E10] (Wilson)", p),
+			1.0/float64(p), rep.EventFreq[core.E10], rep.Runs, cfg.Tolerance/2)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Rows = append(res.Rows, wr)
 		// Round complexity O(p·|Y|).
 		res.Rows = append(res.Rows, eqRow(fmt.Sprintf("polydomain p=%d iterations", p),
 			float64(p*2), float64(proto.Iterations), 0, 0))
@@ -123,6 +152,19 @@ func E12PartialFairnessSeparation(cfg Config) (Result, error) {
 	}
 	res.Rows = append(res.Rows,
 		eqRow("Π̃ input-extraction probability", 0.25, leak.PrivacyBreaches, 0.03, cfg.Tolerance))
+	// Wilson cross-check of the same small frequency: the 95% score
+	// interval around the measured breach rate must contain 1/4.
+	breaches := int(math.Round(leak.PrivacyBreaches * float64(leak.Runs)))
+	lo, hi, err := stats.WilsonInterval(breaches, leak.Runs)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Rows = append(res.Rows, Row{
+		Label: "Π̃ extraction probability (Wilson)", Paper: 0.25,
+		Measured: leak.PrivacyBreaches, CI: (hi - lo) / 2, Dir: "=",
+		Pass: lo-cfg.Tolerance <= 0.25 && 0.25 <= hi+cfg.Tolerance,
+		Note: fmt.Sprintf("Wilson 95%% [%.4f, %.4f]", lo, hi),
+	})
 
 	// Lemma 25 direction: the genuine GK protocol shows no breach and
 	// keeps utility ≤ 1/p under the same probing.
@@ -135,8 +177,14 @@ func E12PartialFairnessSeparation(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cleanRow, err := wilsonRow("genuine GK breach rate (Wilson)", 0,
+		clean.PrivacyBreaches, clean.Runs, 0)
+	if err != nil {
+		return Result{}, err
+	}
 	res.Rows = append(res.Rows,
 		eqRow("genuine GK protocol breach probability", 0, clean.PrivacyBreaches, 0, 0),
+		cleanRow,
 		boolRow("Π̃ fails our notion while 1/2-secure", true,
 			leak.PrivacyBreaches > 0.1 && sup.BestReport.Utility.Mean <= 0.5+cfg.Tolerance))
 	return res, nil

@@ -24,8 +24,10 @@ type Estimate struct {
 	Mean float64
 	// HalfWidth is the half-width of the confidence interval around Mean.
 	HalfWidth float64
-	// N is the number of samples.
-	N int
+	// N is the number of samples. It is an int64 so that streaming tallies
+	// reduced through EstimateFromCounts keep their exact totals even on
+	// 32-bit builds, where batched counts can exceed MaxInt32.
+	N int64
 }
 
 // Lo returns the lower end of the confidence interval.
@@ -79,7 +81,7 @@ func MeanEstimate(samples []float64) (Estimate, error) {
 		variance = ss / float64(n-1)
 	}
 	hw := 1.96 * math.Sqrt(variance/float64(n))
-	return Estimate{Mean: mean, HalfWidth: hw, N: n}, nil
+	return Estimate{Mean: mean, HalfWidth: hw, N: int64(n)}, nil
 }
 
 // EstimateFromCounts is the streaming-tally form of MeanEstimate: the
@@ -126,7 +128,7 @@ func EstimateFromCounts(values []float64, counts []int64) (Estimate, error) {
 		variance = ss / float64(n-1)
 	}
 	hw := 1.96 * math.Sqrt(variance/float64(n))
-	return Estimate{Mean: mean, HalfWidth: hw, N: int(n)}, nil
+	return Estimate{Mean: mean, HalfWidth: hw, N: n}, nil
 }
 
 // BernoulliEstimate computes the empirical probability of successes
@@ -138,7 +140,7 @@ func BernoulliEstimate(successes, n int) (Estimate, error) {
 	}
 	p := float64(successes) / float64(n)
 	hw := HoeffdingHalfWidth(n, 0.05)
-	return Estimate{Mean: p, HalfWidth: hw, N: n}, nil
+	return Estimate{Mean: p, HalfWidth: hw, N: int64(n)}, nil
 }
 
 // HoeffdingHalfWidth returns the half-width t such that a mean of n
@@ -152,7 +154,9 @@ func HoeffdingHalfWidth(n int, delta float64) float64 {
 }
 
 // SamplesFor returns the number of [0,1]-bounded samples needed for a
-// Hoeffding half-width of at most eps at confidence 1-delta.
+// Hoeffding half-width of at most eps at confidence 1-delta. The sweep
+// engine (internal/sweep) uses it for adaptive sampling: per-cell run
+// counts are sized to a target half-width instead of a flat count.
 func SamplesFor(eps, delta float64) int {
 	if eps <= 0 {
 		return math.MaxInt32
@@ -199,8 +203,11 @@ func (c *Counter) FreqEstimate(category string) (Estimate, error) {
 }
 
 // WilsonInterval returns the Wilson score interval for successes/n at
-// 95% confidence — tighter than Hoeffding for probabilities near 0 or 1
-// (used for the small E10 frequencies of the Gordon–Katz experiments).
+// 95% confidence — tighter than Hoeffding for probabilities near 0 or 1.
+// The Gordon–Katz experiments (E11/E12) use it to cross-check the small
+// E10 and privacy-breach frequencies, and the sweep engine
+// (internal/sweep) uses it to certify measured Pr[E10] against the 1/p
+// ceiling.
 func WilsonInterval(successes, n int) (lo, hi float64, err error) {
 	if n == 0 {
 		return 0, 0, ErrNoSamples

@@ -255,6 +255,87 @@ func TestEstimateFromCountsMatchesMeanEstimate(t *testing.T) {
 	}
 }
 
+// TestEstimateFromCountsPropertyDyadic is the property pin behind the
+// batched engine's determinism contract: for dyadic values (every value
+// and every partial sum exactly representable) the count-reduced mean is
+// bit-identical to MeanEstimate over the expanded sample slice in ANY
+// order, the sample counts agree exactly, and the half-width agrees up
+// to the documented floating-point-associativity tolerance.
+func TestEstimateFromCountsPropertyDyadic(t *testing.T) {
+	rng := rand.New(rand.NewSource(20150302))
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(6)
+		values := make([]float64, k)
+		for i := range values {
+			// m / 2^e with m < 2^10, e ≤ 8: exactly representable, and sums
+			// of a few hundred of them stay far below 2^53 ulps of slack.
+			m := rng.Intn(1 << 10)
+			e := uint(rng.Intn(9))
+			values[i] = float64(m) / float64(int64(1)<<e)
+		}
+		counts := make([]int64, k)
+		var total int64
+		for i := range counts {
+			counts[i] = int64(rng.Intn(60))
+			total += counts[i]
+		}
+		if total == 0 {
+			counts[rng.Intn(k)] = 1
+			total = 1
+		}
+
+		samples := make([]float64, 0, total)
+		for i, c := range counts {
+			for j := int64(0); j < c; j++ {
+				samples = append(samples, values[i])
+			}
+		}
+		// Shuffle: the mean must not depend on sample order.
+		rng.Shuffle(len(samples), func(i, j int) {
+			samples[i], samples[j] = samples[j], samples[i]
+		})
+
+		want, err := MeanEstimate(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EstimateFromCounts(values, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Mean != want.Mean {
+			t.Fatalf("trial %d: mean %v != %v (values %v counts %v)",
+				trial, got.Mean, want.Mean, values, counts)
+		}
+		if got.N != want.N || got.N != total {
+			t.Fatalf("trial %d: N %d / %d, want %d", trial, got.N, want.N, total)
+		}
+		// Half-width: evaluated in different summation orders, so allow a
+		// few ulps relative to the magnitude of the sum of squares.
+		tol := 1e-12 * math.Max(1, math.Abs(want.HalfWidth))
+		if diff := math.Abs(got.HalfWidth - want.HalfWidth); diff > tol {
+			t.Fatalf("trial %d: half-width %v vs %v (diff %v > tol %v)",
+				trial, got.HalfWidth, want.HalfWidth, diff, tol)
+		}
+	}
+}
+
+// TestEstimateFromCountsLargeTally pins the int64 total: a tally beyond
+// MaxInt32 must survive into Estimate.N undamaged on every platform.
+func TestEstimateFromCountsLargeTally(t *testing.T) {
+	const big = int64(3) << 31 // 6442450944 > MaxInt32
+	est, err := EstimateFromCounts([]float64{0, 1}, []int64{big, big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N != 2*big {
+		t.Errorf("N = %d, want %d", est.N, 2*big)
+	}
+	if est.Mean != 0.5 {
+		t.Errorf("Mean = %v, want 0.5", est.Mean)
+	}
+}
+
 func TestEstimateFromCountsErrors(t *testing.T) {
 	if _, err := EstimateFromCounts([]float64{1}, []int64{0}); err != ErrNoSamples {
 		t.Fatalf("zero counts: err = %v, want ErrNoSamples", err)
