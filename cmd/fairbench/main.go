@@ -34,8 +34,11 @@ import (
 	"repro/internal/sim"
 )
 
-// measurement is one workload × parallelism timing.
+// measurement is one workload × engine × parallelism timing.
 type measurement struct {
+	// Engine is "compiled" (sim.PlanRunner replay, the default) or
+	// "interpreted" (plain sim.Arena via WithCompiledPlans(false)).
+	Engine       string  `json:"engine"`
 	Parallelism  int     `json:"parallelism"`
 	ElapsedMS    float64 `json:"elapsed_ms"`
 	NsPerRun     float64 `json:"ns_per_run"`
@@ -53,6 +56,9 @@ type workloadReport struct {
 	Seed         int64         `json:"seed"`
 	Measurements []measurement `json:"measurements"`
 	SpeedupMax   float64       `json:"speedup_max_vs_sequential"`
+	// CompiledSpeedup is interpreted ns/run ÷ compiled ns/run, both at
+	// parallelism 1: the pure win of plan replay over the interpreter.
+	CompiledSpeedup float64 `json:"compiled_speedup_vs_interpreted"`
 	// SkippedParallelism lists requested settings above the CPU count.
 	SkippedParallelism []int `json:"skipped_parallelism,omitempty"`
 }
@@ -77,13 +83,16 @@ type trajectory struct {
 	History []report `json:"history"`
 }
 
-// workload is a protocol × adversary estimation target.
+// workload is a protocol × adversary estimation target. samplerInto,
+// when set, replaces sampler via core.WithSamplerInto (both must draw
+// identically — the engine cross-checks the utilities).
 type workload struct {
-	name    string
-	advName string
-	proto   sim.Protocol
-	adv     func() sim.Adversary
-	sampler core.InputSampler
+	name        string
+	advName     string
+	proto       sim.Protocol
+	adv         func() sim.Adversary
+	sampler     core.InputSampler
+	samplerInto core.InputSamplerInto
 }
 
 func workloads() ([]workload, error) {
@@ -106,6 +115,20 @@ func workloads() ([]workload, error) {
 			proto:   twoparty.New(twoparty.Swap()),
 			adv:     func() sim.Adversary { return adversary.NewLockAbort(1) },
 			sampler: uniformN(2, 1<<20),
+		},
+		{
+			// The allocation-floor workload: millionaires' inputs and
+			// outputs stay below 256, so boxing them into sim.Value is
+			// free, and the in-place sampler removes the per-run input
+			// slice — the compiled path's ≤2 allocs/run target is pinned
+			// here (and in core.TestEstimateAllocsCompiled).
+			name: "2sfe-mill", advName: "lock-abort:1",
+			proto:   twoparty.New(twoparty.Millionaires()),
+			adv:     func() sim.Adversary { return adversary.NewLockAbort(1) },
+			sampler: uniformN(2, 200),
+			samplerInto: func(r *rand.Rand, dst []sim.Value) []sim.Value {
+				return append(dst, uint64(r.Intn(200)), uint64(r.Intn(200)))
+			},
 		},
 		{
 			name: "nsfe-opt:4", advName: "lock-abort:1+3",
@@ -191,26 +214,28 @@ func run(args []string) error {
 			Runs: *runs, Seed: *seed,
 			SkippedParallelism: skipped,
 		}
-		var baseline core.UtilityReport
-		for i, par := range settings {
+		measure := func(engine string, par int) (measurement, core.UtilityReport, error) {
+			opts := []core.Option{core.WithParallelism(par)}
+			if engine == "interpreted" {
+				opts = append(opts, core.WithCompiledPlans(false))
+			}
+			sampler := wl.sampler
+			if wl.samplerInto != nil {
+				opts = append(opts, core.WithSamplerInto(wl.samplerInto))
+				sampler = nil
+			}
 			var before, after runtime.MemStats
 			runtime.GC()
 			runtime.ReadMemStats(&before)
 			start := time.Now()
-			r, err := core.EstimateUtility(wl.proto, wl.adv(), gamma, wl.sampler, *runs, *seed,
-				core.WithParallelism(par))
+			r, err := core.EstimateUtility(wl.proto, wl.adv(), gamma, sampler, *runs, *seed, opts...)
 			if err != nil {
-				return fmt.Errorf("%s parallelism %d: %w", wl.name, par, err)
+				return measurement{}, r, fmt.Errorf("%s %s parallelism %d: %w", wl.name, engine, par, err)
 			}
 			elapsed := time.Since(start)
 			runtime.ReadMemStats(&after)
-			if i == 0 {
-				baseline = r
-			} else if r.Utility != baseline.Utility {
-				return fmt.Errorf("%s: parallelism %d utility %v differs from sequential %v",
-					wl.name, par, r.Utility, baseline.Utility)
-			}
 			m := measurement{
+				Engine:       engine,
 				Parallelism:  par,
 				ElapsedMS:    float64(elapsed.Microseconds()) / 1e3,
 				NsPerRun:     float64(elapsed.Nanoseconds()) / float64(*runs),
@@ -219,16 +244,41 @@ func run(args []string) error {
 				BytesPerRun:  float64(after.TotalAlloc-before.TotalAlloc) / float64(*runs),
 				Utility:      r.Utility.String(),
 			}
+			fmt.Printf("%-12s %-16s %-11s parallelism=%-3d %10.1f ns/run %12.0f runs/s %8.1f allocs/run\n",
+				wl.name, wl.advName, engine, par, m.NsPerRun, m.RunsPerSec, m.AllocsPerRun)
+			return m, r, nil
+		}
+		// The interpreted reference at parallelism 1 both anchors the
+		// compiled speedup and cross-checks bit-identical utilities.
+		interp, baseline, err := measure("interpreted", 1)
+		if err != nil {
+			return err
+		}
+		wr.Measurements = append(wr.Measurements, interp)
+		var compiledSeq measurement
+		for i, par := range settings {
+			m, r, err := measure("compiled", par)
+			if err != nil {
+				return err
+			}
+			if r.Utility != baseline.Utility {
+				return fmt.Errorf("%s: compiled parallelism %d utility %v differs from interpreted %v",
+					wl.name, par, r.Utility, baseline.Utility)
+			}
+			if i == 0 {
+				compiledSeq = m
+			}
 			wr.Measurements = append(wr.Measurements, m)
-			fmt.Printf("%-12s %-16s parallelism=%-3d %10.1f ns/run %12.0f runs/s %8.1f allocs/run\n",
-				wl.name, wl.advName, par, m.NsPerRun, m.RunsPerSec, m.AllocsPerRun)
 		}
 		for _, par := range skipped {
 			fmt.Printf("%-12s %-16s parallelism=%-3d skipped (> %d CPUs)\n",
 				wl.name, wl.advName, par, cpus)
 		}
-		first, last := wr.Measurements[0], wr.Measurements[len(wr.Measurements)-1]
-		wr.SpeedupMax = first.NsPerRun / last.NsPerRun
+		last := wr.Measurements[len(wr.Measurements)-1]
+		wr.SpeedupMax = compiledSeq.NsPerRun / last.NsPerRun
+		wr.CompiledSpeedup = interp.NsPerRun / compiledSeq.NsPerRun
+		fmt.Printf("%-12s %-16s compiled speedup %.2fx vs interpreted\n",
+			wl.name, wl.advName, wr.CompiledSpeedup)
 		rep.Workloads = append(rep.Workloads, wr)
 	}
 

@@ -93,6 +93,7 @@ func parseSpec(args []string) (spec sweep.Spec, checkpoint string, quiet, verbos
 	slack := fs.Float64("slack", 0, "flat extra certification tolerance")
 	seed := fs.Int64("seed", 0, "sweep seed")
 	parallel := fs.Int("parallel", 0, "per-cell estimation workers (0 = one per CPU)")
+	noCompiled := fs.Bool("no-compiled-plans", false, "pin the estimator to the interpreter (debugging; records are identical)")
 	noAbort := fs.Bool("no-abort-sweep", false, "disable the abort-at-round attacker dimension")
 	cp := fs.String("checkpoint", "", "JSONL checkpoint path (resumes if the file exists)")
 	q := fs.Bool("quiet", false, "suppress per-record progress")
@@ -154,6 +155,9 @@ func parseSpec(args []string) (spec sweep.Spec, checkpoint string, quiet, verbos
 	}
 	if given["parallel"] {
 		spec.Parallelism = *parallel
+	}
+	if *noCompiled {
+		spec.NoCompiledPlans = true
 	}
 	if *noAbort {
 		spec.AbortSweep = false

@@ -60,6 +60,9 @@ type (
 	NamedAdversary = core.NamedAdversary
 	// InputSampler draws one input vector per run (the environment Z).
 	InputSampler = core.InputSampler
+	// InputSamplerInto is the allocation-free InputSampler variant used
+	// with WithSamplerInto on the compiled hot path.
+	InputSamplerInto = core.InputSamplerInto
 	// EstimatorOption configures EstimateUtility / SupUtility
 	// (parallelism, batch size, observers, metrics). Options tune
 	// scheduling and instrumentation only — the estimate is a pure
@@ -181,6 +184,14 @@ var (
 	// WithMetrics accumulates merged engine counters into a caller's
 	// sim.Metrics across estimations.
 	WithMetrics = core.WithMetrics
+	// WithCompiledPlans toggles compiled execution plans on the
+	// estimator hot path (on by default; results are bit-identical
+	// either way, with automatic interpreter fallback for pairs whose
+	// plan probe fails).
+	WithCompiledPlans = core.WithCompiledPlans
+	// WithSamplerInto installs an allocation-free input sampler that
+	// refills engine-owned buffers instead of allocating per run.
+	WithSamplerInto = core.WithSamplerInto
 	// EstimateUtilityParallel is EstimateUtility with a positional
 	// worker count.
 	//

@@ -161,8 +161,21 @@ func (l *LockAbort) coalitionLookahead(startRound int,
 		s.lanes[0] = make(map[sim.PartyID][]sim.Message, len(l.machines))
 		s.lanes[1] = make(map[sim.PartyID][]sim.Message, len(l.machines))
 	}
-	clear(s.clones)
+	// Refresh the clone pool: machines implementing sim.PartyCopier are
+	// overwritten in place (the estimation hot path — two lookaheads per
+	// round would otherwise clone the whole coalition each), the rest
+	// are cloned afresh. Stale entries for no-longer-held parties go.
+	for id := range s.clones {
+		if _, held := l.machines[id]; !held {
+			delete(s.clones, id)
+		}
+	}
 	for id, m := range l.machines {
+		if c := s.clones[id]; c != nil {
+			if cp, ok := c.(sim.PartyCopier); ok && cp.CopyFrom(m) {
+				continue
+			}
+		}
 		s.clones[id] = m.Clone()
 	}
 	inboxes := seed

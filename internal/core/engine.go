@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,8 @@ type options struct {
 	factory     ObserverFactory
 	supFactory  SupObserverFactory
 	metrics     *sim.Metrics
+	noCompiled  bool
+	samplerInto InputSamplerInto
 }
 
 // WithParallelism sets the worker count: 1 forces a single worker,
@@ -65,6 +68,26 @@ func WithMetrics(m *sim.Metrics) Option {
 	return func(o *options) { o.metrics = m }
 }
 
+// WithCompiledPlans toggles the compiled execution plans (sim.CompilePlan
+// / sim.PlanRunner) on the estimator hot path. Compiled plans are on by
+// default; pairs whose probe run fails fall back to the plain interpreter
+// automatically, and a compiled run is bit-identical to an interpreted
+// one (the frozen equivalence matrix in the package tests pins this), so
+// the only reason to pass false is isolating the interpreter when
+// debugging the engine itself.
+func WithCompiledPlans(enabled bool) Option {
+	return func(o *options) { o.noCompiled = !enabled }
+}
+
+// WithSamplerInto replaces the estimation's positional InputSampler with
+// an allocation-free variant that fills an engine-owned buffer (see
+// InputSamplerInto). It takes precedence over the positional sampler,
+// which may then be nil. The estimate is unchanged as long as the two
+// samplers draw identically from the master stream.
+func WithSamplerInto(sampler InputSamplerInto) Option {
+	return func(o *options) { o.samplerInto = sampler }
+}
+
 const defaultBatchSize = 64
 
 func resolveOptions(opts []Option) options {
@@ -92,15 +115,18 @@ type preparedRun struct {
 // many workers lease batches or in what order they arrive — without
 // materializing an O(runs) job slice up front.
 type batcher struct {
-	mu      sync.Mutex
-	seeder  *rand.Rand
-	sampler InputSampler
-	next    int
-	runs    int
+	mu          sync.Mutex
+	seeder      *rand.Rand
+	sampler     InputSampler
+	samplerInto InputSamplerInto
+	next        int
+	runs        int
 }
 
 // fill leases the next batch into buf (up to cap(buf) jobs), returning
 // the base run index and the filled prefix; empty means work exhausted.
+// An in-place sampler refills each slot's input slice, so a worker's
+// batch buffer stops allocating once its slots have grown.
 func (b *batcher) fill(buf []preparedRun) (int, []preparedRun) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -111,7 +137,11 @@ func (b *batcher) fill(buf []preparedRun) (int, []preparedRun) {
 	}
 	buf = buf[:k]
 	for i := range buf {
-		buf[i].inputs = b.sampler(b.seeder)
+		if b.samplerInto != nil {
+			buf[i].inputs = b.samplerInto(b.seeder, buf[i].inputs[:0])
+		} else {
+			buf[i].inputs = b.sampler(b.seeder)
+		}
 		buf[i].seed = b.seeder.Int63()
 	}
 	b.next += k
@@ -128,8 +158,16 @@ type runTally struct {
 	corrupted  int64
 }
 
-func (t *runTally) add(oc Outcome) {
-	t.events[int(oc.Event)-1]++
+// add folds one classified outcome into the tally. An outcome carrying
+// an event outside the canonical four (in particular the zero Event of a
+// mis-built Outcome) is rejected as an error rather than indexing out of
+// bounds; the estimator reports it through the per-run error path.
+func (t *runTally) add(oc Outcome) error {
+	idx := int(oc.Event) - 1
+	if idx < 0 || idx >= len(t.events) {
+		return fmt.Errorf("outcome has invalid event %d", int(oc.Event))
+	}
+	t.events[idx]++
 	if oc.CorrectnessViolation {
 		t.violations++
 	}
@@ -137,6 +175,7 @@ func (t *runTally) add(oc Outcome) {
 		t.breaches++
 	}
 	t.corrupted += int64(oc.Corrupted)
+	return nil
 }
 
 func (t *runTally) merge(o runTally) {
@@ -179,6 +218,13 @@ func (t *runTally) report(gamma Payoff, runs int) (UtilityReport, error) {
 type runError struct {
 	run int
 	err error
+}
+
+// simRunner is the per-worker execution surface: sim.Arena (the
+// interpreter) and sim.PlanRunner (compiled-plan replay) both satisfy
+// it with identical run semantics.
+type simRunner interface {
+	Run(inputs []sim.Value, adv sim.Adversary, seed int64, obs ...sim.Observer) (*sim.Trace, error)
 }
 
 // EstimateUtility measures the attacker utility of strategy adv against
@@ -229,7 +275,18 @@ func EstimateUtility(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
 		batch = runs
 	}
 
-	b := &batcher{seeder: rng.New(seed), sampler: sampler, runs: runs}
+	// Compile the pair's execution plan unless disabled. A pair whose
+	// probe run fails is not compilable — those estimations silently run
+	// on the plain interpreter, with identical results (plans change
+	// stream construction and buffer sizing, never semantics).
+	var plan *sim.Plan
+	if !o.noCompiled {
+		if p, perr := sim.CompilePlan(proto, adv); perr == nil {
+			plan = p
+		}
+	}
+
+	b := &batcher{seeder: rng.New(seed), sampler: sampler, samplerInto: o.samplerInto, runs: runs}
 	tallies := make([]runTally, workers)
 	workerMetrics := make([]sim.Metrics, workers)
 	errLists := make([][]runError, workers)
@@ -238,7 +295,12 @@ func EstimateUtility(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
 		wg.Add(1)
 		go func(w int, worker sim.Adversary) {
 			defer wg.Done()
-			arena := sim.NewArena(proto)
+			var arena simRunner
+			if plan != nil {
+				arena = sim.NewPlanRunner(plan)
+			} else {
+				arena = sim.NewArena(proto)
+			}
 			buf := make([]preparedRun, 0, batch)
 			obs := make([]sim.Observer, 0, 2)
 			for {
@@ -255,11 +317,12 @@ func EstimateUtility(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
 						}
 					}
 					tr, err := arena.Run(jobs[j].inputs, worker, jobs[j].seed, obs...)
+					if err == nil {
+						err = tallies[w].add(Classify(tr))
+					}
 					if err != nil {
 						errLists[w] = append(errLists[w], runError{run: i, err: err})
-						continue
 					}
-					tallies[w].add(Classify(tr))
 				}
 			}
 		}(w, clones[w])
@@ -338,13 +401,19 @@ func SupUtility(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
 	reports := make([]UtilityReport, len(advs))
 	errs := make([]error, len(advs))
 	estimate := func(i int, adv sim.Adversary, par int) {
-		eopts := make([]Option, 0, 3)
+		eopts := make([]Option, 0, 5)
 		eopts = append(eopts, WithParallelism(par))
 		if o.batchSize > 0 {
 			eopts = append(eopts, WithBatchSize(o.batchSize))
 		}
 		if f := perStrategy(advs[i].Name); f != nil {
 			eopts = append(eopts, WithObserver(f))
+		}
+		if o.noCompiled {
+			eopts = append(eopts, WithCompiledPlans(false))
+		}
+		if o.samplerInto != nil {
+			eopts = append(eopts, WithSamplerInto(o.samplerInto))
 		}
 		reports[i], errs[i] = EstimateUtility(proto, adv, gamma, sampler,
 			runs, seed+int64(i)*7919, eopts...)
@@ -381,17 +450,28 @@ func SupUtility(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
 		}
 	}
 	rep := SupReport{All: make(map[string]UtilityReport, len(advs))}
-	bestU := -1e18
+	// Best-strategy selection: the first strategy with a comparable
+	// (non-NaN) mean seeds the maximum, so arbitrarily negative utilities
+	// still win over nothing, NaN means never become Best, and ties keep
+	// breaking in slice order. If no strategy yields a comparable mean the
+	// sup is undefined — report that instead of an empty Best.
+	bestIdx := -1
 	for i, na := range advs {
 		r := reports[i]
 		rep.All[na.Name] = r
 		rep.Metrics.Add(r.Metrics)
-		if r.Utility.Mean > bestU {
-			bestU = r.Utility.Mean
-			rep.Best = na.Name
-			rep.BestReport = r
+		if math.IsNaN(r.Utility.Mean) {
+			continue
+		}
+		if bestIdx < 0 || r.Utility.Mean > reports[bestIdx].Utility.Mean {
+			bestIdx = i
 		}
 	}
+	if bestIdx < 0 {
+		return SupReport{}, errors.New("core: no strategy produced a comparable utility (all estimated means are NaN)")
+	}
+	rep.Best = advs[bestIdx].Name
+	rep.BestReport = reports[bestIdx]
 	if o.metrics != nil {
 		o.metrics.Add(rep.Metrics)
 	}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunTallyRejectsInvalidEvent is the regression for the tally
+// indexing bug: an outcome carrying an event outside E00..E11 — in
+// particular the zero Event of a mis-built Outcome — used to index
+// events[-1] and panic inside an estimation worker. It must instead be
+// reported as a per-run error (white-box: Classify can never emit such
+// an outcome, so the guard is only reachable from here).
+func TestRunTallyRejectsInvalidEvent(t *testing.T) {
+	var tl runTally
+	if err := tl.add(Outcome{}); err == nil {
+		t.Fatal("zero-event outcome tallied without error")
+	} else if !strings.Contains(err.Error(), "invalid event") {
+		t.Fatalf("error %q does not name the invalid event", err)
+	}
+	if err := tl.add(Outcome{Event: Event(99)}); err == nil {
+		t.Fatal("out-of-range event tallied without error")
+	}
+	for _, e := range Events() {
+		if err := tl.add(Outcome{Event: e}); err != nil {
+			t.Fatalf("valid event %v rejected: %v", e, err)
+		}
+	}
+	if tl.events != [4]int64{1, 1, 1, 1} {
+		t.Fatalf("events = %v after one tally each", tl.events)
+	}
+}

@@ -21,6 +21,19 @@ func FixedInputs(vals ...sim.Value) InputSampler {
 	return func(*rand.Rand) []sim.Value { return append([]sim.Value(nil), vals...) }
 }
 
+// InputSamplerInto is the allocation-free variant of InputSampler for
+// the compiled estimator hot path: it appends one run's input vector to
+// dst (length 0, engine-owned capacity) and returns the filled slice.
+// Installed with WithSamplerInto, it replaces the positional sampler;
+// the estimate is unchanged exactly when it draws from r identically to
+// the sampler it replaces.
+type InputSamplerInto func(r *rand.Rand, dst []sim.Value) []sim.Value
+
+// FixedInputsInto is the InputSamplerInto form of FixedInputs.
+func FixedInputsInto(vals ...sim.Value) InputSamplerInto {
+	return func(_ *rand.Rand, dst []sim.Value) []sim.Value { return append(dst, vals...) }
+}
+
 // ErrNoRuns is returned when a utility estimate is requested with runs<=0.
 var ErrNoRuns = errors.New("core: need at least one run")
 

@@ -18,8 +18,8 @@ import (
 // the measured frequency over runs trials; the row passes when the
 // Wilson lower end stays consistent with freq ≤ bound + tol.
 func wilsonRow(label string, bound, freq float64, runs int, tol float64) (Row, error) {
-	successes := int(math.Round(freq * float64(runs)))
-	lo, hi, err := stats.WilsonInterval(successes, runs)
+	successes := int64(math.Round(freq * float64(runs)))
+	lo, hi, err := stats.WilsonInterval(successes, int64(runs))
 	if err != nil {
 		return Row{}, err
 	}
@@ -154,8 +154,8 @@ func E12PartialFairnessSeparation(cfg Config) (Result, error) {
 		eqRow("Π̃ input-extraction probability", 0.25, leak.PrivacyBreaches, 0.03, cfg.Tolerance))
 	// Wilson cross-check of the same small frequency: the 95% score
 	// interval around the measured breach rate must contain 1/4.
-	breaches := int(math.Round(leak.PrivacyBreaches * float64(leak.Runs)))
-	lo, hi, err := stats.WilsonInterval(breaches, leak.Runs)
+	breaches := int64(math.Round(leak.PrivacyBreaches * float64(leak.Runs)))
+	lo, hi, err := stats.WilsonInterval(breaches, int64(leak.Runs))
 	if err != nil {
 		return Result{}, err
 	}

@@ -10,6 +10,10 @@ import (
 // and output type with encoding/gob, for running the protocol over the
 // transport package's TCP sessions. Safe to call multiple times.
 func RegisterGobTypes() {
+	// Pointer payloads (*setupOut, *share.OpenMsg — the hot path's
+	// scratch-backed forms) need no extra registration: gob flattens
+	// indirections, transmitting and decoding them as the value types
+	// below, which the receiving machines accept either way.
 	gob.Register(setupOut{})
 	gob.Register(share.OpenMsg{})
 	gob.Register(uint64(0))

@@ -64,7 +64,7 @@ func (p OneRound) NewParty(id sim.PartyID, input sim.Value, out sim.Value, abort
 	x, _ := input.(uint64)
 	m := &oneRoundMachine{id: id, input: x, fn: p.Fn, setupAborted: aborted}
 	if !aborted {
-		so, ok := out.(setupOut)
+		so, ok := asSetupOut(out)
 		if !ok {
 			return nil, fmt.Errorf("twoparty: party %d: bad setup output %T", id, out)
 		}
@@ -81,32 +81,69 @@ type oneRoundMachine struct {
 	share        share.AuthShare
 	result       uint64
 	done         bool
+	outBox       sim.Value
+
+	// Message scratch, as in machine: one opening per run.
+	open share.OpenMsg
+	msgs [1]sim.Message
+}
+
+// Reinit implements sim.ReusableParty.
+func (m *oneRoundMachine) Reinit(id sim.PartyID, input sim.Value, out sim.Value, aborted bool, _ *rand.Rand) bool {
+	x, _ := input.(uint64)
+	m.id, m.input, m.setupAborted = id, x, aborted
+	m.share = share.AuthShare{}
+	m.result, m.done, m.outBox = 0, false, nil
+	if !aborted {
+		so, ok := asSetupOut(out)
+		if !ok {
+			return false
+		}
+		m.share = so.Share
+	}
+	return true
+}
+
+// CopyFrom implements sim.PartyCopier.
+func (m *oneRoundMachine) CopyFrom(src sim.Party) bool {
+	s, ok := src.(*oneRoundMachine)
+	if !ok {
+		return false
+	}
+	*m = *s
+	return true
+}
+
+func (m *oneRoundMachine) setResult(y uint64) {
+	m.result, m.done = y, true
+	m.outBox = y
 }
 
 func (m *oneRoundMachine) Round(round int, inbox []sim.Message) ([]sim.Message, error) {
 	if m.setupAborted {
 		if round == 1 && !m.done {
 			if m.id == 1 {
-				m.result = m.fn.Eval(m.input, m.fn.Default2)
+				m.setResult(m.fn.Eval(m.input, m.fn.Default2))
 			} else {
-				m.result = m.fn.Eval(m.fn.Default1, m.input)
+				m.setResult(m.fn.Eval(m.fn.Default1, m.input))
 			}
-			m.done = true
 		}
 		return nil, nil
 	}
 	other := sim.PartyID(3 - int(m.id))
 	switch round {
 	case 1:
-		return []sim.Message{{From: m.id, To: other, Payload: m.share.Open()}}, nil
+		m.open = m.share.Open()
+		m.msgs[0] = sim.Message{From: m.id, To: other, Payload: &m.open}
+		return m.msgs[:], nil
 	case 2:
 		for _, msg := range inbox {
-			open, ok := msg.Payload.(share.OpenMsg)
+			open, ok := asOpenMsg(msg.Payload)
 			if !ok || msg.From != other {
 				continue
 			}
 			if y, err := share.AuthReconstruct(m.share, open); err == nil {
-				m.result, m.done = y.Uint64(), true
+				m.setResult(y.Uint64())
 			}
 		}
 	}
@@ -117,7 +154,7 @@ func (m *oneRoundMachine) Output() (sim.Value, bool) {
 	if !m.done {
 		return nil, false
 	}
-	return m.result, true
+	return m.outBox, true
 }
 
 func (m *oneRoundMachine) Clone() sim.Party { cp := *m; return &cp }

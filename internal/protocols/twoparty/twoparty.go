@@ -147,20 +147,22 @@ func (p Protocol) DefaultInput(id sim.PartyID) sim.Value {
 // ErrOutputRange is returned when f's output does not fit in the field.
 var ErrOutputRange = errors.New("twoparty: function output exceeds field modulus")
 
-// Setup implements sim.Protocol: the f′ hybrid of phase 1.
-func (p Protocol) Setup(inputs []sim.Value, rng *rand.Rand) ([]sim.Value, error) {
+// setupCore is the shared body of Setup and the scratch evaluator: deal
+// the authenticated sharing of y = f(effective inputs) and draw the
+// reconstruction order.
+func (p Protocol) setupCore(inputs []sim.Value, rng *rand.Rand) (s1, s2 share.AuthShare, first sim.PartyID, err error) {
 	y, ok := p.Func(inputs).(uint64)
 	if !ok {
-		return nil, errors.New("twoparty: non-integer function output")
+		return s1, s2, 0, errors.New("twoparty: non-integer function output")
 	}
 	if y >= field.Modulus {
-		return nil, ErrOutputRange
+		return s1, s2, 0, ErrOutputRange
 	}
-	s1, s2, err := share.AuthDeal(rng, field.Element(y))
+	s1, s2, err = share.AuthDeal(rng, field.Element(y))
 	if err != nil {
-		return nil, fmt.Errorf("twoparty: setup: %w", err)
+		return s1, s2, 0, fmt.Errorf("twoparty: setup: %w", err)
 	}
-	first := sim.PartyID(1 + rng.Intn(2))
+	first = sim.PartyID(1 + rng.Intn(2))
 	if p.FirstBias > 0 && p.FirstBias < 1 {
 		first = 2
 		if rng.Float64() < p.FirstBias {
@@ -170,10 +172,49 @@ func (p Protocol) Setup(inputs []sim.Value, rng *rand.Rand) ([]sim.Value, error)
 	if p.FixedFirst == 1 || p.FixedFirst == 2 {
 		first = sim.PartyID(p.FixedFirst)
 	}
+	return s1, s2, first, nil
+}
+
+// Setup implements sim.Protocol: the f′ hybrid of phase 1.
+func (p Protocol) Setup(inputs []sim.Value, rng *rand.Rand) ([]sim.Value, error) {
+	s1, s2, first, err := p.setupCore(inputs, rng)
+	if err != nil {
+		return nil, err
+	}
 	return []sim.Value{
 		setupOut{Share: s1, First: first},
 		setupOut{Share: s2, First: first},
 	}, nil
+}
+
+// NewSetupScratch implements sim.ScratchSetupProtocol: a setup evaluator
+// whose output slice and setupOut cells are reused across runs, so the
+// estimation hot path allocates nothing per setup. The cells are boxed
+// as pointers once at construction.
+func (p Protocol) NewSetupScratch() func([]sim.Value, *rand.Rand) ([]sim.Value, error) {
+	var cells [2]setupOut
+	outs := []sim.Value{&cells[0], &cells[1]}
+	return func(inputs []sim.Value, rng *rand.Rand) ([]sim.Value, error) {
+		s1, s2, first, err := p.setupCore(inputs, rng)
+		if err != nil {
+			return nil, err
+		}
+		cells[0] = setupOut{Share: s1, First: first}
+		cells[1] = setupOut{Share: s2, First: first}
+		return outs, nil
+	}
+}
+
+// asSetupOut unwraps a setup output delivered either by value (plain
+// Setup) or as a pointer into scratch (NewSetupScratch).
+func asSetupOut(v sim.Value) (setupOut, bool) {
+	switch s := v.(type) {
+	case setupOut:
+		return s, true
+	case *setupOut:
+		return *s, true
+	}
+	return setupOut{}, false
 }
 
 // NewParty implements sim.Protocol.
@@ -181,7 +222,7 @@ func (p Protocol) NewParty(id sim.PartyID, input sim.Value, out sim.Value, abort
 	x, _ := input.(uint64)
 	m := &machine{id: id, input: x, fn: p.Fn, setupAborted: aborted}
 	if !aborted {
-		so, ok := out.(setupOut)
+		so, ok := asSetupOut(out)
 		if !ok {
 			return nil, fmt.Errorf("twoparty: party %d: bad setup output %T", id, out)
 		}
@@ -202,6 +243,56 @@ type machine struct {
 
 	result uint64
 	done   bool
+	// outBox caches the boxed result so Output never allocates.
+	outBox sim.Value
+
+	// Message scratch: a machine opens its share at most once per run,
+	// so one message cell and one payload cell suffice. The returned
+	// slice and the payload pointer are machine-owned, per the Party
+	// contract (valid until the next Round call).
+	open share.OpenMsg
+	msgs [1]sim.Message
+}
+
+// Reinit implements sim.ReusableParty: reset the machine in place for a
+// new run, exactly as a fresh NewParty would configure it.
+func (m *machine) Reinit(id sim.PartyID, input sim.Value, out sim.Value, aborted bool, _ *rand.Rand) bool {
+	x, _ := input.(uint64)
+	m.id, m.input, m.setupAborted = id, x, aborted
+	m.share, m.first = share.AuthShare{}, 0
+	m.result, m.done, m.outBox = 0, false, nil
+	if !aborted {
+		so, ok := asSetupOut(out)
+		if !ok {
+			return false // fall back to NewParty, which reports the defect
+		}
+		m.share, m.first = so.Share, so.First
+	}
+	return true
+}
+
+// CopyFrom implements sim.PartyCopier, so lookahead adversaries can
+// reuse clone machines.
+func (m *machine) CopyFrom(src sim.Party) bool {
+	s, ok := src.(*machine)
+	if !ok {
+		return false
+	}
+	*m = *s
+	return true
+}
+
+// setResult records the machine's final output, boxing it once.
+func (m *machine) setResult(y uint64) {
+	m.result, m.done = y, true
+	m.outBox = y
+}
+
+// openMsg prepares the single opening message toward the counterparty.
+func (m *machine) openMsg() []sim.Message {
+	m.open = m.share.Open()
+	m.msgs[0] = sim.Message{From: m.id, To: m.other(), Payload: &m.open}
+	return m.msgs[:]
 }
 
 func (m *machine) other() sim.PartyID { return sim.PartyID(3 - int(m.id)) }
@@ -209,11 +300,10 @@ func (m *machine) other() sim.PartyID { return sim.PartyID(3 - int(m.id)) }
 // localFallback evaluates f on the default input for the counterparty.
 func (m *machine) localFallback() {
 	if m.id == 1 {
-		m.result = m.fn.Eval(m.input, m.fn.Default2)
+		m.setResult(m.fn.Eval(m.input, m.fn.Default2))
 	} else {
-		m.result = m.fn.Eval(m.fn.Default1, m.input)
+		m.setResult(m.fn.Eval(m.fn.Default1, m.input))
 	}
-	m.done = true
 }
 
 func (m *machine) Round(round int, inbox []sim.Message) ([]sim.Message, error) {
@@ -228,7 +318,7 @@ func (m *machine) Round(round int, inbox []sim.Message) ([]sim.Message, error) {
 	case 1:
 		// p_¬i opens its share toward p_i.
 		if m.id != m.first {
-			return []sim.Message{{From: m.id, To: m.other(), Payload: m.share.Open()}}, nil
+			return m.openMsg(), nil
 		}
 	case 2:
 		// p_i reconstructs; on success it opens toward p_¬i, on failure
@@ -240,24 +330,37 @@ func (m *machine) Round(round int, inbox []sim.Message) ([]sim.Message, error) {
 				m.localFallback()
 				return nil, nil
 			}
-			m.result, m.done = y, true
-			return []sim.Message{{From: m.id, To: m.other(), Payload: m.share.Open()}}, nil
+			m.setResult(y)
+			return m.openMsg(), nil
 		}
 	case 3:
 		// p_¬i reconstructs; on failure it outputs ⊥ (the output is
 		// already out — only an ideal-world abort is simulatable).
 		if m.id != m.first {
 			if y, ok := m.reconstruct(inbox); ok {
-				m.result, m.done = y, true
+				m.setResult(y)
 			}
 		}
 	}
 	return nil, nil
 }
 
+// asOpenMsg unwraps an opening payload, delivered as a pointer into the
+// sender's scratch (the hot path) or by value (hand-built messages, gob
+// decodes of old recordings).
+func asOpenMsg(payload any) (share.OpenMsg, bool) {
+	switch o := payload.(type) {
+	case *share.OpenMsg:
+		return *o, true
+	case share.OpenMsg:
+		return o, true
+	}
+	return share.OpenMsg{}, false
+}
+
 func (m *machine) reconstruct(inbox []sim.Message) (uint64, bool) {
 	for _, msg := range inbox {
-		open, ok := msg.Payload.(share.OpenMsg)
+		open, ok := asOpenMsg(msg.Payload)
 		if !ok || msg.From != m.other() {
 			continue
 		}
@@ -274,7 +377,7 @@ func (m *machine) Output() (sim.Value, bool) {
 	if !m.done {
 		return nil, false
 	}
-	return m.result, true
+	return m.outBox, true
 }
 
 func (m *machine) Clone() sim.Party { cp := *m; return &cp }

@@ -37,11 +37,17 @@ type PartyBackend interface {
 // localBackend is the in-memory backend: machines live in-process and
 // are stepped by direct method calls. Party RNGs are retained and
 // reseeded across runs (machines draw all randomness at construction,
-// so a previous run's machine never touches a reseeded stream).
+// so a previous run's machine never touches a reseeded stream). A
+// backend built by a PlanRunner additionally draws the party streams
+// through slab sources (see internal/rng.SlabSource) and reuses machine
+// objects of protocols implementing ReusableParty.
 type localBackend struct {
 	proto    Protocol
 	machines []Party
 	rngs     []*rand.Rand
+	// sources, when non-nil, are the slab sources behind rngs, one per
+	// party; the plan runner tunes their pre-drawn prefixes per run.
+	sources []*rng.SlabSource
 }
 
 func newLocalBackend(proto Protocol) *localBackend {
@@ -49,13 +55,34 @@ func newLocalBackend(proto Protocol) *localBackend {
 	return &localBackend{proto: proto, machines: make([]Party, n), rngs: make([]*rand.Rand, n)}
 }
 
+// newSlabBackend is newLocalBackend with every party RNG drawing through
+// a slab source, for plan-driven executions.
+func newSlabBackend(proto Protocol) *localBackend {
+	b := newLocalBackend(proto)
+	b.sources = make([]*rng.SlabSource, len(b.rngs))
+	for i := range b.sources {
+		b.sources[i] = rng.NewSlabSource()
+	}
+	return b
+}
+
 func (b *localBackend) StartParty(id PartyID, input Value, setupOut Value, setupAborted bool, seed int64) error {
 	r := b.rngs[id-1]
 	if r == nil {
-		r = rng.New(seed)
+		if b.sources != nil {
+			r = rand.New(b.sources[id-1])
+			r.Seed(seed)
+		} else {
+			r = rng.New(seed)
+		}
 		b.rngs[id-1] = r
 	} else {
 		r.Seed(seed)
+	}
+	if prev := b.machines[id-1]; prev != nil {
+		if ru, ok := prev.(ReusableParty); ok && ru.Reinit(id, input, setupOut, setupAborted, r) {
+			return nil
+		}
 	}
 	m, err := b.proto.NewParty(id, input, setupOut, setupAborted, r)
 	if err != nil {
@@ -129,6 +156,14 @@ type Execution struct {
 	adv     Adversary
 	backend PartyBackend
 	obs     []Observer
+	// streams, when non-nil, routes the master/protocol/adversary RNG
+	// streams through slab sources instead of fully seeded ones; the
+	// plan runner sets the per-stream pre-draw sizes before each run.
+	// The emitted streams are bit-identical either way.
+	streams *execStreams
+	// setupFn replaces proto.Setup when the protocol implements
+	// ScratchSetupProtocol (one scratch evaluator per Execution).
+	setupFn func(inputs []Value, rng *rand.Rand) ([]Value, error)
 
 	n          int
 	inputs     []Value // environment-chosen inputs
@@ -168,12 +203,16 @@ func newExecutionShell(proto Protocol, backend PartyBackend) *Execution {
 	if backend == nil {
 		backend = newLocalBackend(proto)
 	}
-	return &Execution{
+	e := &Execution{
 		proto:       proto,
 		backend:     backend,
 		n:           proto.NumParties(),
 		totalRounds: proto.NumRounds() + 1, // +1 finalize call
 	}
+	if sp, ok := proto.(ScratchSetupProtocol); ok {
+		e.setupFn = sp.NewSetupScratch()
+	}
+	return e
 }
 
 // reset (re)initializes the execution for one run, reusing every buffer,
@@ -188,9 +227,22 @@ func (e *Execution) reset(inputs []Value, adv Adversary, seed int64, obs []Obser
 	e.adv = adv
 	e.obs = obs
 	if e.master == nil {
-		e.master = rng.New(seed)
-		e.protoRNG = rng.New(e.master.Int63())
-		e.advRNG = rng.New(e.master.Int63())
+		if st := e.streams; st != nil {
+			// The master stream draws exactly 2+n values per run (the
+			// protocol seed, the adversary seed, then one per party), so
+			// its slab want is fixed once.
+			st.master.SetWant(e.n + 2)
+			e.master = rand.New(st.master)
+			e.master.Seed(seed)
+			e.protoRNG = rand.New(st.proto)
+			e.protoRNG.Seed(e.master.Int63())
+			e.advRNG = rand.New(st.adv)
+			e.advRNG.Seed(e.master.Int63())
+		} else {
+			e.master = rng.New(seed)
+			e.protoRNG = rng.New(e.master.Int63())
+			e.advRNG = rng.New(e.master.Int63())
+		}
 		e.partySeeds = make([]int64, e.n)
 	} else {
 		e.master.Seed(seed)
@@ -387,7 +439,11 @@ func (e *Execution) SetupPhase() error {
 	e.effective = effective
 
 	// Hybrid setup.
-	setupOuts, err := e.proto.Setup(effective, e.protoRNG)
+	setup := e.proto.Setup
+	if e.setupFn != nil {
+		setup = e.setupFn
+	}
+	setupOuts, err := setup(effective, e.protoRNG)
 	if err != nil {
 		return fmt.Errorf("sim: setup: %w", err)
 	}

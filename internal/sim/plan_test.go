@@ -1,0 +1,223 @@
+package sim_test
+
+// Compiled-plan parity: a PlanRunner replaying a compiled plan must
+// produce traces reflect.DeepEqual-identical to a plain Arena — and
+// hence to one-shot sim.Run (arena_test.go) and the frozen legacy
+// engine (parity_test.go) — for every protocol × adversary pair, at
+// every seed, including the observer event stream. Plans change stream
+// construction and buffer sizing, never semantics; these tests pin that.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/protocols/twoparty"
+	"repro/internal/sim"
+)
+
+func TestPlanRunnerMatchesArena(t *testing.T) {
+	for _, tc := range parityCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			proto, inputs, err := tc.proto()
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := sim.CompilePlan(proto, tc.newAdv())
+			if err != nil {
+				// Not compilable: the estimator falls back to the plain
+				// interpreter for such pairs, so there is nothing to pin.
+				t.Skipf("pair not compilable: %v", err)
+			}
+			runner := sim.NewPlanRunner(plan)
+			arena := sim.NewArena(proto)
+			// One adversary instance per engine across every run — exactly
+			// how the estimator drives them (Reset per run).
+			planAdv := tc.newAdv()
+			arenaAdv := tc.newAdv()
+			for seed := int64(-3); seed < 12; seed++ {
+				var gotM, wantM sim.Metrics
+				got, gotErr := runner.Run(inputs, planAdv, seed, &gotM)
+				want, wantErr := arena.Run(inputs, arenaAdv, seed, &wantM)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("seed %d: arena err %v, plan err %v", seed, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("seed %d: traces diverge\narena: %+v\nplan:  %+v", seed, want, got)
+				}
+				if wantM != gotM {
+					t.Fatalf("seed %d: metrics diverge\narena: %+v\nplan:  %+v", seed, wantM, gotM)
+				}
+			}
+		})
+	}
+}
+
+// TestCompilePlanRecordsStructure pins the recorded schedule for the
+// canonical pair: ΠOpt-2SFE under lock-abort corrupts exactly party 1
+// statically, never aborts the setup, and consumes randomness on the
+// master-derived streams.
+func TestCompilePlanRecordsStructure(t *testing.T) {
+	proto := twoparty.New(twoparty.Swap())
+	plan, err := sim.CompilePlan(proto, adversary.NewLockAbort(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Corrupted(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("corrupted = %v, want [1]", got)
+	}
+	if plan.SetupAborted() {
+		t.Fatal("setup abort recorded for a non-aborting adversary")
+	}
+	protoDraws, advDraws, partyDraws := plan.StreamDraws()
+	if protoDraws == 0 {
+		t.Fatal("no protocol-stream draws recorded (setup deals a sharing)")
+	}
+	if advDraws != 0 {
+		t.Fatalf("adv draws = %d, want 0 (lock-abort is deterministic)", advDraws)
+	}
+	if len(partyDraws) != 2 {
+		t.Fatalf("party draw counts = %v, want one per party", partyDraws)
+	}
+}
+
+// TestCompilePlanProbeFailure pins the fallback trigger: a pair whose
+// probe run errors is not compilable, and CompilePlan says so instead of
+// returning a broken plan.
+func TestCompilePlanProbeFailure(t *testing.T) {
+	bad := twoparty.New(twoparty.Function{
+		Name: "out-of-range",
+		Eval: func(x1, x2 uint64) uint64 { return ^uint64(0) },
+	})
+	if _, err := sim.CompilePlan(bad, adversary.NewLockAbort(1)); err == nil {
+		t.Fatal("CompilePlan succeeded for a protocol whose setup always fails")
+	}
+}
+
+// hungryAdv draws a seed-dependent amount of adversary-stream randomness
+// per run, so early runs overdraw the plan's recorded slab sizes and
+// exercise the mid-run fallback plus the runner's adaptive refinement.
+type hungryAdv struct {
+	sim.Passive
+	draws func(seed int64) int
+	n     int64
+}
+
+func (h *hungryAdv) Reset(ctx *sim.AdvContext) {
+	h.n++
+	for i := h.draws(h.n); i > 0; i-- {
+		ctx.RNG.Int63()
+	}
+}
+
+func (h *hungryAdv) CloneAdversary() sim.Adversary { return &hungryAdv{draws: h.draws} }
+
+func TestPlanRunnerAdaptiveOverdraw(t *testing.T) {
+	proto := twoparty.New(twoparty.Swap())
+	inputs := []sim.Value{uint64(111), uint64(222)}
+	draws := func(run int64) int { return int(run%7) * 97 }
+	plan, err := sim.CompilePlan(proto, &hungryAdv{draws: draws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := sim.NewPlanRunner(plan)
+	arena := sim.NewArena(proto)
+	planAdv := &hungryAdv{draws: draws}
+	arenaAdv := &hungryAdv{draws: draws}
+	for seed := int64(0); seed < 30; seed++ {
+		got, err := runner.Run(inputs, planAdv, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := arena.Run(inputs, arenaAdv, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d: traces diverge under overdraw", seed)
+		}
+	}
+}
+
+// TestPlanRunnerAllocs pins the tentpole's allocation property at the
+// engine level: a steady-state planned ΠOpt-2SFE run with small inputs
+// performs no engine allocation.
+func TestPlanRunnerAllocs(t *testing.T) {
+	proto := twoparty.New(twoparty.Millionaires())
+	plan, err := sim.CompilePlan(proto, adversary.NewLockAbort(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := sim.NewPlanRunner(plan)
+	adv := adversary.NewLockAbort(1)
+	inputs := []sim.Value{uint64(111), uint64(222)}
+	// Warm up past first-run growth (adaptive wants, lane reuse).
+	for seed := int64(0); seed < 8; seed++ {
+		if _, err := runner.Run(inputs, adv, seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed := int64(100)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := runner.Run(inputs, adv, seed); err != nil {
+			t.Fatal(err)
+		}
+		seed++
+	})
+	if allocs > 2 {
+		t.Fatalf("planned run allocates %.1f/run, budget 2", allocs)
+	}
+	t.Logf("planned run: %.1f allocs/run", allocs)
+}
+
+// TestPlanRunnerErrorsMatchArena pins that a planned run fails exactly
+// as an interpreted run fails — same error, no partial state leaking
+// into the next run.
+func TestPlanRunnerErrorsMatchArena(t *testing.T) {
+	// Output range depends on the inputs: the probe run (default inputs,
+	// in range) compiles fine, and only the poisoned input errors.
+	proto := twoparty.New(twoparty.Function{
+		Name: "sometimes-out-of-range",
+		Eval: func(x1, x2 uint64) uint64 {
+			if x1 == 13 {
+				return ^uint64(0)
+			}
+			return x1 + x2
+		},
+	})
+	plan, err := sim.CompilePlan(proto, adversary.NewLockAbort(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := sim.NewPlanRunner(plan)
+	arena := sim.NewArena(proto)
+	adv := adversary.NewLockAbort(1)
+	bad := []sim.Value{uint64(13), uint64(2)}
+	good := []sim.Value{uint64(5), uint64(9)}
+	wantErr := func(e error) string {
+		if e == nil {
+			return "<nil>"
+		}
+		return e.Error()
+	}
+	_, planErr := runner.Run(bad, adv, 3)
+	_, arenaErr := arena.Run(bad, adv, 3)
+	if planErr == nil || wantErr(planErr) != wantErr(arenaErr) {
+		t.Fatalf("error mismatch: plan %v, arena %v", planErr, arenaErr)
+	}
+	// The failed run must not poison the next one.
+	got, err := runner.Run(good, adv, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := arena.Run(good, adv, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("post-error traces diverge")
+	}
+}

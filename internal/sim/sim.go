@@ -62,7 +62,10 @@ type Message struct {
 type Party interface {
 	// Round consumes the messages delivered this round and returns the
 	// messages to send. Errors are protocol-implementation defects, not
-	// adversarial events.
+	// adversarial events. The returned slice may be machine-owned
+	// scratch, valid only until the machine's next Round call: the
+	// engine (and well-behaved adversaries) copy the messages out
+	// immediately.
 	Round(round int, inbox []Message) ([]Message, error)
 	// Output returns the machine's final output; ok=false means ⊥.
 	Output() (Value, bool)
@@ -175,6 +178,42 @@ func CloneAdversary(adv Adversary) (Adversary, bool) {
 		return nil, false
 	}
 	return clone, true
+}
+
+// ReusableParty is an optional Party capability for the estimation hot
+// path: Reinit re-initializes the machine in place for a new run of the
+// same protocol, sparing the allocation of a fresh machine. A
+// successful Reinit must leave the machine observably indistinguishable
+// from one freshly built by Protocol.NewParty with the same arguments.
+// Returning false declines (wrong setup-output shape, incompatible
+// parameters); the backend then falls back to NewParty, so declining is
+// always safe.
+type ReusableParty interface {
+	Reinit(id PartyID, input Value, setupOut Value, setupAborted bool, rng *rand.Rand) bool
+}
+
+// PartyCopier is an optional Party capability: CopyFrom overwrites the
+// receiver with a deep copy of src, so lookahead strategies can reuse
+// one clone machine per party instead of allocating a fresh clone per
+// inspection. It returns false when src's concrete type is not the
+// receiver's; callers then fall back to Clone. The same independence
+// contract as Clone applies: after CopyFrom the receiver must share no
+// mutable state with src.
+type PartyCopier interface {
+	CopyFrom(src Party) bool
+}
+
+// ScratchSetupProtocol is an optional Protocol capability for the
+// estimation hot path: NewSetupScratch returns a setup evaluator that
+// the engine uses in place of Protocol.Setup for every run of one
+// Execution. The evaluator may reuse internal buffers — the engine
+// treats the returned slice and its values as valid only until the next
+// setup call on the same Execution (parties copy what they keep, and
+// adversaries may hold setup outputs only for the duration of the run).
+// It must be semantically identical to Setup: same outputs, same
+// randomness consumption, same errors.
+type ScratchSetupProtocol interface {
+	NewSetupScratch() func(inputs []Value, rng *rand.Rand) ([]Value, error)
 }
 
 // AuditedParty is an optional Party capability: exposing protocol-

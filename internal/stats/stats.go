@@ -133,20 +133,22 @@ func EstimateFromCounts(values []float64, counts []int64) (Estimate, error) {
 
 // BernoulliEstimate computes the empirical probability of successes
 // successes out of n trials with a Hoeffding-style 95% confidence interval
-// (half-width sqrt(ln(2/0.05) / (2n))), which is distribution-free.
-func BernoulliEstimate(successes, n int) (Estimate, error) {
+// (half-width sqrt(ln(2/0.05) / (2n))), which is distribution-free. The
+// counts are int64 so streaming tallies keep their exact totals on
+// 32-bit builds; untyped int literals still work unchanged.
+func BernoulliEstimate(successes, n int64) (Estimate, error) {
 	if n == 0 {
 		return Estimate{}, ErrNoSamples
 	}
 	p := float64(successes) / float64(n)
 	hw := HoeffdingHalfWidth(n, 0.05)
-	return Estimate{Mean: p, HalfWidth: hw, N: int64(n)}, nil
+	return Estimate{Mean: p, HalfWidth: hw, N: n}, nil
 }
 
 // HoeffdingHalfWidth returns the half-width t such that a mean of n
 // [0,1]-bounded samples deviates from its expectation by more than t with
 // probability at most delta: t = sqrt(ln(2/delta) / (2n)).
-func HoeffdingHalfWidth(n int, delta float64) float64 {
+func HoeffdingHalfWidth(n int64, delta float64) float64 {
 	if n <= 0 {
 		return math.Inf(1)
 	}
@@ -165,15 +167,17 @@ func SamplesFor(eps, delta float64) int {
 }
 
 // Counter tallies categorical outcomes (e.g. the events E00..E11) and
-// produces per-category frequency estimates.
+// produces per-category frequency estimates. Tallies are int64 so a
+// long-lived counter fed by many estimations never wraps on 32-bit
+// builds.
 type Counter struct {
-	counts map[string]int
-	total  int
+	counts map[string]int64
+	total  int64
 }
 
 // NewCounter returns an empty counter.
 func NewCounter() *Counter {
-	return &Counter{counts: make(map[string]int)}
+	return &Counter{counts: make(map[string]int64)}
 }
 
 // Add records one occurrence of the category.
@@ -183,10 +187,10 @@ func (c *Counter) Add(category string) {
 }
 
 // Total returns the number of recorded occurrences.
-func (c *Counter) Total() int { return c.total }
+func (c *Counter) Total() int64 { return c.total }
 
 // Count returns the tally for one category.
-func (c *Counter) Count(category string) int { return c.counts[category] }
+func (c *Counter) Count(category string) int64 { return c.counts[category] }
 
 // Freq returns the empirical frequency of the category (0 if no samples).
 func (c *Counter) Freq(category string) float64 {
@@ -208,7 +212,7 @@ func (c *Counter) FreqEstimate(category string) (Estimate, error) {
 // E10 and privacy-breach frequencies, and the sweep engine
 // (internal/sweep) uses it to certify measured Pr[E10] against the 1/p
 // ceiling.
-func WilsonInterval(successes, n int) (lo, hi float64, err error) {
+func WilsonInterval(successes, n int64) (lo, hi float64, err error) {
 	if n == 0 {
 		return 0, 0, ErrNoSamples
 	}

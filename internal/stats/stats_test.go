@@ -110,8 +110,8 @@ func TestHoeffdingHalfWidth(t *testing.T) {
 func TestSamplesFor(t *testing.T) {
 	n := SamplesFor(0.01, 0.05)
 	// The returned n must actually achieve the requested half-width.
-	if HoeffdingHalfWidth(n, 0.05) > 0.01+1e-12 {
-		t.Errorf("SamplesFor(0.01) = %d gives hw %v > 0.01", n, HoeffdingHalfWidth(n, 0.05))
+	if HoeffdingHalfWidth(int64(n), 0.05) > 0.01+1e-12 {
+		t.Errorf("SamplesFor(0.01) = %d gives hw %v > 0.01", n, HoeffdingHalfWidth(int64(n), 0.05))
 	}
 	if SamplesFor(0, 0.05) != math.MaxInt32 {
 		t.Error("SamplesFor(0) should saturate")

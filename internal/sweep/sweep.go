@@ -86,6 +86,11 @@ type Spec struct {
 	Parallelism int
 	// BatchSize is the estimator batch size (0 = default).
 	BatchSize int
+	// NoCompiledPlans disables the estimator's compiled execution plans
+	// (core.WithCompiledPlans), pinning every cell to the interpreter.
+	// Like Parallelism it never changes any record — compiled runs are
+	// bit-identical — so it exists only for engine debugging.
+	NoCompiledPlans bool
 }
 
 // DefaultSpec is the full standing grid: every family, three Γ+fair
@@ -466,7 +471,7 @@ func Plan(spec Spec) (*Sweep, error) {
 // estimator's 95% normal half-width widened to the sweep-wide
 // union-bound Hoeffding half-width (range-scaled), whichever is larger.
 func (s *Sweep) margin(c Cell, hw float64) float64 {
-	hoeff := span(c.Gamma) * stats.HoeffdingHalfWidth(c.Runs, s.deltaPrime)
+	hoeff := span(c.Gamma) * stats.HoeffdingHalfWidth(int64(c.Runs), s.deltaPrime)
 	return math.Max(hw, hoeff)
 }
 
@@ -482,6 +487,9 @@ func (s *Sweep) runCell(c Cell) (Record, error) {
 	opts := []core.Option{core.WithParallelism(s.Spec.Parallelism)}
 	if s.Spec.BatchSize > 0 {
 		opts = append(opts, core.WithBatchSize(s.Spec.BatchSize))
+	}
+	if s.Spec.NoCompiledPlans {
+		opts = append(opts, core.WithCompiledPlans(false))
 	}
 
 	var rep core.UtilityReport
@@ -546,7 +554,7 @@ func (s *Sweep) runCell(c Cell) (Record, error) {
 		// Wilson score certification of the raw fairness-failure
 		// frequency Pr[E10] against the 1/p ceiling (Theorems 23/24).
 		e10 := int64(math.Round(rec.Events[2] * float64(c.Runs)))
-		lo, _, werr := stats.WilsonInterval(int(e10), c.Runs)
+		lo, _, werr := stats.WilsonInterval(e10, int64(c.Runs))
 		if werr != nil {
 			return Record{}, fmt.Errorf("sweep: cell %s: %w", c.Key, werr)
 		}
