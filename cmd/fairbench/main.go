@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/protocols/multiparty"
 	"repro/internal/protocols/twoparty"
@@ -171,8 +172,12 @@ func loadTrajectory(path string) (trajectory, error) {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("fairbench", flag.ContinueOnError)
-	runs := fs.Int("runs", 20000, "Monte-Carlo runs per measurement")
-	seed := fs.Int64("seed", 1, "estimation seed")
+	est := cliflags.RegisterEstimation(fs, cliflags.EstimationSpec{
+		Runs:      20000,
+		RunsUsage: "Monte-Carlo runs per measurement",
+		Seed:      1,
+		SeedUsage: "estimation seed",
+	})
 	out := fs.String("o", "BENCH_estimator.json", "output file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -211,7 +216,7 @@ func run(args []string) error {
 	for _, wl := range wls {
 		wr := workloadReport{
 			Proto: wl.name, Adversary: wl.advName,
-			Runs: *runs, Seed: *seed,
+			Runs: est.Runs, Seed: est.Seed,
 			SkippedParallelism: skipped,
 		}
 		measure := func(engine string, par int) (measurement, core.UtilityReport, error) {
@@ -228,7 +233,7 @@ func run(args []string) error {
 			runtime.GC()
 			runtime.ReadMemStats(&before)
 			start := time.Now()
-			r, err := core.EstimateUtility(wl.proto, wl.adv(), gamma, sampler, *runs, *seed, opts...)
+			r, err := core.EstimateUtility(wl.proto, wl.adv(), gamma, sampler, est.Runs, est.Seed, opts...)
 			if err != nil {
 				return measurement{}, r, fmt.Errorf("%s %s parallelism %d: %w", wl.name, engine, par, err)
 			}
@@ -238,10 +243,10 @@ func run(args []string) error {
 				Engine:       engine,
 				Parallelism:  par,
 				ElapsedMS:    float64(elapsed.Microseconds()) / 1e3,
-				NsPerRun:     float64(elapsed.Nanoseconds()) / float64(*runs),
-				RunsPerSec:   float64(*runs) / elapsed.Seconds(),
-				AllocsPerRun: float64(after.Mallocs-before.Mallocs) / float64(*runs),
-				BytesPerRun:  float64(after.TotalAlloc-before.TotalAlloc) / float64(*runs),
+				NsPerRun:     float64(elapsed.Nanoseconds()) / float64(est.Runs),
+				RunsPerSec:   float64(est.Runs) / elapsed.Seconds(),
+				AllocsPerRun: float64(after.Mallocs-before.Mallocs) / float64(est.Runs),
+				BytesPerRun:  float64(after.TotalAlloc-before.TotalAlloc) / float64(est.Runs),
 				Utility:      r.Utility.String(),
 			}
 			fmt.Printf("%-12s %-16s %-11s parallelism=%-3d %10.1f ns/run %12.0f runs/s %8.1f allocs/run\n",

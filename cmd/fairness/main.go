@@ -19,7 +19,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
+	"repro/internal/service"
 	"repro/internal/sim/trace"
 )
 
@@ -42,13 +44,16 @@ type options struct {
 func parseArgs(args []string) (options, error) {
 	fs := flag.NewFlagSet("fairness", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "use the fast smoke-test configuration")
-	runs := fs.Int("runs", 0, "override Monte-Carlo runs per measurement")
-	supRuns := fs.Int("sup", 0, "override per-strategy runs in sup searches")
-	seed := fs.Int64("seed", 0, "override the experiment seed")
-	parallel := fs.Int("parallel", 0, "estimation workers (0 = one per CPU, 1 = sequential)")
+	est := cliflags.RegisterEstimation(fs, cliflags.EstimationSpec{
+		RunsUsage: "override Monte-Carlo runs per measurement",
+		Sup:       true,
+		SupUsage:  "override per-strategy runs in sup searches",
+		SeedUsage: "override the experiment seed",
+		Parallel:  true,
+		Trace:     true,
+	})
 	only := fs.String("exp", "", "comma-separated experiment IDs (default: all)")
 	format := fs.String("format", "text", "output format: text or markdown")
-	traceFile := fs.String("trace", "", "write a JSONL transcript of every simulated run to this file")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -57,19 +62,17 @@ func parseArgs(args []string) (options, error) {
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
-	given := map[string]bool{}
-	fs.Visit(func(f *flag.Flag) { given[f.Name] = true })
-	if given["runs"] {
-		cfg.Runs = *runs
+	if est.Given("runs") {
+		cfg.Runs = est.Runs
 	}
-	if given["sup"] {
-		cfg.SupRuns = *supRuns
+	if est.Given("sup") {
+		cfg.SupRuns = est.Sup
 	}
-	if given["seed"] {
-		cfg.Seed = *seed
+	if est.Given("seed") {
+		cfg.Seed = est.Seed
 	}
-	if given["parallel"] {
-		cfg.Parallelism = *parallel
+	if est.Given("parallel") {
+		cfg.Parallelism = est.Parallel
 	}
 
 	selected := map[string]bool{}
@@ -78,7 +81,7 @@ func parseArgs(args []string) (options, error) {
 			selected[id] = true
 		}
 	}
-	return options{cfg: cfg, selected: selected, format: *format, traceFile: *traceFile}, nil
+	return options{cfg: cfg, selected: selected, format: *format, traceFile: est.Trace}, nil
 }
 
 func run(args []string) int {
@@ -96,7 +99,8 @@ func run(args []string) int {
 		defer func() { _ = f.Close() }()
 		cfg.Trace = trace.NewSink(f)
 	}
-	total := &experiments.MetricsCollector{}
+	pool := service.New(service.Config{Workers: 1, CacheSize: -1, Parallelism: cfg.Parallelism})
+	defer pool.Close()
 
 	fmt.Printf("utility-based fairness reproduction (runs=%d sup=%d seed=%d γ=%+v)\n\n",
 		cfg.Runs, cfg.SupRuns, cfg.Seed, cfg.Gamma)
@@ -106,18 +110,19 @@ func run(args []string) int {
 		if len(opts.selected) > 0 && !opts.selected[e.ID] {
 			continue
 		}
-		// A fresh collector per experiment so the printed engine line is
-		// per-experiment; totals aggregate across the sweep.
-		ecfg := cfg
-		col := &experiments.MetricsCollector{}
-		ecfg.Metrics = col
-		res, err := e.Run(ecfg)
+		// One service job per experiment: the pool keeps per-experiment
+		// engine metrics on each result and merges the totals.
+		job, err := pool.Submit(service.ExperimentParams{IDs: []string{e.ID}, Config: cfg})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			return 1
 		}
-		res.Metrics = col.Total()
-		total.Add(res.Metrics)
+		jres, err := job.Wait()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+		res := jres.Experiments[0]
 		if opts.format == "markdown" {
 			printMarkdown(res)
 		} else {
@@ -127,7 +132,7 @@ func run(args []string) int {
 			allPass = false
 		}
 	}
-	m := total.Total()
+	m := pool.Metrics()
 	fmt.Printf("engine: runs=%d rounds=%d msgs=%d broadcasts=%d corruptions=%d setup-aborts=%d\n",
 		m.Runs, m.Rounds, m.Messages, m.Broadcasts, m.Corruptions, m.SetupAborts)
 	if cfg.Trace != nil {

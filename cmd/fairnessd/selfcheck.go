@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// selfcheckReport is one load-harness invocation's measurement.
+type selfcheckReport struct {
+	Generated      string  `json:"generated"`
+	GoVersion      string  `json:"go_version"`
+	GOOS           string  `json:"goos"`
+	GOARCH         string  `json:"goarch"`
+	CPUs           int     `json:"cpus"`
+	Requests       int     `json:"requests"`
+	Concurrency    int     `json:"concurrency"`
+	DistinctPoints int     `json:"distinct_points"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	ByteIdentical  bool    `json:"byte_identical"`
+	Failures       int     `json:"failures"`
+}
+
+// selfcheckTrajectory is the BENCH_service.json document: every
+// invocation appends to the history (the fairbench convention).
+type selfcheckTrajectory struct {
+	History []selfcheckReport `json:"history"`
+}
+
+// selfcheckPoints are the estimation parameter points the harness
+// cycles through; repeats of each point exercise the cache-hit path.
+var selfcheckPoints = []service.EstimateParams{
+	{Proto: "pi1", Adv: "agen", Runs: 200, Seed: 1},
+	{Proto: "pi2", Adv: "lock-abort:1", Runs: 200, Seed: 2},
+	{Proto: "2sfe-opt", Adv: "lock-abort:2", Runs: 200, Seed: 3},
+	{Proto: "2sfe-oneround", Adv: "agen", Runs: 200, Seed: 4},
+	{Proto: "2sfe-fixed2", Adv: "static:1", Runs: 200, Seed: 5},
+	{Proto: "gk-pitilde", Adv: "passive", Runs: 200, Seed: 6},
+	{Proto: "nsfe-opt:3", Adv: "lock-abort:1", Runs: 100, Seed: 7},
+	{Proto: "gk-polydomain:2", Adv: "leak-extractor", Runs: 100, Seed: 8},
+}
+
+// runSelfcheck boots the daemon on a loopback listener, hammers
+// /v1/estimate with concurrent requests (cache-hit repeats included),
+// verifies repeated responses are byte-identical, and appends the
+// sustained request rate and cache hit rate to outPath.
+func runSelfcheck(srv *server, pool *service.Pool, requests int, outPath string) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() { _ = httpSrv.Close() }()
+	base := "http://" + ln.Addr().String()
+
+	concurrency := 4 * runtime.GOMAXPROCS(0)
+	if concurrency > requests {
+		concurrency = requests
+	}
+	fmt.Printf("fairnessd selfcheck: %d requests, %d concurrent, %d distinct points @ %s\n",
+		requests, concurrency, len(selfcheckPoints), base)
+
+	var (
+		mu       sync.Mutex
+		bodies   = map[int][]byte{} // point index → first response body
+		mismatch int
+		failures int
+	)
+	client := &http.Client{Timeout: 2 * time.Minute}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				point := i % len(selfcheckPoints)
+				payload, _ := json.Marshal(selfcheckPoints[point])
+				resp, err := client.Post(base+"/v1/estimate", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+					continue
+				}
+				body, err := io.ReadAll(resp.Body)
+				_ = resp.Body.Close()
+				mu.Lock()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					failures++
+				} else if prev, ok := bodies[point]; !ok {
+					bodies[point] = body
+				} else if !bytes.Equal(prev, body) {
+					mismatch++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := pool.Stats()
+	rep := selfcheckReport{
+		Generated:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		CPUs:           runtime.NumCPU(),
+		Requests:       requests,
+		Concurrency:    concurrency,
+		DistinctPoints: len(selfcheckPoints),
+		ElapsedMS:      float64(elapsed.Microseconds()) / 1e3,
+		RequestsPerSec: float64(requests) / elapsed.Seconds(),
+		CacheHits:      st.CacheHits,
+		CacheHitRate:   float64(st.CacheHits) / float64(max64(st.Submitted, 1)),
+		ByteIdentical:  mismatch == 0,
+		Failures:       failures,
+	}
+
+	var traj selfcheckTrajectory
+	if data, err := os.ReadFile(outPath); err == nil {
+		_ = json.Unmarshal(data, &traj)
+	}
+	traj.History = append(traj.History, rep)
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("selfcheck: %.1f req/s over %s, cache hit rate %.1f%% (%d/%d), byte-identical=%v\n",
+		rep.RequestsPerSec, elapsed.Round(time.Millisecond), 100*rep.CacheHitRate,
+		st.CacheHits, st.Submitted, rep.ByteIdentical)
+	fmt.Printf("selfcheck: report appended to %s (%d entries)\n", outPath, len(traj.History))
+	if failures > 0 {
+		return fmt.Errorf("selfcheck: %d request(s) failed", failures)
+	}
+	if mismatch > 0 {
+		return fmt.Errorf("selfcheck: %d repeated response(s) were not byte-identical", mismatch)
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenMatrix is the frozen flag matrix: the refactor onto the service
+// layer must keep every one of these invocations byte-identical.
+var goldenMatrix = []struct {
+	name string
+	args []string
+}{
+	{"2sfe_lock", []string{"-proto", "2sfe-opt", "-adv", "lock-abort:1", "-runs", "200", "-seed", "7"}},
+	{"pi2_abort", []string{"-proto", "pi2", "-adv", "abort:2:1", "-runs", "100", "-seed", "3"}},
+	{"gk_leak", []string{"-proto", "gk-polydomain:2", "-adv", "leak-extractor", "-runs", "100", "-seed", "5"}},
+	{"gmw_setup", []string{"-proto", "nsfe-gmw12:4", "-adv", "setup-abort:1+2", "-runs", "100", "-seed", "2"}},
+	{"2sfe_parallel1", []string{"-proto", "2sfe-opt", "-adv", "agen", "-runs", "150", "-seed", "9", "-parallel", "1"}},
+}
+
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- data
+	}()
+	defer func() { os.Stdout = old }()
+	fn()
+	_ = w.Close()
+	out := <-done
+	os.Stdout = old
+	return out
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenOutput pins the command's stdout for the frozen flag matrix.
+func TestGoldenOutput(t *testing.T) {
+	for _, tc := range goldenMatrix {
+		t.Run(tc.name, func(t *testing.T) {
+			var rerr error
+			out := captureStdout(t, func() { rerr = run(tc.args) })
+			if rerr != nil {
+				t.Fatalf("run: %v\noutput:\n%s", rerr, out)
+			}
+			checkGolden(t, tc.name, out)
+		})
+	}
+}

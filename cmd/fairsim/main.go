@@ -24,18 +24,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"strconv"
-	"strings"
 
-	"repro/internal/adversary"
+	"repro/internal/cliflags"
 	"repro/internal/core"
-	"repro/internal/protocols/contract"
-	"repro/internal/protocols/gordonkatz"
-	"repro/internal/protocols/multiparty"
-	"repro/internal/protocols/twoparty"
-	"repro/internal/sim"
+	"repro/internal/service"
 	"repro/internal/sim/trace"
 )
 
@@ -50,10 +43,13 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("fairsim", flag.ContinueOnError)
 	protoName := fs.String("proto", "2sfe-opt", "protocol to run")
 	advName := fs.String("adv", "agen", "adversary strategy")
-	runs := fs.Int("runs", 1000, "Monte-Carlo runs")
-	seed := fs.Int64("seed", 1, "random seed")
-	parallel := fs.Int("parallel", 0, "estimation workers (0 = one per CPU, 1 = sequential)")
-	traceFile := fs.String("trace", "", "write a JSONL transcript of every run to this file")
+	est := cliflags.RegisterEstimation(fs, cliflags.EstimationSpec{
+		Runs:       1000,
+		Seed:       1,
+		Parallel:   true,
+		Trace:      true,
+		TraceUsage: "write a JSONL transcript of every run to this file",
+	})
 	printTrace := fs.String("print-trace", "", "pretty-print a JSONL transcript file and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,37 +63,37 @@ func run(args []string) error {
 		return trace.Fprint(os.Stdout, f)
 	}
 
-	proto, sampler, err := buildProtocol(*protoName)
+	proto, _, err := service.BuildProtocol(*protoName)
 	if err != nil {
 		return err
 	}
-	adv, err := buildAdversary(*advName, proto.NumParties())
-	if err != nil {
-		return err
-	}
-	gamma := core.StandardPayoff()
-	if strings.HasPrefix(*protoName, "gk-") {
-		gamma = core.GordonKatzPayoff()
-	}
+	gamma := service.DefaultPayoff(*protoName)
 
-	opts := []core.Option{core.WithParallelism(*parallel)}
+	var opts []service.JobOption
 	var sink *trace.Sink
-	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
+	if est.Trace != "" {
+		f, err := os.Create(est.Trace)
 		if err != nil {
 			return err
 		}
 		defer func() { _ = f.Close() }()
 		sink = trace.NewSink(f)
-		opts = append(opts, core.WithObserver(func(run int) sim.Observer {
-			return sink.Recorder(trace.Meta{Strategy: *advName, Run: run})
-		}))
+		opts = append(opts, service.WithTrace(sink), service.WithTraceLabel(*advName))
 	}
 
-	rep, err := core.EstimateUtility(proto, adv, gamma, sampler, *runs, *seed, opts...)
+	pool := service.New(service.Config{Workers: 1, CacheSize: -1, Parallelism: est.Parallel})
+	defer pool.Close()
+	job, err := pool.Submit(service.EstimateParams{
+		Proto: *protoName, Adv: *advName, Runs: est.Runs, Seed: est.Seed,
+	}, opts...)
 	if err != nil {
 		return err
 	}
+	res, err := job.Wait()
+	if err != nil {
+		return err
+	}
+	rep := *res.Estimate
 	fmt.Printf("protocol : %s (n=%d, rounds=%d)\n", proto.Name(), proto.NumParties(), proto.NumRounds())
 	fmt.Printf("adversary: %s\n", *advName)
 	fmt.Printf("payoff   : %+v\n", gamma)
@@ -118,144 +114,7 @@ func run(args []string) error {
 			return fmt.Errorf("trace: transcript stats %+v disagree with engine metrics %+v", st, m)
 		}
 		fmt.Printf("trace    : %s (%d lines, %d runs; counts match engine metrics)\n",
-			*traceFile, st.Lines, st.Runs)
+			est.Trace, st.Lines, st.Runs)
 	}
 	return nil
-}
-
-func buildProtocol(name string) (sim.Protocol, core.InputSampler, error) {
-	base, arg, _ := strings.Cut(name, ":")
-	n := 0
-	if arg != "" {
-		v, err := strconv.Atoi(arg)
-		if err != nil {
-			return nil, nil, fmt.Errorf("bad protocol argument %q: %w", arg, err)
-		}
-		n = v
-	}
-	uniformN := func(parties, max int) core.InputSampler {
-		return func(r *rand.Rand) []sim.Value {
-			in := make([]sim.Value, parties)
-			for i := range in {
-				in[i] = uint64(r.Intn(max))
-			}
-			return in
-		}
-	}
-	switch base {
-	case "pi1":
-		return contract.Pi1{}, uniformN(2, 1<<16), nil
-	case "pi2":
-		return contract.Pi2{}, uniformN(2, 1<<16), nil
-	case "2sfe-opt":
-		return twoparty.New(twoparty.Swap()), uniformN(2, 1<<20), nil
-	case "2sfe-fixed2":
-		return twoparty.NewFixedOrder(twoparty.Swap(), 2), uniformN(2, 1<<20), nil
-	case "2sfe-oneround":
-		return twoparty.NewOneRound(twoparty.Swap()), uniformN(2, 1<<20), nil
-	case "nsfe-opt", "nsfe-gmw12", "nsfe-lemma18", "nsfe-hybrid":
-		if n < 2 {
-			n = 4
-		}
-		fn, err := multiparty.Concat(n, 8)
-		if err != nil {
-			return nil, nil, err
-		}
-		var p sim.Protocol
-		switch base {
-		case "nsfe-opt":
-			p = multiparty.NewOptN(fn)
-		case "nsfe-gmw12":
-			p = multiparty.NewGMWHalf(fn)
-		case "nsfe-lemma18":
-			p = multiparty.NewLemma18(fn)
-		default:
-			p = multiparty.NewHybrid(fn)
-		}
-		return p, uniformN(n, 256), nil
-	case "gk-polydomain", "gk-polyrange":
-		if arg == "" {
-			n = 4
-		}
-		if n < 1 {
-			return nil, nil, fmt.Errorf("gk protocols need p ≥ 1, got %d", n)
-		}
-		var (
-			p   gordonkatz.Protocol
-			err error
-		)
-		if base == "gk-polydomain" {
-			p, err = gordonkatz.NewPolyDomain(gordonkatz.AND(), n)
-		} else {
-			p, err = gordonkatz.NewPolyRange(gordonkatz.AND(), n)
-		}
-		if err != nil {
-			return nil, nil, err
-		}
-		return p, core.FixedInputs(uint64(1), uint64(1)), nil
-	case "gk-pitilde":
-		p, err := gordonkatz.NewPitilde()
-		if err != nil {
-			return nil, nil, err
-		}
-		return p, uniformN(2, 2), nil
-	default:
-		return nil, nil, fmt.Errorf("unknown protocol %q", name)
-	}
-}
-
-func buildAdversary(name string, n int) (sim.Adversary, error) {
-	parts := strings.Split(name, ":")
-	parseIDs := func(s string) ([]sim.PartyID, error) {
-		var ids []sim.PartyID
-		for _, tok := range strings.Split(s, "+") {
-			v, err := strconv.Atoi(tok)
-			if err != nil {
-				return nil, fmt.Errorf("bad party id %q: %w", tok, err)
-			}
-			ids = append(ids, sim.PartyID(v))
-		}
-		return ids, nil
-	}
-	switch parts[0] {
-	case "passive":
-		return sim.Passive{}, nil
-	case "agen":
-		return adversary.NewAgen(), nil
-	case "allbut-mixer":
-		return adversary.NewAllButMixer(n), nil
-	case "leak-extractor":
-		return gordonkatz.NewLeakExtractor(), nil
-	case "static", "lock-abort", "setup-abort":
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("%s needs a party list, e.g. %s:1+2", parts[0], parts[0])
-		}
-		ids, err := parseIDs(parts[1])
-		if err != nil {
-			return nil, err
-		}
-		switch parts[0] {
-		case "static":
-			return adversary.NewStatic(ids...), nil
-		case "lock-abort":
-			return adversary.NewLockAbort(ids...), nil
-		default:
-			return adversary.NewSetupAbort(ids...), nil
-		}
-	case "abort":
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("abort needs round and party list, e.g. abort:2:1")
-		}
-		round, err := strconv.Atoi(parts[1])
-		if err != nil {
-			return nil, fmt.Errorf("bad round %q: %w", parts[1], err)
-		}
-		ids, err := parseIDs(parts[2])
-		if err != nil {
-			return nil, err
-		}
-		return adversary.NewAbortAt(round, ids...), nil
-	default:
-		return nil, fmt.Errorf("unknown adversary %q", name)
-	}
 }

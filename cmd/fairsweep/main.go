@@ -18,14 +18,15 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
+	"repro/internal/service"
 	"repro/internal/sweep"
 )
 
@@ -85,14 +86,18 @@ func parseSpec(args []string) (spec sweep.Spec, checkpoint string, quiet, verbos
 	ts := fs.String("t", "", "comma-separated corruption thresholds (default: all 1..n-1)")
 	ps := fs.String("p", "", "comma-separated Gordon–Katz p values (default: 2,4,8)")
 	costs := fs.String("costs", "", "comma-separated cost functions: zero,optimal (default: both)")
-	runs := fs.Int("runs", 0, "flat Monte-Carlo runs per cell (0 = adaptive via stats.SamplesFor)")
+	est := cliflags.RegisterEstimation(fs, cliflags.EstimationSpec{
+		RunsUsage:     "flat Monte-Carlo runs per cell (0 = adaptive via stats.SamplesFor)",
+		Sup:           true,
+		SupUsage:      "per-strategy runs for sup-search cells (0 = no sup cells)",
+		SeedUsage:     "sweep seed",
+		Parallel:      true,
+		ParallelUsage: "per-cell estimation workers (0 = one per CPU)",
+	})
 	targetHW := fs.Float64("target-hw", 0, "adaptive-sampling target certification margin")
 	delta := fs.Float64("delta", 0, "sweep-wide false-breach probability budget")
 	maxRuns := fs.Int("max-runs", 0, "adaptive run-count ceiling")
-	supRuns := fs.Int("sup", 0, "per-strategy runs for sup-search cells (0 = no sup cells)")
 	slack := fs.Float64("slack", 0, "flat extra certification tolerance")
-	seed := fs.Int64("seed", 0, "sweep seed")
-	parallel := fs.Int("parallel", 0, "per-cell estimation workers (0 = one per CPU)")
 	noCompiled := fs.Bool("no-compiled-plans", false, "pin the estimator to the interpreter (debugging; records are identical)")
 	noAbort := fs.Bool("no-abort-sweep", false, "disable the abort-at-round attacker dimension")
 	cp := fs.String("checkpoint", "", "JSONL checkpoint path (resumes if the file exists)")
@@ -132,8 +137,8 @@ func parseSpec(args []string) (spec sweep.Spec, checkpoint string, quiet, verbos
 	if given["costs"] {
 		spec.Costs = splitList(*costs)
 	}
-	if given["runs"] {
-		spec.Runs = *runs
+	if est.Given("runs") {
+		spec.Runs = est.Runs
 	}
 	if given["target-hw"] {
 		spec.TargetHW = *targetHW
@@ -144,17 +149,17 @@ func parseSpec(args []string) (spec sweep.Spec, checkpoint string, quiet, verbos
 	if given["max-runs"] {
 		spec.MaxRuns = *maxRuns
 	}
-	if given["sup"] {
-		spec.SupRuns = *supRuns
+	if est.Given("sup") {
+		spec.SupRuns = est.Sup
 	}
 	if given["slack"] {
 		spec.Slack = *slack
 	}
-	if given["seed"] {
-		spec.Seed = *seed
+	if est.Given("seed") {
+		spec.Seed = est.Seed
 	}
-	if given["parallel"] {
-		spec.Parallelism = *parallel
+	if est.Given("parallel") {
+		spec.Parallelism = est.Parallel
 	}
 	if *noCompiled {
 		spec.NoCompiledPlans = true
@@ -199,11 +204,20 @@ func run(args []string) int {
 			printRecord(done, total, rec, resumed)
 		}
 	}
-	sum, err := sweep.Run(spec, checkpoint, progress)
-	if err != nil && !errors.Is(err, sweep.ErrBreach) {
+	pool := service.New(service.Config{Workers: 1, CacheSize: -1})
+	defer pool.Close()
+	job, err := pool.Submit(service.SweepParams{Spec: spec},
+		service.WithCheckpoint(checkpoint), service.WithProgress(progress))
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fairsweep:", err)
 		return 1
 	}
+	res, err := job.Wait()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fairsweep:", err)
+		return 1
+	}
+	sum := res.Sweep
 
 	for _, msg := range sum.Skipped {
 		fmt.Printf("skipped: %s\n", msg)

@@ -23,19 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"time"
 
 	fairness "repro"
+	"repro/internal/cliflags"
 )
 
 func main() {
-	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault injector")
-	drop := flag.Float64("drop", 0, "per-frame drop probability (chaos mode)")
-	delay := flag.Float64("delay", 0, "per-frame delay probability (chaos mode)")
-	maxDelay := flag.Duration("max-delay", 5*time.Millisecond, "upper bound on injected delays")
-	killParty := flag.Int("kill-party", 0, "party to crash (0 = nobody)")
-	killRound := flag.Int("kill-round", 1, "round at which -kill-party crashes")
-	timeout := flag.Duration("timeout", 2*time.Second, "per-frame round timeout in chaos mode")
+	chaos := cliflags.RegisterChaos(flag.CommandLine)
 	flag.Parse()
 
 	fairness.RegisterContractGobTypes()
@@ -91,8 +85,8 @@ func main() {
 		fmt.Printf("party %d winning price: %v\n", id, outs[id].Value)
 	}
 
-	if *drop > 0 || *delay > 0 || *killParty > 0 {
-		runChaos(fn, auction, *chaosSeed, *drop, *delay, *maxDelay, *killParty, *killRound, *timeout)
+	if chaos.Enabled() {
+		runChaos(fn, auction, chaos)
 	} else {
 		fmt.Println("\nSame machines, real sockets: the fairness engine's protocols are")
 		fmt.Println("ordinary message-driven state machines. Adversarial measurements")
@@ -104,19 +98,14 @@ func main() {
 
 // runChaos reruns the auction under a seeded fault profile and reports
 // how the resilience layer coped.
-func runChaos(fn fairness.MultiPartyFunction, inputs []fairness.Value,
-	seed int64, drop, delay float64, maxDelay time.Duration,
-	killParty, killRound int, timeout time.Duration) {
-	fmt.Printf("\n== chaos: ΠOpt-nSFE under seeded faults (seed %d) ==\n", seed)
-	inj, err := fairness.NewRandomFaults(seed, fairness.FaultProfile{
-		Drop: drop, Delay: delay, MaxDelay: maxDelay,
-		KillParty: killParty, KillRound: killRound,
-	})
+func runChaos(fn fairness.MultiPartyFunction, inputs []fairness.Value, chaos *cliflags.Chaos) {
+	fmt.Printf("\n== chaos: ΠOpt-nSFE under seeded faults (seed %d) ==\n", chaos.Seed)
+	inj, err := chaos.Injector()
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := fairness.RunOverTCPReport(fairness.NewOptimalMultiParty(fn), inputs, seed,
-		fairness.SessionConfig{Fault: inj, RoundTimeout: timeout, MaxResumes: 64})
+	rep, err := fairness.RunOverTCPReport(fairness.NewOptimalMultiParty(fn), inputs, chaos.Seed,
+		fairness.SessionConfig{Fault: inj, RoundTimeout: chaos.Timeout, MaxResumes: 64})
 	if err != nil {
 		log.Fatal(err)
 	}

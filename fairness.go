@@ -192,27 +192,6 @@ var (
 	// WithSamplerInto installs an allocation-free input sampler that
 	// refills engine-owned buffers instead of allocating per run.
 	WithSamplerInto = core.WithSamplerInto
-	// EstimateUtilityParallel is EstimateUtility with a positional
-	// worker count.
-	//
-	// Deprecated: use EstimateUtility with WithParallelism.
-	EstimateUtilityParallel = core.EstimateUtilityParallel
-	// SupUtilityParallel is SupUtility with a positional worker count.
-	//
-	// Deprecated: use SupUtility with WithParallelism.
-	SupUtilityParallel = core.SupUtilityParallel
-	// EstimateUtilityObserved is EstimateUtility with positional
-	// parallelism and observer-factory arguments.
-	//
-	// Deprecated: use EstimateUtility with WithParallelism and
-	// WithObserver.
-	EstimateUtilityObserved = core.EstimateUtilityObserved
-	// SupUtilityObserved is SupUtility with positional parallelism and
-	// observer-factory arguments.
-	//
-	// Deprecated: use SupUtility with WithParallelism and
-	// WithSupObserver.
-	SupUtilityObserved = core.SupUtilityObserved
 	// DefaultParallelism is the worker count used for parallelism <= 0.
 	DefaultParallelism = core.DefaultParallelism
 	// CloneAdversary copies a strategy for an estimation worker.

@@ -1,0 +1,151 @@
+// Package cliflags centralizes the flag surface shared by the fairness
+// commands (fairness, fairsim, fairsweep, fairbench) and the fairnessd
+// daemon: Monte-Carlo effort (-runs, -sup), seeding (-seed), estimator
+// parallelism (-parallel), transcript capture (-trace), and the chaos
+// block (-chaos-seed, -drop, -delay, -max-delay, -kill-party,
+// -kill-round, -timeout) used wherever sessions run over the fallible
+// transport. One registration helper means one set of defaults and one
+// explicit-zero semantics (the fs.Visit idiom) instead of a copy per
+// command.
+package cliflags
+
+import (
+	"flag"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Estimation is the parsed shared estimation flag block.
+type Estimation struct {
+	// Runs is the Monte-Carlo run count (-runs).
+	Runs int
+	// Sup is the per-strategy run count for sup searches (-sup);
+	// registered only when EstimationSpec.Sup is set.
+	Sup int
+	// Seed is the master seed (-seed).
+	Seed int64
+	// Parallel is the estimation worker count (-parallel); registered
+	// only when EstimationSpec.Parallel is set. 0 selects one worker per
+	// CPU, 1 forces sequential execution; results are identical for
+	// every setting (the estimator's determinism contract).
+	Parallel int
+	// Trace is the JSONL transcript output path (-trace); registered
+	// only when EstimationSpec.Trace is set.
+	Trace string
+
+	fs *flag.FlagSet
+}
+
+// EstimationSpec selects which shared flags a command registers, with
+// the command's defaults and (optionally) command-specific help text.
+// Empty usage strings select the canonical text.
+type EstimationSpec struct {
+	// Runs is the default for -runs (always registered).
+	Runs      int
+	RunsUsage string
+	// Sup registers -sup with default SupRuns.
+	Sup      bool
+	SupRuns  int
+	SupUsage string
+	// Seed is the default for -seed (always registered).
+	Seed      int64
+	SeedUsage string
+	// Parallel registers -parallel (default 0 = one worker per CPU).
+	Parallel      bool
+	ParallelUsage string
+	// Trace registers -trace (default "").
+	Trace      bool
+	TraceUsage string
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// RegisterEstimation registers the shared estimation flags on fs and
+// returns the struct their parsed values land in. Call fs.Parse as
+// usual; afterwards Given reports which flags were explicitly set.
+func RegisterEstimation(fs *flag.FlagSet, spec EstimationSpec) *Estimation {
+	e := &Estimation{fs: fs}
+	fs.IntVar(&e.Runs, "runs", spec.Runs,
+		orDefault(spec.RunsUsage, "Monte-Carlo runs"))
+	if spec.Sup {
+		fs.IntVar(&e.Sup, "sup", spec.SupRuns,
+			orDefault(spec.SupUsage, "per-strategy runs in sup searches"))
+	}
+	fs.Int64Var(&e.Seed, "seed", spec.Seed,
+		orDefault(spec.SeedUsage, "random seed"))
+	if spec.Parallel {
+		fs.IntVar(&e.Parallel, "parallel", 0,
+			orDefault(spec.ParallelUsage, "estimation workers (0 = one per CPU, 1 = sequential)"))
+	}
+	if spec.Trace {
+		fs.StringVar(&e.Trace, "trace", "",
+			orDefault(spec.TraceUsage, "write a JSONL transcript of every simulated run to this file"))
+	}
+	return e
+}
+
+// Given reports whether the named flag was explicitly set on the parsed
+// flag set — the fs.Visit idiom every command shares, so explicit zero
+// values (notably -seed 0 and -runs 0) are honored instead of being
+// mistaken for "flag absent" and replaced by defaults.
+func (e *Estimation) Given(name string) bool {
+	given := false
+	e.fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			given = true
+		}
+	})
+	return given
+}
+
+// Chaos is the parsed shared chaos flag block: the seeded fault profile
+// applied to transport sessions.
+type Chaos struct {
+	// Seed drives the deterministic fault injector (-chaos-seed).
+	Seed int64
+	// Drop and Delay are per-frame fault probabilities (-drop, -delay).
+	Drop, Delay float64
+	// MaxDelay bounds injected delays (-max-delay).
+	MaxDelay time.Duration
+	// KillParty and KillRound schedule a crash (-kill-party 0 = nobody).
+	KillParty, KillRound int
+	// Timeout is the per-frame round timeout under chaos (-timeout).
+	Timeout time.Duration
+}
+
+// RegisterChaos registers the chaos flag block on fs with the canonical
+// defaults (the ones examples/network established).
+func RegisterChaos(fs *flag.FlagSet) *Chaos {
+	c := &Chaos{}
+	fs.Int64Var(&c.Seed, "chaos-seed", 1, "seed for the deterministic fault injector")
+	fs.Float64Var(&c.Drop, "drop", 0, "per-frame drop probability (chaos mode)")
+	fs.Float64Var(&c.Delay, "delay", 0, "per-frame delay probability (chaos mode)")
+	fs.DurationVar(&c.MaxDelay, "max-delay", 5*time.Millisecond, "upper bound on injected delays")
+	fs.IntVar(&c.KillParty, "kill-party", 0, "party to crash (0 = nobody)")
+	fs.IntVar(&c.KillRound, "kill-round", 1, "round at which -kill-party crashes")
+	fs.DurationVar(&c.Timeout, "timeout", 2*time.Second, "per-frame round timeout in chaos mode")
+	return c
+}
+
+// Enabled reports whether any fault was requested.
+func (c *Chaos) Enabled() bool {
+	return c.Drop > 0 || c.Delay > 0 || c.KillParty > 0
+}
+
+// Injector builds the seeded random fault injector for the parsed
+// profile, or nil when no fault was requested.
+func (c *Chaos) Injector() (faultinject.Injector, error) {
+	if !c.Enabled() {
+		return nil, nil
+	}
+	return faultinject.NewRandom(c.Seed, faultinject.Profile{
+		Drop: c.Drop, Delay: c.Delay, MaxDelay: c.MaxDelay,
+		KillParty: c.KillParty, KillRound: c.KillRound,
+	})
+}

@@ -245,53 +245,6 @@ func TestEngineMatchesLegacySup(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersForward pins that each legacy entry point is a
-// pure forwarder: identical report to the options call it documents.
-func TestDeprecatedWrappersForward(t *testing.T) {
-	proto := twoparty.New(twoparty.Swap())
-	adv := func() sim.Adversary { return adversary.NewLockAbort(1) }
-	sampler := core.FixedInputs(uint64(5), uint64(9))
-	factory := func(run int) sim.Observer { return nil }
-	base, err := core.EstimateUtility(proto, adv(), core.StandardPayoff(), sampler, 31, 3, core.WithParallelism(2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaParallel, err := core.EstimateUtilityParallel(proto, adv(), core.StandardPayoff(), sampler, 31, 3, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaObserved, err := core.EstimateUtilityObserved(proto, adv(), core.StandardPayoff(), sampler, 31, 3, 2, factory)
-	if err != nil {
-		t.Fatal(err)
-	}
-	requireEquivalent(t, "EstimateUtilityParallel", base, viaParallel)
-	requireEquivalent(t, "EstimateUtilityObserved", base, viaObserved)
-
-	space := func() []core.NamedAdversary {
-		return []core.NamedAdversary{{"a", adv()}, {"b", adversary.NewSetupAbort(1)}}
-	}
-	supBase, err := core.SupUtility(proto, space(), core.StandardPayoff(), sampler, 31, 3, core.WithParallelism(2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaSupPar, err := core.SupUtilityParallel(proto, space(), core.StandardPayoff(), sampler, 31, 3, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaSupObs, err := core.SupUtilityObserved(proto, space(), core.StandardPayoff(), sampler, 31, 3, 2,
-		func(string, int) sim.Observer { return nil })
-	if err != nil {
-		t.Fatal(err)
-	}
-	for name := range supBase.All {
-		requireEquivalent(t, "SupUtilityParallel/"+name, supBase.All[name], viaSupPar.All[name])
-		requireEquivalent(t, "SupUtilityObserved/"+name, supBase.All[name], viaSupObs.All[name])
-	}
-	if viaSupPar.Best != supBase.Best || viaSupObs.Best != supBase.Best {
-		t.Fatalf("wrapper best diverges: %q / %q vs %q", viaSupPar.Best, viaSupObs.Best, supBase.Best)
-	}
-}
-
 // TestEstimateAllocs pins the allocation-lean property of the full core
 // hot path (batcher draw + arena run + classify + tally) at
 // parallelism 1.

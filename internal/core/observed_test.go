@@ -13,11 +13,11 @@ import (
 // the workload's shape.
 func TestMetricsAggregation(t *testing.T) {
 	const runs = 60
-	seq, err := EstimateUtilityParallel(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, runs, 11, 1)
+	seq, err := EstimateUtility(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, runs, 11, WithParallelism(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := EstimateUtilityParallel(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, runs, 11, 4)
+	par, err := EstimateUtility(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, runs, 11, WithParallelism(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func (c countingObserver) RunFinished(*sim.Trace) {
 // report.
 func TestObserverFactoryCoversEveryRun(t *testing.T) {
 	const runs = 40
-	plain, err := EstimateUtilityParallel(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, runs, 5, 3)
+	plain, err := EstimateUtility(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, runs, 5, WithParallelism(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestObserverFactoryCoversEveryRun(t *testing.T) {
 	factory := func(run int) sim.Observer {
 		return countingObserver{mu: &mu, runs: &seen, run: run}
 	}
-	observed, err := EstimateUtilityObserved(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, runs, 5, 3, factory)
+	observed, err := EstimateUtility(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, runs, 5, WithParallelism(3), WithObserver(factory))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestSupObservedMetrics(t *testing.T) {
 		mu.Unlock()
 		return nil
 	}
-	rep, err := SupUtilityObserved(flipProtocol{}, advs, StandardPayoff(), uniformInputs, 20, 3, 2, factory)
+	rep, err := SupUtility(flipProtocol{}, advs, StandardPayoff(), uniformInputs, 20, 3, WithParallelism(2), WithSupObserver(factory))
 	if err != nil {
 		t.Fatal(err)
 	}

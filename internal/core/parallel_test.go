@@ -22,7 +22,7 @@ func TestParallelEquivalenceTwoParty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		parRep, err := EstimateUtilityParallel(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, 101, 42, par)
+		parRep, err := EstimateUtility(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, 101, 42, WithParallelism(par))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,7 +55,7 @@ func TestParallelEquivalenceMultiParty(t *testing.T) {
 	if seq.EventFreq[E10] != 1 {
 		t.Fatalf("fixture should provoke E10 every run, got %v", seq.EventFreq)
 	}
-	parRep, err := EstimateUtilityParallel(p, adv, StandardPayoff(), sampler, 60, 9, 4)
+	parRep, err := EstimateUtility(p, adv, StandardPayoff(), sampler, 60, 9, WithParallelism(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestParallelismExceedsRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parRep, err := EstimateUtilityParallel(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, 5, 11, 64)
+	parRep, err := EstimateUtility(flipProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, 5, 11, WithParallelism(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,8 +80,8 @@ func TestParallelismExceedsRuns(t *testing.T) {
 
 func TestParallelErrNoRuns(t *testing.T) {
 	for _, runs := range []int{0, -3} {
-		if _, err := EstimateUtilityParallel(flipProtocol{}, sim.Passive{}, StandardPayoff(),
-			uniformInputs, runs, 1, 4); !errors.Is(err, ErrNoRuns) {
+		if _, err := EstimateUtility(flipProtocol{}, sim.Passive{}, StandardPayoff(),
+			uniformInputs, runs, 1, WithParallelism(4)); !errors.Is(err, ErrNoRuns) {
 			t.Errorf("runs=%d: %v, want ErrNoRuns", runs, err)
 		}
 	}
@@ -102,7 +102,7 @@ func TestParallelNonCloneableFallsBackToSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parRep, err := EstimateUtilityParallel(flipProtocol{}, adv, StandardPayoff(), uniformInputs, 40, 5, 8)
+	parRep, err := EstimateUtility(flipProtocol{}, adv, StandardPayoff(), uniformInputs, 40, 5, WithParallelism(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestParallelNonCloneableFallsBackToSequential(t *testing.T) {
 	}
 }
 
-func TestSupUtilityParallelEquivalence(t *testing.T) {
+func TestSupUtilityParallelismEquivalence(t *testing.T) {
 	mkSpace := func() []NamedAdversary {
 		return []NamedAdversary{
 			{Name: "passive", Adv: sim.Passive{}},
@@ -124,7 +124,7 @@ func TestSupUtilityParallelEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, par := range []int{0, 2, 16} {
-		got, err := SupUtilityParallel(flipProtocol{}, mkSpace(), StandardPayoff(), uniformInputs, 80, 13, par)
+		got, err := SupUtility(flipProtocol{}, mkSpace(), StandardPayoff(), uniformInputs, 80, 13, WithParallelism(par))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +139,7 @@ func TestSupUtilityParallelEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parOne, err := SupUtilityParallel(flipProtocol{}, one, StandardPayoff(), uniformInputs, 80, 13, 8)
+	parOne, err := SupUtility(flipProtocol{}, one, StandardPayoff(), uniformInputs, 80, 13, WithParallelism(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestParallelErrorMatchesSequential(t *testing.T) {
 	if seqErr == nil {
 		t.Fatal("sequential run should fail")
 	}
-	_, parErr := EstimateUtilityParallel(failingProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, 10, 3, 4)
+	_, parErr := EstimateUtility(failingProtocol{}, &grabber{}, StandardPayoff(), uniformInputs, 10, 3, WithParallelism(4))
 	if parErr == nil {
 		t.Fatal("parallel run should fail")
 	}

@@ -83,29 +83,6 @@ type ObserverFactory func(run int) sim.Observer
 // the strategy label and run index. Same contract as ObserverFactory.
 type SupObserverFactory func(strategy string, run int) sim.Observer
 
-// EstimateUtilityParallel is EstimateUtility with an explicit worker
-// count.
-//
-// Deprecated: call EstimateUtility with WithParallelism(parallelism);
-// this wrapper only forwards.
-func EstimateUtilityParallel(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
-	sampler InputSampler, runs int, seed int64, parallelism int) (UtilityReport, error) {
-	return EstimateUtility(proto, adv, gamma, sampler, runs, seed,
-		WithParallelism(parallelism))
-}
-
-// EstimateUtilityObserved is EstimateUtility with an explicit worker
-// count and the engine's event stream exposed through a per-run
-// observer factory.
-//
-// Deprecated: call EstimateUtility with WithParallelism(parallelism)
-// and WithObserver(factory); this wrapper only forwards.
-func EstimateUtilityObserved(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
-	sampler InputSampler, runs int, seed int64, parallelism int, factory ObserverFactory) (UtilityReport, error) {
-	return EstimateUtility(proto, adv, gamma, sampler, runs, seed,
-		WithParallelism(parallelism), WithObserver(factory))
-}
-
 // NamedAdversary pairs a strategy with a label for sup-utility searches.
 type NamedAdversary struct {
 	Name string
@@ -122,27 +99,6 @@ type SupReport struct {
 	All map[string]UtilityReport
 	// Metrics sums the engine counters over every strategy's estimation.
 	Metrics sim.Metrics
-}
-
-// SupUtilityParallel is SupUtility with an explicit worker count.
-//
-// Deprecated: call SupUtility with WithParallelism(parallelism); this
-// wrapper only forwards.
-func SupUtilityParallel(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
-	sampler InputSampler, runs int, seed int64, parallelism int) (SupReport, error) {
-	return SupUtility(proto, advs, gamma, sampler, runs, seed,
-		WithParallelism(parallelism))
-}
-
-// SupUtilityObserved is SupUtility with an explicit worker count and the
-// engine's event stream exposed per strategy.
-//
-// Deprecated: call SupUtility with WithParallelism(parallelism) and
-// WithSupObserver(factory); this wrapper only forwards.
-func SupUtilityObserved(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
-	sampler InputSampler, runs int, seed int64, parallelism int, factory SupObserverFactory) (SupReport, error) {
-	return SupUtility(proto, advs, gamma, sampler, runs, seed,
-		WithParallelism(parallelism), WithSupObserver(factory))
 }
 
 // Relation is the outcome of comparing two protocols' sup-utilities under

@@ -1,0 +1,53 @@
+package service
+
+import "container/list"
+
+// lru is a fixed-capacity least-recently-used cache from uint64 keys to
+// immutable cached results. Not safe for concurrent use; the pool holds
+// its own lock.
+type lru struct {
+	cap   int
+	order *list.List // front = most recently used
+	items map[uint64]*list.Element
+}
+
+type lruEntry struct {
+	key uint64
+	val *Result
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, order: list.New(), items: make(map[uint64]*list.Element)}
+}
+
+// get returns the cached result and marks it most recently used.
+func (c *lru) get(key uint64) (*Result, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts (or refreshes) a result, evicting the least recently used
+// entry when over capacity.
+func (c *lru) put(key uint64, val *Result) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the entry count.
+func (c *lru) len() int { return c.order.Len() }

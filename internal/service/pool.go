@@ -1,0 +1,409 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/sim/trace"
+	"repro/internal/sweep"
+)
+
+// Config sizes a Pool.
+type Config struct {
+	// Workers is the number of concurrent job executors (0 = one per
+	// CPU). Each estimate/sup job additionally fans out across the
+	// estimator's own workers, so a small pool saturates the machine.
+	Workers int
+	// CacheSize is the LRU result-cache capacity in entries (0 selects
+	// DefaultCacheSize, negative disables caching).
+	CacheSize int
+	// Parallelism is the default estimator worker count per job
+	// (0 = one per CPU); WithJobParallelism overrides it per job.
+	// Scheduling only — results are identical for every setting.
+	Parallelism int
+	// RetainJobs bounds how many completed jobs stay addressable by ID
+	// (0 selects DefaultRetainJobs). The bound keeps an always-on
+	// daemon's job table from growing without limit.
+	RetainJobs int
+}
+
+// DefaultCacheSize is the result-cache capacity when Config.CacheSize
+// is zero.
+const DefaultCacheSize = 1024
+
+// DefaultRetainJobs is the completed-job retention bound when
+// Config.RetainJobs is zero.
+const DefaultRetainJobs = 4096
+
+// Stats are the pool's monotonic counters.
+type Stats struct {
+	// Submitted counts accepted jobs, including cache hits.
+	Submitted int64
+	// Completed counts jobs that finished successfully (cache hits
+	// included); Failed counts jobs whose execution returned an error.
+	Completed, Failed int64
+	// CacheHits counts submissions served from the result cache.
+	CacheHits int64
+	// CacheEntries is the current result-cache population.
+	CacheEntries int64
+}
+
+// Job is a submitted unit of work. Wait blocks until it completes.
+type Job struct {
+	// ID is the pool-unique job identifier, assigned at Submit.
+	ID uint64
+	// Kind echoes the parameter kind.
+	Kind Kind
+
+	params Params
+	opts   jobOptions
+
+	done   chan struct{}
+	result *Result
+	err    error
+}
+
+// Done returns a channel closed when the job has completed.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes and returns its result.
+func (j *Job) Wait() (*Result, error) {
+	<-j.done
+	return j.result, j.err
+}
+
+// Finished reports completion without blocking.
+func (j *Job) Finished() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Pool executes jobs on a bounded set of workers, merges their engine
+// metrics, and serves repeated cacheable submissions from an LRU result
+// cache. Submit and the accessors are safe for concurrent use.
+type Pool struct {
+	workers     int
+	parallelism int
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	cache    *lru
+	inflight map[uint64]*Job // cache key → executing leader job
+	jobs     map[uint64]*Job
+	retired  []uint64 // completed job IDs in completion order, for pruning
+	retain   int
+	nextID   uint64
+	stats    Stats
+	metrics  sim.Metrics
+	closed   bool
+}
+
+// New starts a pool. Close it to release the workers.
+func New(cfg Config) *Pool {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = core.DefaultParallelism()
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	retain := cfg.RetainJobs
+	if retain <= 0 {
+		retain = DefaultRetainJobs
+	}
+	p := &Pool{
+		workers:     workers,
+		parallelism: cfg.Parallelism,
+		queue:       make(chan *Job, 4*workers),
+		cache:       newLRU(cacheSize),
+		inflight:    make(map[uint64]*Job),
+		jobs:        make(map[uint64]*Job),
+		retain:      retain,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.queue {
+				p.execute(j)
+			}
+		}()
+	}
+	return p
+}
+
+// Close stops accepting jobs and waits for queued ones to finish.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.queue)
+	p.wg.Wait()
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: pool is closed")
+
+// cacheKey hashes a cacheable parameter set with the sweep's FNV-1a
+// cell-key scheme. Returns 0, false for uncacheable jobs.
+func cacheKey(params Params) (uint64, bool) {
+	ps := params.paramString()
+	if ps == "" {
+		return 0, false
+	}
+	return sweep.KeyHash(ps, params.seed()), true
+}
+
+// Submit validates params and enqueues the job. A cacheable submission
+// whose key is already resolved completes immediately with the cached
+// result (CacheHit set, zero job metrics: no simulation ran). Submit
+// blocks when every worker is busy and the queue is full.
+func (p *Pool) Submit(params Params, opts ...JobOption) (*Job, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	var jo jobOptions
+	jo.parallelism = p.parallelism
+	for _, o := range opts {
+		o(&jo)
+	}
+	key, cacheable := cacheKey(params)
+
+	j := &Job{Kind: params.Kind(), params: params, opts: jo, done: make(chan struct{})}
+	j.result = &Result{Kind: j.Kind, Key: key}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.nextID++
+	j.ID = p.nextID
+	p.jobs[j.ID] = j
+	p.stats.Submitted++
+	// Cache read, skipped for jobs with execution-local side effects
+	// (trace sinks, checkpoints, progress callbacks must still run).
+	if cacheable && !jo.local() {
+		if cached, ok := p.cache.get(key); ok {
+			j.result = hitResult(cached)
+			p.stats.CacheHits++
+			p.completeLocked(j)
+			p.mu.Unlock()
+			close(j.done)
+			return j, nil
+		}
+		// Single-flight: a duplicate of an executing job follows its
+		// leader instead of recomputing — a thundering herd of equal
+		// requests costs one execution. Followers count as cache hits:
+		// they run no simulation and alias the leader's result.
+		if leader, ok := p.inflight[key]; ok {
+			p.stats.CacheHits++
+			p.mu.Unlock()
+			go func() {
+				<-leader.done
+				p.mu.Lock()
+				if leader.err != nil {
+					j.err = leader.err
+				} else {
+					j.result = hitResult(leader.result)
+				}
+				p.completeLocked(j)
+				p.mu.Unlock()
+				close(j.done)
+			}()
+			return j, nil
+		}
+		p.inflight[key] = j
+	}
+	p.mu.Unlock()
+
+	p.queue <- j
+	return j, nil
+}
+
+// hitResult copies a completed result as a cache hit: same immutable
+// report, zero job metrics (no simulation ran).
+func hitResult(src *Result) *Result {
+	hit := *src
+	hit.CacheHit = true
+	hit.Metrics = sim.Metrics{}
+	return &hit
+}
+
+// Job returns a submitted job by ID while it is retained.
+func (p *Pool) Job(id uint64) (*Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	return j, ok
+}
+
+// Metrics returns the engine metrics merged across every job this pool
+// has executed (cache hits contribute nothing: they run no simulation).
+func (p *Pool) Metrics() sim.Metrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.metrics
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.CacheEntries = int64(p.cache.len())
+	return s
+}
+
+// completeLocked records a finished job and prunes retained ones.
+// Callers hold p.mu and close j.done after unlocking.
+func (p *Pool) completeLocked(j *Job) {
+	if j.err != nil {
+		p.stats.Failed++
+	} else {
+		p.stats.Completed++
+	}
+	p.retired = append(p.retired, j.ID)
+	for len(p.retired) > p.retain {
+		delete(p.jobs, p.retired[0])
+		p.retired = p.retired[1:]
+	}
+}
+
+// execute runs one job on a worker goroutine.
+func (p *Pool) execute(j *Job) {
+	res, err := p.run(j)
+
+	p.mu.Lock()
+	if err != nil {
+		j.err = err
+	} else {
+		j.result = res
+		p.metrics.Add(res.Metrics)
+	}
+	if key, cacheable := cacheKey(j.params); cacheable {
+		if err == nil {
+			p.cache.put(key, res)
+		}
+		if p.inflight[key] == j {
+			delete(p.inflight, key)
+		}
+	}
+	p.completeLocked(j)
+	p.mu.Unlock()
+	close(j.done)
+}
+
+// run dispatches on the job kind and produces its immutable result.
+func (p *Pool) run(j *Job) (*Result, error) {
+	key, _ := cacheKey(j.params)
+	res := &Result{Kind: j.Kind, Key: key}
+	switch params := j.params.(type) {
+	case EstimateParams:
+		proto, sampler, err := BuildProtocol(params.Proto)
+		if err != nil {
+			return nil, err
+		}
+		adv, err := BuildAdversary(params.Adv, proto.NumParties())
+		if err != nil {
+			return nil, err
+		}
+		opts := []core.Option{core.WithParallelism(j.opts.parallelism)}
+		if sink := j.opts.traceSink; sink != nil {
+			label := j.opts.traceLabel
+			opts = append(opts, core.WithObserver(func(run int) sim.Observer {
+				return sink.Recorder(trace.Meta{Strategy: label, Run: run})
+			}))
+		}
+		rep, err := core.EstimateUtility(proto, adv, resolvePayoff(params.Gamma, params.Proto),
+			sampler, params.Runs, params.Seed, opts...)
+		if err != nil {
+			return nil, err
+		}
+		res.Estimate = &rep
+		res.Metrics = rep.Metrics
+
+	case SupParams:
+		proto, sampler, err := BuildProtocol(params.Proto)
+		if err != nil {
+			return nil, err
+		}
+		advs := make([]core.NamedAdversary, len(params.Advs))
+		for i, name := range params.Advs {
+			adv, err := BuildAdversary(name, proto.NumParties())
+			if err != nil {
+				return nil, err
+			}
+			advs[i] = core.NamedAdversary{Name: name, Adv: adv}
+		}
+		opts := []core.Option{core.WithParallelism(j.opts.parallelism)}
+		if sink := j.opts.traceSink; sink != nil {
+			opts = append(opts, core.WithSupObserver(func(strategy string, run int) sim.Observer {
+				return sink.Recorder(trace.Meta{Strategy: strategy, Run: run})
+			}))
+		}
+		rep, err := core.SupUtility(proto, advs, resolvePayoff(params.Gamma, params.Proto),
+			sampler, params.Runs, params.Seed, opts...)
+		if err != nil {
+			return nil, err
+		}
+		res.Sup = &rep
+		res.Metrics = rep.Metrics
+
+	case SweepParams:
+		sum, err := sweep.Run(params.Spec, j.opts.checkpoint, j.opts.progress)
+		switch {
+		case err == nil:
+		case errors.Is(err, sweep.ErrBreach):
+			// A breach is a certified negative outcome, not a job
+			// failure: the summary is complete and cacheable.
+			res.Breached = true
+		default:
+			return nil, err
+		}
+		res.Sweep = sum
+
+	case ExperimentParams:
+		cfg := params.Config
+		selected := map[string]bool{}
+		for _, id := range params.IDs {
+			selected[id] = true
+		}
+		for _, e := range experiments.All() {
+			if len(selected) > 0 && !selected[e.ID] {
+				continue
+			}
+			// A fresh collector per experiment, as the fairness command
+			// has always printed per-experiment engine lines.
+			ecfg := cfg
+			col := &experiments.MetricsCollector{}
+			ecfg.Metrics = col
+			r, err := e.Run(ecfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", e.ID, err)
+			}
+			r.Metrics = col.Total()
+			res.Metrics.Add(r.Metrics)
+			res.Experiments = append(res.Experiments, r)
+		}
+
+	default:
+		return nil, fmt.Errorf("service: unknown params type %T", j.params)
+	}
+	return res, nil
+}

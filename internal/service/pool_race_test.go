@@ -1,0 +1,118 @@
+package service
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestMixedJobsMetricsAggregation hammers the pool with concurrent
+// estimate, sup, and sweep jobs — including deliberate repeats that
+// exercise the cache-hit fast path — and asserts the pool's merged
+// metrics equal the sum of every job's own metrics, and the counters
+// add up. Run under -race this doubles as the service layer's
+// concurrency test (CI runs ./internal/service in the race matrix).
+func TestMixedJobsMetricsAggregation(t *testing.T) {
+	p := New(Config{Workers: 4, CacheSize: 32, Parallelism: 2})
+	defer p.Close()
+
+	type submission struct {
+		params Params
+	}
+	var subs []submission
+	// A mix of distinct parameter points plus repeats of each; repeats
+	// race each other to the cache, so both fresh and hit paths run.
+	protoAdv := []struct{ proto, adv string }{
+		{"pi1", "agen"},
+		{"pi2", "lock-abort:1"},
+		{"2sfe-opt", "lock-abort:2"},
+		{"2sfe-oneround", "agen"},
+		{"gk-pitilde", "passive"},
+	}
+	for _, pa := range protoAdv {
+		for rep := 0; rep < 4; rep++ {
+			subs = append(subs, submission{EstimateParams{
+				Proto: pa.proto, Adv: pa.adv, Runs: 60, Seed: 11,
+			}})
+		}
+	}
+	for rep := 0; rep < 4; rep++ {
+		subs = append(subs, submission{SupParams{
+			Proto: "2sfe-opt", Advs: []string{"passive", "lock-abort:1"}, Runs: 40, Seed: 3,
+		}})
+	}
+	spec := tinySweepSpec()
+	for rep := 0; rep < 2; rep++ {
+		subs = append(subs, submission{SweepParams{Spec: spec}})
+	}
+
+	var (
+		mu       sync.Mutex
+		sum      sim.Metrics
+		hits     int64
+		finished int64
+	)
+	var wg sync.WaitGroup
+	for _, s := range subs {
+		wg.Add(1)
+		go func(params Params) {
+			defer wg.Done()
+			j, err := p.Submit(params)
+			if err != nil {
+				t.Errorf("Submit(%+v): %v", params, err)
+				return
+			}
+			res, err := j.Wait()
+			if err != nil {
+				t.Errorf("Wait(%+v): %v", params, err)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			finished++
+			sum.Add(res.Metrics)
+			if res.CacheHit {
+				hits++
+				if res.Metrics != (sim.Metrics{}) {
+					t.Errorf("cache hit carried metrics %+v", res.Metrics)
+				}
+			}
+		}(s.params)
+	}
+	wg.Wait()
+
+	if got := p.Metrics(); got != sum {
+		t.Fatalf("pool metrics %+v != sum of per-job metrics %+v", got, sum)
+	}
+	st := p.Stats()
+	if st.Submitted != int64(len(subs)) {
+		t.Fatalf("submitted %d, want %d", st.Submitted, len(subs))
+	}
+	if st.Completed+st.Failed != st.Submitted {
+		t.Fatalf("completed %d + failed %d != submitted %d", st.Completed, st.Failed, st.Submitted)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("%d jobs failed", st.Failed)
+	}
+	if st.CacheHits != hits {
+		t.Fatalf("pool counted %d cache hits, callers saw %d", st.CacheHits, hits)
+	}
+	if finished != int64(len(subs)) {
+		t.Fatalf("finished %d, want %d", finished, len(subs))
+	}
+
+	// Determinism across the whole hammer: resubmitting any point now
+	// must be a pure cache hit with the identical report.
+	j, err := p.Submit(EstimateParams{Proto: "pi1", Adv: "agen", Runs: 60, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("post-hammer resubmission missed the cache")
+	}
+}

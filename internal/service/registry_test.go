@@ -1,0 +1,55 @@
+package service
+
+import "testing"
+
+func TestBuildProtocolAll(t *testing.T) {
+	names := []string{
+		"pi1", "pi2", "2sfe-opt", "2sfe-fixed2", "2sfe-oneround",
+		"nsfe-opt:3", "nsfe-gmw12:4", "nsfe-lemma18:4", "nsfe-hybrid:5",
+		"gk-polydomain:2", "gk-polyrange:2", "gk-pitilde",
+		"nsfe-opt", // default n
+	}
+	for _, name := range names {
+		p, sampler, err := BuildProtocol(name)
+		if err != nil {
+			t.Errorf("BuildProtocol(%q): %v", name, err)
+			continue
+		}
+		if p == nil || sampler == nil {
+			t.Errorf("BuildProtocol(%q): nil result", name)
+		}
+	}
+}
+
+func TestBuildProtocolErrors(t *testing.T) {
+	for _, name := range []string{"bogus", "nsfe-opt:x", "gk-polydomain:-1"} {
+		if _, _, err := BuildProtocol(name); err == nil {
+			t.Errorf("BuildProtocol(%q) succeeded", name)
+		}
+	}
+}
+
+func TestBuildAdversaryAll(t *testing.T) {
+	names := []string{
+		"passive", "agen", "allbut-mixer", "leak-extractor",
+		"static:1", "lock-abort:1+2", "setup-abort:2", "abort:3:1+2",
+	}
+	for _, name := range names {
+		adv, err := BuildAdversary(name, 3)
+		if err != nil {
+			t.Errorf("BuildAdversary(%q): %v", name, err)
+			continue
+		}
+		if adv == nil {
+			t.Errorf("BuildAdversary(%q): nil", name)
+		}
+	}
+}
+
+func TestBuildAdversaryErrors(t *testing.T) {
+	for _, name := range []string{"bogus", "lock-abort", "lock-abort:x", "abort:1", "abort:x:1", "abort:1:y"} {
+		if _, err := BuildAdversary(name, 3); err == nil {
+			t.Errorf("BuildAdversary(%q) succeeded", name)
+		}
+	}
+}

@@ -74,7 +74,7 @@ func (s *Sweep) header() header {
 		Version: checkpointVersion,
 		Seed:    s.Spec.Seed,
 		Records: s.Records(),
-		Grid:    fmt.Sprintf("%016x", keyHash(keys, s.Spec.Seed)),
+		Grid:    fmt.Sprintf("%016x", KeyHash(keys, s.Spec.Seed)),
 	}
 }
 

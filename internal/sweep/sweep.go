@@ -153,9 +153,12 @@ func gammaString(g core.Payoff) string {
 	return fmt.Sprintf("%g,%g,%g,%g", g.G00, g.G01, g.G10, g.G11)
 }
 
-// keyHash hashes a canonical parameter string together with the sweep
-// seed (FNV-1a 64).
-func keyHash(params string, seed int64) uint64 {
+// KeyHash hashes a canonical parameter string together with a seed
+// (FNV-1a 64). It is the sweep's cell-key function, exported so the
+// service layer can key its result cache with the identical scheme:
+// same canonical params + same seed ⇒ same key ⇒ (by the estimator's
+// determinism contract) same result.
+func KeyHash(params string, seed int64) uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|seed=%d", params, seed)
 	return h.Sum64()
@@ -425,7 +428,7 @@ func Plan(spec Spec) (*Sweep, error) {
 				if !complete || len(plan.cellIdx) == 0 {
 					continue
 				}
-				plan.Key = fmt.Sprintf("%016x", keyHash(plan.paramString(), spec.Seed))
+				plan.Key = fmt.Sprintf("%016x", KeyHash(plan.paramString(), spec.Seed))
 				sw.Sums = append(sw.Sums, plan)
 			}
 		}
@@ -455,7 +458,7 @@ func Plan(spec Spec) (*Sweep, error) {
 			}
 			c.Runs = runs
 		}
-		h := keyHash(fmt.Sprintf("%s|runs=%d", c.paramString(), c.Runs), spec.Seed)
+		h := KeyHash(fmt.Sprintf("%s|runs=%d", c.paramString(), c.Runs), spec.Seed)
 		c.Key = fmt.Sprintf("%016x", h)
 		c.Seed = int64(h &^ (1 << 63))
 	}
