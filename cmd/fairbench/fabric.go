@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/faultinject"
+	"repro/internal/sweep"
+	"repro/internal/transport"
+)
+
+// fabricReport is the "fabric" section of BENCH_service.json: the
+// distributed sweep fabric's throughput against the single-machine
+// baseline over the same grid, plus the recovery-time-after-kill
+// metric from a worker crashed mid-run.
+type fabricReport struct {
+	Generated         string    `json:"generated"`
+	GoVersion         string    `json:"go_version"`
+	CPUs              int       `json:"cpus"`
+	Workers           int       `json:"workers"`
+	Cells             int       `json:"cells"`
+	Runs              int       `json:"runs"`
+	SingleElapsedMS   float64   `json:"single_elapsed_ms"`
+	SingleCellsPerSec float64   `json:"single_cells_per_sec"`
+	ElapsedMS         float64   `json:"elapsed_ms"`
+	CellsPerSec       float64   `json:"cells_per_sec"`
+	Deaths            int       `json:"deaths"`
+	Steals            int       `json:"steals"`
+	RecoveriesMS      []float64 `json:"recoveries_ms,omitempty"`
+	ByteIdentical     bool      `json:"byte_identical"`
+}
+
+// serviceDoc mirrors BENCH_service.json: the selfcheck history is
+// carried opaquely (fairnessd owns it — see selfcheckTrajectory's
+// matching Fabric passthrough), and this side owns the fabric key.
+type serviceDoc struct {
+	History json.RawMessage `json:"history,omitempty"`
+	Fabric  *fabricReport   `json:"fabric,omitempty"`
+}
+
+// fabricBenchSpec is the benchmark grid: broad enough that leases
+// split meaningfully across workers, small enough for CI.
+func fabricBenchSpec(runs int, seed int64) sweep.Spec {
+	return sweep.Spec{
+		Families:   []string{"oneround", "optn", "2sfe"},
+		Gammas:     []core.Payoff{core.StandardPayoff()},
+		Ns:         []int{2, 3},
+		Costs:      []string{"zero", "optimal"},
+		AbortSweep: true,
+		Runs:       runs,
+		Seed:       seed,
+	}
+}
+
+// runFabricBench times the same sweep grid twice — single-machine
+// sweep.Run, then the fabric with `workers` in-process workers, one of
+// which is crashed mid-run by a seeded kill profile — verifies the two
+// checkpoints are byte-identical, and writes the fabric section of
+// outPath (preserving the fairnessd selfcheck history already there).
+func runFabricBench(workers, runs int, seed int64, outPath string) error {
+	spec := fabricBenchSpec(runs, seed)
+	plan, err := sweep.Plan(spec)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "fairbench-fabric")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	singlePath := filepath.Join(dir, "single.jsonl")
+	fabricPath := filepath.Join(dir, "fabric.jsonl")
+
+	fmt.Printf("fabric bench: %d cells, %d workers, one seeded mid-run kill\n", len(plan.Cells), workers)
+	singleStart := time.Now()
+	if _, err := sweep.Run(spec, singlePath, nil); err != nil {
+		return fmt.Errorf("single-machine baseline: %w", err)
+	}
+	singleElapsed := time.Since(singleStart)
+
+	// Crash one worker for real: the kill profile severs its stream at
+	// an early record frame with no goodbye, so the run exercises death
+	// detection, re-lease, and recovery — not just the happy path.
+	kill, err := faultinject.NewRandom(1, faultinject.Profile{KillParty: 1, KillRound: 3})
+	if err != nil {
+		return err
+	}
+	cfg := fabric.Config{
+		Spec:         spec,
+		Workers:      workers,
+		LeaseTTL:     fabric.DefaultLocalTTL,
+		Checkpoint:   fabricPath,
+		WorkerStream: transport.StreamConfig{Fault: kill},
+	}
+	sum, stats, err := fabric.RunLocal(cfg, workers)
+	if err != nil {
+		return fmt.Errorf("fabric run: %w", err)
+	}
+	if !sum.OK() {
+		return fmt.Errorf("fabric run: %d bound breaches", len(sum.Breaches))
+	}
+
+	want, err := os.ReadFile(singlePath)
+	if err != nil {
+		return err
+	}
+	got, err := os.ReadFile(fabricPath)
+	if err != nil {
+		return err
+	}
+	identical := bytes.Equal(want, got)
+
+	rep := &fabricReport{
+		Generated:         time.Now().UTC().Format(time.RFC3339),
+		GoVersion:         runtime.Version(),
+		CPUs:              runtime.NumCPU(),
+		Workers:           workers,
+		Cells:             stats.Cells,
+		Runs:              runs,
+		SingleElapsedMS:   float64(singleElapsed.Microseconds()) / 1e3,
+		SingleCellsPerSec: float64(stats.Cells) / singleElapsed.Seconds(),
+		ElapsedMS:         stats.ElapsedMS,
+		CellsPerSec:       stats.CellsPerSec,
+		Deaths:            stats.Deaths,
+		Steals:            stats.Steals,
+		RecoveriesMS:      stats.RecoveriesMS,
+		ByteIdentical:     identical,
+	}
+
+	var doc serviceDoc
+	if data, err := os.ReadFile(outPath); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("unrecognized schema in %s: %w", outPath, err)
+		}
+	}
+	doc.Fabric = rep
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("fabric bench: single %.1f cells/s, fabric %.1f cells/s, deaths=%d recoveries=%v byte-identical=%v\n",
+		rep.SingleCellsPerSec, rep.CellsPerSec, rep.Deaths, rep.RecoveriesMS, identical)
+	fmt.Printf("wrote fabric section to %s\n", outPath)
+	if !identical {
+		return fmt.Errorf("fabric checkpoint differs from single-machine checkpoint")
+	}
+	if rep.Deaths == 0 {
+		return fmt.Errorf("kill profile produced no worker death; recovery metric is empty")
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunFabricBench pins the fabric benchmark end-to-end: it must
+// crash a worker, verify byte-identity, and write the fabric section
+// into the service report without touching the selfcheck history.
+func TestRunFabricBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fabric benchmark skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_service.json")
+	seed := `{"history":[{"generated":"pinned"}]}`
+	if err := os.WriteFile(out, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := runFabricBench(3, 30, 11, out); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc serviceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Fabric == nil {
+		t.Fatal("no fabric section written")
+	}
+	if !doc.Fabric.ByteIdentical {
+		t.Error("fabric checkpoint not byte-identical to single-machine run")
+	}
+	if doc.Fabric.Deaths < 1 {
+		t.Errorf("Deaths = %d, want >= 1", doc.Fabric.Deaths)
+	}
+	if len(doc.Fabric.RecoveriesMS) == 0 {
+		t.Error("no recovery timings recorded")
+	}
+	var hist []map[string]any
+	if err := json.Unmarshal(doc.History, &hist); err != nil {
+		t.Fatalf("selfcheck history mangled: %v", err)
+	}
+	if len(hist) != 1 || hist[0]["generated"] != "pinned" {
+		t.Errorf("selfcheck history not preserved: %s", doc.History)
+	}
+}

@@ -16,6 +16,14 @@
 // Usage:
 //
 //	fairbench [-runs N] [-seed S] [-o BENCH_estimator.json]
+//	fairbench -fabric [-fabric-workers N] [-fabric-runs R] [-service-o BENCH_service.json]
+//
+// -fabric benchmarks the distributed sweep fabric instead: the same
+// grid is swept single-machine and then across N in-process workers
+// (one crashed mid-run by a seeded kill), the checkpoints are verified
+// byte-identical, and cells/sec plus recovery-time-after-kill land in
+// the fabric section of BENCH_service.json (the selfcheck history
+// already there is preserved).
 package main
 
 import (
@@ -179,8 +187,15 @@ func run(args []string) error {
 		SeedUsage: "estimation seed",
 	})
 	out := fs.String("o", "BENCH_estimator.json", "output file")
+	fabricBench := fs.Bool("fabric", false, "benchmark the distributed sweep fabric instead of the estimator")
+	fabricWorkers := fs.Int("fabric-workers", 4, "in-process fabric workers (-fabric mode)")
+	fabricRuns := fs.Int("fabric-runs", 60, "Monte-Carlo runs per sweep cell (-fabric mode)")
+	serviceOut := fs.String("service-o", "BENCH_service.json", "fabric report file (-fabric mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fabricBench {
+		return runFabricBench(*fabricWorkers, *fabricRuns, est.Seed, *serviceOut)
 	}
 
 	cpus := runtime.NumCPU()

@@ -62,6 +62,7 @@ func run(args []string) error {
 		Parallel:  true,
 	})
 	chaos := cliflags.RegisterChaos(fs)
+	maxBody := fs.Int64("max-body-bytes", defaultMaxBody, "request body size limit in bytes")
 	selfcheck := fs.Bool("selfcheck", false, "run the load harness instead of serving")
 	scRequests := fs.Int("selfcheck-requests", 200, "selfcheck request count")
 	scOut := fs.String("o", "BENCH_service.json", "selfcheck report file")
@@ -82,7 +83,7 @@ func run(args []string) error {
 		Parallelism: est.Parallel,
 	})
 	defer pool.Close()
-	srv := newServer(pool, chaos, est.Runs)
+	srv := newServer(pool, chaos, est.Runs, *maxBody)
 
 	if *selfcheck {
 		return runSelfcheck(srv, pool, *scRequests, *scOut)

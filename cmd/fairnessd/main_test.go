@@ -25,7 +25,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *service.Pool) {
 	contract.RegisterGobTypes()
 	pool := service.New(service.Config{Workers: 4, CacheSize: 128, Parallelism: 2})
 	t.Cleanup(pool.Close)
-	ts := httptest.NewServer(newServer(pool, &cliflags.Chaos{Timeout: 2 * time.Second}, 1000))
+	ts := httptest.NewServer(newServer(pool, &cliflags.Chaos{Timeout: 2 * time.Second}, 1000, 0))
 	t.Cleanup(ts.Close)
 	return ts, pool
 }

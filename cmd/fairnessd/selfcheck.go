@@ -35,8 +35,11 @@ type selfcheckReport struct {
 
 // selfcheckTrajectory is the BENCH_service.json document: every
 // invocation appends to the history (the fairbench convention).
+// Fabric is fairbench's distributed-sweep benchmark section, carried
+// opaquely so a selfcheck rewrite never drops or reorders it.
 type selfcheckTrajectory struct {
 	History []selfcheckReport `json:"history"`
+	Fabric  json.RawMessage   `json:"fabric,omitempty"`
 }
 
 // selfcheckPoints are the estimation parameter points the harness

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -20,6 +21,11 @@ import (
 // byte-identical to the fresh one (the daemon's determinism contract).
 const cacheHeader = "X-Fairnessd-Cache"
 
+// defaultMaxBody caps request bodies at 1 MiB. The largest legitimate
+// request — a sweep spec with every list populated — is a few KiB, so
+// the cap only ever cuts off hostile or accidental floods.
+const defaultMaxBody = 1 << 20
+
 // server is the fairnessd HTTP surface over one service pool.
 type server struct {
 	pool *service.Pool
@@ -28,12 +34,17 @@ type server struct {
 	chaos *cliflags.Chaos
 	// defaultRuns fills estimate/sup requests that omit a run count.
 	defaultRuns int
-	start       time.Time
-	mux         *http.ServeMux
+	// maxBody bounds request body bytes (≤0 selects defaultMaxBody).
+	maxBody int64
+	start   time.Time
+	mux     *http.ServeMux
 }
 
-func newServer(pool *service.Pool, chaos *cliflags.Chaos, defaultRuns int) *server {
-	s := &server{pool: pool, chaos: chaos, defaultRuns: defaultRuns, start: time.Now()}
+func newServer(pool *service.Pool, chaos *cliflags.Chaos, defaultRuns int, maxBody int64) *server {
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
+	s := &server{pool: pool, chaos: chaos, defaultRuns: defaultRuns, maxBody: maxBody, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("POST /v1/sup", s.handleSup)
@@ -65,10 +76,20 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorView{Error: err.Error()})
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
+// decodeBody decodes a JSON request body under the server's size cap.
+// Oversized bodies answer 413 (MaxBytesReader also closes the
+// connection, so the flood stops at the cap rather than being read).
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
@@ -155,11 +176,13 @@ func markCache(w http.ResponseWriter, res *service.Result) {
 
 func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var params service.EstimateParams
-	if !decodeBody(w, r, &params) {
+	if !s.decodeBody(w, r, &params) {
 		return
 	}
 	params.Runs = s.fillRuns(params.Runs)
-	job, err := s.pool.Submit(params)
+	// Synchronous job: tie its lifetime to the request so a client that
+	// hangs up frees the queue slot instead of burning a worker.
+	job, err := s.pool.Submit(params, service.WithJobContext(r.Context()))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -207,11 +230,12 @@ type supResponse struct {
 
 func (s *server) handleSup(w http.ResponseWriter, r *http.Request) {
 	var params service.SupParams
-	if !decodeBody(w, r, &params) {
+	if !s.decodeBody(w, r, &params) {
 		return
 	}
 	params.Runs = s.fillRuns(params.Runs)
-	job, err := s.pool.Submit(params)
+	// Synchronous like estimate: canceled requests cancel the job.
+	job, err := s.pool.Submit(params, service.WithJobContext(r.Context()))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -263,9 +287,12 @@ type sweepView struct {
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var params service.SweepParams
-	if !decodeBody(w, r, &params) {
+	if !s.decodeBody(w, r, &params) {
 		return
 	}
+	// Deliberately NOT tied to r.Context(): the sweep is async — the 202
+	// response ends the request, and the job must outlive it for the
+	// client to poll /v1/jobs/{id}.
 	job, err := s.pool.Submit(params)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -350,7 +377,7 @@ type sessionResponse struct {
 
 func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 	var req sessionRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	proto, _, err := service.BuildProtocol(req.Proto)

@@ -1,0 +1,109 @@
+package fabric
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/transport"
+)
+
+// chaosTTL is shorter than DefaultLocalTTL so injected losses heal in
+// sub-second resume cycles and the matrix stays fast.
+const chaosTTL = 800 * time.Millisecond
+
+// TestFabricChaosMatrix drives coordinator↔worker links through seeded
+// faultinject profiles — drops, reorders, duplicates, disconnects, and
+// a crash-at-round kill — and asserts the deterministic verdict: the
+// merged certified report is byte-identical to the single-machine run,
+// every cell certified exactly once (Merge validates the full record
+// sequence; duplicates are counted, not merged). Profiles are pure
+// hashes of (seed, party, dir, seq), so each case replays identically.
+func TestFabricChaosMatrix(t *testing.T) {
+	spec := fabricSpec()
+	ref := singleMachineBytes(t, spec)
+
+	cases := []struct {
+		name       string
+		coord      faultinject.Profile // host→client frames
+		worker     faultinject.Profile // client→host frames
+		wantDeaths int
+	}{
+		{name: "drops-both-directions",
+			coord:  faultinject.Profile{Drop: 0.02},
+			worker: faultinject.Profile{Drop: 0.02}},
+		{name: "reorder-duplicate",
+			coord:  faultinject.Profile{Reorder: 0.05, Duplicate: 0.05},
+			worker: faultinject.Profile{Reorder: 0.05, Duplicate: 0.05}},
+		{name: "disconnects",
+			coord:  faultinject.Profile{Disconnect: 0.02},
+			worker: faultinject.Profile{Disconnect: 0.02}},
+		{name: "crash-at-round",
+			worker:     faultinject.Profile{KillParty: 1, KillRound: 3},
+			wantDeaths: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			coordInj, err := faultinject.NewRandom(1000, tc.coord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			workerInj, err := faultinject.NewRandom(2000, tc.worker)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "chaos.jsonl")
+			cfg := Config{
+				Spec:         spec,
+				LeaseTTL:     chaosTTL,
+				MinSteal:     2,
+				Checkpoint:   path,
+				Stream:       transport.StreamConfig{Fault: coordInj},
+				WorkerStream: transport.StreamConfig{Fault: workerInj},
+			}
+			sum, stats, err := RunLocal(cfg, 3)
+			if err != nil {
+				t.Fatalf("RunLocal: %v (stats %+v)", err, stats)
+			}
+			if !sum.OK() {
+				t.Fatalf("unexpected breaches: %d", len(sum.Breaches))
+			}
+			assertByteIdentical(t, ref, path)
+			if stats.Deaths < tc.wantDeaths {
+				t.Errorf("stats.Deaths = %d, want >= %d", stats.Deaths, tc.wantDeaths)
+			}
+			t.Logf("stats: %+v", stats)
+		})
+	}
+}
+
+// TestFabricScheduledLeaseDrop targets the protocol rather than the
+// odds: a Schedule drops early coordinator→worker frames outright
+// (whichever control frames they carry), and the run must still
+// converge byte-identically via resume replay.
+func TestFabricScheduledLeaseDrop(t *testing.T) {
+	spec := fabricSpec()
+	ref := singleMachineBytes(t, spec)
+	path := filepath.Join(t.TempDir(), "sched.jsonl")
+
+	sched := faultinject.NewSchedule(
+		faultinject.Rule{Dir: faultinject.DirHostToClient, Seq: 2, Op: faultinject.Drop, Times: 3},
+		faultinject.Rule{Dir: faultinject.DirHostToClient, Seq: 5, Op: faultinject.Drop, Times: 3},
+	)
+	cfg := Config{
+		Spec:       spec,
+		LeaseTTL:   chaosTTL,
+		MinSteal:   2,
+		Checkpoint: path,
+		Stream:     transport.StreamConfig{Fault: sched},
+	}
+	sum, stats, err := RunLocal(cfg, 3)
+	if err != nil {
+		t.Fatalf("RunLocal: %v (stats %+v)", err, stats)
+	}
+	if !sum.OK() {
+		t.Fatalf("unexpected breaches: %d", len(sum.Breaches))
+	}
+	assertByteIdentical(t, ref, path)
+}

@@ -1,0 +1,486 @@
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+	"repro/internal/transport"
+)
+
+// lease is one contiguous [start, end) slice of the plan's cell order,
+// held by exactly one worker. next is the first index the coordinator
+// has not yet received: records per lease arrive in order (the stream
+// is in-order and the worker computes in order), so next is exact, and
+// [next, end) is precisely the work lost if the holder dies.
+type lease struct {
+	id         int
+	start, end int
+	next       int
+	w          *workerState
+}
+
+type workerState struct {
+	sc    *transport.StreamConn
+	lease *lease
+	gone  bool // dead or retired; guarded by Coordinator.mu
+}
+
+type recovery struct {
+	t0         time.Time
+	start, end int
+}
+
+// Coordinator owns the lease table for one sweep and merges the
+// records its workers stream back. Create with NewCoordinator, then
+// Run; workers join at Addr any time before completion.
+type Coordinator struct {
+	cfg  Config
+	plan *sweep.Sweep
+	grid string
+	srv  *transport.StreamServer
+
+	mu         sync.Mutex
+	got        []bool
+	recs       []sweep.Record
+	cellsGot   int
+	queue      []sweep.CellRange
+	leases     map[int]*lease
+	nextLease  int
+	live       int
+	stats      Stats
+	recovering []recovery
+	failErr    error
+
+	doneCh   chan struct{}
+	failCh   chan struct{}
+	doneOnce sync.Once
+	failOnce sync.Once
+}
+
+// NewCoordinator plans the sweep, splits the cell order into the
+// initial lease queue, and starts listening. Run does the rest.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	plan, err := sweep.Plan(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := transport.ListenStream(cfg.Addr, cfg.Stream)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		plan:   plan,
+		grid:   plan.GridFingerprint(),
+		srv:    srv,
+		got:    make([]bool, len(plan.Cells)),
+		recs:   make([]sweep.Record, len(plan.Cells)),
+		queue:  sweep.SplitRanges(len(plan.Cells), cfg.Workers*cfg.SplitFactor),
+		leases: make(map[int]*lease),
+		doneCh: make(chan struct{}),
+		failCh: make(chan struct{}),
+	}
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address (resolves ephemeral
+// ports) — what workers pass to NewWorker.
+func (c *Coordinator) Addr() string { return c.srv.Addr() }
+
+// Run accepts workers, drives the lease protocol to completion, and
+// merges the records into the certified report (written to
+// cfg.Checkpoint when set). The returned Stats describe the run even
+// when the error is non-nil; like sweep.Run, a certification breach
+// comes back as a valid summary plus an ErrBreach-wrapping error.
+func (c *Coordinator) Run() (*sweep.Summary, Stats, error) {
+	start := time.Now()
+	go c.watchdog()
+
+	var wg sync.WaitGroup
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			select {
+			case <-c.doneCh:
+				return
+			case <-c.failCh:
+				return
+			default:
+			}
+			sc, err := c.srv.Accept(200 * time.Millisecond)
+			if err != nil {
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.serve(sc)
+			}()
+		}
+	}()
+
+	select {
+	case <-c.doneCh:
+	case <-c.failCh:
+	}
+	c.srv.Close()
+	<-acceptDone
+	// Give serve loops a bounded window to exchange done/bye; stragglers
+	// hold closed conns and die on their own.
+	waitTimeout(&wg, 2*c.cfg.LeaseTTL)
+
+	c.mu.Lock()
+	failErr := c.failErr
+	stats := c.stats
+	stats.RecoveriesMS = append([]float64(nil), c.stats.RecoveriesMS...)
+	recs := append([]sweep.Record(nil), c.recs...)
+	c.mu.Unlock()
+
+	elapsed := time.Since(start)
+	stats.ElapsedMS = float64(elapsed.Microseconds()) / 1000.0
+	if secs := elapsed.Seconds(); secs > 0 {
+		stats.CellsPerSec = float64(stats.Cells) / secs
+	}
+	if failErr != nil {
+		return nil, stats, failErr
+	}
+	sum, err := c.plan.Merge(c.cfg.Checkpoint, recs, c.cfg.Progress)
+	return sum, stats, err
+}
+
+func (c *Coordinator) fail(err error) {
+	c.failOnce.Do(func() {
+		c.mu.Lock()
+		c.failErr = err
+		c.mu.Unlock()
+		close(c.failCh)
+	})
+}
+
+func (c *Coordinator) isDone() bool {
+	select {
+	case <-c.doneCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// watchdog fails the run when no live worker exists for
+// NoWorkerTimeout while cells remain — the only way a fabric run ends
+// without either a merged report or a real error.
+func (c *Coordinator) watchdog() {
+	tick := time.NewTicker(c.cfg.LeaseTTL / 2)
+	defer tick.Stop()
+	var idleSince time.Time
+	for {
+		select {
+		case <-c.doneCh:
+			return
+		case <-c.failCh:
+			return
+		case <-tick.C:
+		}
+		c.mu.Lock()
+		live, got, total := c.live, c.cellsGot, len(c.got)
+		c.mu.Unlock()
+		if got == total {
+			return
+		}
+		if live > 0 {
+			idleSince = time.Time{}
+			continue
+		}
+		if idleSince.IsZero() {
+			idleSince = time.Now()
+			continue
+		}
+		if time.Since(idleSince) > c.cfg.NoWorkerTimeout {
+			c.fail(fmt.Errorf("fabric: no live workers for %v with %d of %d cells outstanding",
+				c.cfg.NoWorkerTimeout, total-got, total))
+			return
+		}
+	}
+}
+
+// serve drives one worker: handshake, then a lease/record loop until
+// the sweep completes or the worker goes silent past the lease TTL.
+func (c *Coordinator) serve(sc *transport.StreamConn) {
+	defer sc.Close()
+	w := &workerState{sc: sc}
+
+	// Handshake: join → spec → ready, with the grid fingerprint checked
+	// both ways. A worker that planned a different grid would stream
+	// records for the wrong cells; refuse it outright.
+	m, err := recvMsg(sc, c.cfg.LeaseTTL)
+	if err != nil || m.Kind != kindJoin {
+		return
+	}
+	spec := c.cfg.Spec
+	if sendMsg(sc, msg{
+		Kind:        kindSpec,
+		Spec:        &spec,
+		Grid:        c.grid,
+		HeartbeatMS: c.cfg.Heartbeat.Milliseconds(),
+	}) != nil {
+		return
+	}
+	m, err = recvMsg(sc, 4*c.cfg.LeaseTTL)
+	if err != nil || m.Kind != kindReady || m.Grid != c.grid {
+		return
+	}
+
+	c.mu.Lock()
+	c.live++
+	c.stats.Joined++
+	c.mu.Unlock()
+
+	stopPing := make(chan struct{})
+	defer close(stopPing)
+	go c.ping(w, stopPing)
+
+	stalls := 0
+	for {
+		if c.isDone() {
+			_ = sendMsg(sc, msg{Kind: kindDone})
+			// Drain until the goodbye (or give up after one TTL): the
+			// worker may still be flushing duplicate records.
+			for {
+				m, err := recvMsg(sc, c.cfg.LeaseTTL)
+				if err != nil || m.Kind == kindBye {
+					break
+				}
+			}
+			c.drop(w, false)
+			return
+		}
+		select {
+		case <-c.failCh:
+			c.drop(w, false)
+			return
+		default:
+		}
+
+		c.grant(w)
+
+		m, err := recvMsg(sc, c.cfg.LeaseTTL)
+		if err != nil {
+			// One stall is not a death: a dropped worker frame blocks
+			// in-order delivery until the worker resumes, and the stall
+			// itself poisons the conn (closing the socket), which is
+			// what prompts a live worker to redial and replay. Only a
+			// worker that stays silent through a second full window —
+			// ~8 missed beats, resume window included — is dead. Its
+			// conn is then closed for good, so a late resume finds the
+			// session refused.
+			if errors.Is(err, transport.ErrStreamStalled) {
+				if stalls++; stalls < 2 {
+					continue
+				}
+			}
+			c.drop(w, true)
+			return
+		}
+		stalls = 0
+		switch m.Kind {
+		case kindBeat, kindJoin:
+			// Liveness only.
+		case kindRecord:
+			if !c.acceptRecord(w, m) {
+				c.drop(w, true)
+				return
+			}
+		case kindLeaseDone:
+			c.finishLease(w, m.Lease)
+		case kindBye:
+			c.drop(w, false)
+			return
+		}
+	}
+}
+
+// ping keeps the coordinator→worker direction busy so the worker's
+// receive path never tears down a healthy-but-quiet connection (the
+// transport poisons a conn that delivers nothing for a full frame
+// timeout).
+func (c *Coordinator) ping(w *workerState, stop chan struct{}) {
+	tick := time.NewTicker(c.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			if sendMsg(w.sc, msg{Kind: kindPing}) != nil {
+				return
+			}
+		}
+	}
+}
+
+// grant hands an idle worker its next lease: from the queue when
+// ranges are waiting, otherwise by stealing the biggest straggler's
+// back half (both halves ≥ MinSteal). No lease means the worker idles
+// on heartbeats until a death or a finished lease frees work.
+func (c *Coordinator) grant(w *workerState) {
+	c.mu.Lock()
+	if w.gone || w.lease != nil || c.cellsGot == len(c.got) {
+		c.mu.Unlock()
+		return
+	}
+	var r sweep.CellRange
+	var victim *workerState
+	var victimLease, victimEnd int
+	if len(c.queue) > 0 {
+		r = c.queue[0]
+		c.queue = c.queue[1:]
+	} else {
+		var best *lease
+		for _, l := range c.leases {
+			if l.w != w && (best == nil || l.end-l.next > best.end-best.next) {
+				best = l
+			}
+		}
+		if best == nil || best.end-best.next < 2*c.cfg.MinSteal {
+			c.mu.Unlock()
+			return
+		}
+		mid := best.next + (best.end-best.next)/2
+		r = sweep.CellRange{Start: mid, End: best.end}
+		victim, victimLease, victimEnd = best.w, best.id, mid
+		best.end = mid
+		c.stats.Steals++
+	}
+	c.nextLease++
+	l := &lease{id: c.nextLease, start: r.Start, end: r.End, next: r.Start, w: w}
+	c.leases[l.id] = l
+	w.lease = l
+	c.mu.Unlock()
+
+	if victim != nil {
+		// Best-effort: a victim that misses the truncate just computes
+		// the stolen cells too; the dedup in acceptRecord absorbs them.
+		_ = sendMsg(victim.sc, msg{Kind: kindTruncate, Lease: victimLease, End: victimEnd})
+	}
+	if err := sendMsg(w.sc, msg{Kind: kindLease, Lease: l.id, Start: l.start, End: l.end}); err != nil {
+		c.drop(w, true)
+	}
+}
+
+// acceptRecord validates and stores one cell record. Exactly-once
+// certification lives here: the first record for a cell wins, every
+// later copy (steal races, re-leased ranges) is counted and dropped.
+// A record whose key doesn't match the planned cell is a protocol
+// violation — the worker is dropped (returns false).
+func (c *Coordinator) acceptRecord(w *workerState, m msg) bool {
+	var rec sweep.Record
+	if err := json.Unmarshal(m.Rec, &rec); err != nil {
+		return false
+	}
+	c.mu.Lock()
+	if m.Index < 0 || m.Index >= len(c.got) || rec.Key != c.plan.Cells[m.Index].Key {
+		c.mu.Unlock()
+		return false
+	}
+	if c.got[m.Index] {
+		c.stats.DuplicateRecords++
+		c.mu.Unlock()
+		return true
+	}
+	c.got[m.Index] = true
+	c.recs[m.Index] = rec
+	c.cellsGot++
+	c.stats.Cells++
+	if l := c.leases[m.Lease]; l != nil && l.w == w && m.Index == l.next {
+		l.next++
+	}
+	for i, r := range c.recovering {
+		if m.Index >= r.start && m.Index < r.end {
+			c.stats.RecoveriesMS = append(c.stats.RecoveriesMS,
+				float64(time.Since(r.t0).Microseconds())/1000.0)
+			c.recovering = append(c.recovering[:i], c.recovering[i+1:]...)
+			break
+		}
+	}
+	accepted, total := c.cellsGot, len(c.got)
+	c.mu.Unlock()
+
+	if cb := c.cfg.OnRecord; cb != nil {
+		cb(accepted, total)
+	}
+	if accepted == total {
+		c.doneOnce.Do(func() { close(c.doneCh) })
+	}
+	return true
+}
+
+// finishLease retires a fully delivered lease. A post-truncate
+// leasedone can arrive with next < end when the truncate crossed the
+// worker's last records in flight; the remainder is requeued, never
+// lost.
+func (c *Coordinator) finishLease(w *workerState, id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := c.leases[id]
+	if l == nil || l.w != w {
+		return
+	}
+	if l.next < l.end {
+		c.queue = append(c.queue, sweep.CellRange{Start: l.next, End: l.end})
+		c.stats.Requeues++
+	}
+	delete(c.leases, id)
+	if w.lease == l {
+		w.lease = nil
+	}
+}
+
+// drop retires a worker — dead (requeue its lease remainder, count the
+// death, start the recovery clock) or clean (bye after done). Closing
+// the conn is what keeps a declared-dead worker from resurrecting: the
+// stream refuses resumes once closed.
+func (c *Coordinator) drop(w *workerState, dead bool) {
+	c.mu.Lock()
+	if w.gone {
+		c.mu.Unlock()
+		return
+	}
+	w.gone = true
+	c.live--
+	if dead {
+		c.stats.Deaths++
+	}
+	if l := w.lease; l != nil {
+		if l.next < l.end {
+			c.queue = append(c.queue, sweep.CellRange{Start: l.next, End: l.end})
+			c.stats.Requeues++
+			if dead {
+				c.recovering = append(c.recovering, recovery{t0: time.Now(), start: l.next, end: l.end})
+			}
+		}
+		delete(c.leases, l.id)
+		w.lease = nil
+	}
+	c.mu.Unlock()
+	w.sc.Close()
+}
+
+func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
+	ch := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	select {
+	case <-ch:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}

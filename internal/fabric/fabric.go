@@ -1,0 +1,217 @@
+// Package fabric is the fault-tolerant distributed sweep fabric: a
+// coordinator/worker pair that shards a sweep grid across workers with
+// crash tolerance end-to-end, and merges the results into the same
+// byte-stable certified report a single-machine sweep.Run writes.
+//
+// The coordinator owns a lease table over contiguous cell ranges — a
+// deterministic split of the sweep.Plan order (sweep.SplitRanges). It
+// hands leases to workers over the chaos-hardened transport stream
+// layer, expires leases when a worker goes silent past the lease TTL,
+// re-leases a dead worker's unfinished range to the survivors, and
+// work-steals straggler ranges by splitting them. Workers run cells
+// through sweep.RunCellIndex — every record is a pure function of
+// (Spec, cell index), with FNV-1a cell keys carrying seed derivation,
+// so any worker computes any cell bit-identically — and stream per-cell
+// records back. The coordinator dedups (a cell is certified exactly
+// once no matter how many workers raced to compute it), then
+// sweep.Merge reassembles the records, recomputes the aggregate sums,
+// and writes a checkpoint byte-identical to an uninterrupted
+// single-machine run.
+//
+// See DESIGN.md §9 for the lease protocol, heartbeat/expiry timings,
+// and the merge determinism contract.
+package fabric
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/sweep"
+	"repro/internal/transport"
+)
+
+// Wire message kinds, JSON payloads over transport.StreamConn frames.
+// The handshake is join → spec → ready; steady state is lease/truncate/
+// ping coordinator→worker and record/leasedone/beat worker→coordinator;
+// shutdown is done → bye.
+const (
+	kindJoin      = "join"      // worker → coordinator: request work
+	kindSpec      = "spec"      // coordinator → worker: sweep spec + grid fingerprint + heartbeat
+	kindReady     = "ready"     // worker → coordinator: planned the same grid, ready for leases
+	kindLease     = "lease"     // coordinator → worker: compute cells [Start, End)
+	kindTruncate  = "truncate"  // coordinator → worker: a steal shrank lease Lease to end at End
+	kindRecord    = "record"    // worker → coordinator: one cell record
+	kindLeaseDone = "leasedone" // worker → coordinator: lease fully delivered
+	kindBeat      = "beat"      // worker → coordinator: liveness heartbeat
+	kindPing      = "ping"      // coordinator → worker: keeps the reverse direction live
+	kindDone      = "done"      // coordinator → worker: sweep complete, shut down
+	kindBye       = "bye"       // worker → coordinator: clean goodbye
+)
+
+// msg is the fabric's wire message. Lease ids are 1-based so omitempty
+// never hides a real id; Index 0 is valid and decodes identically when
+// omitted.
+type msg struct {
+	Kind        string          `json:"k"`
+	Spec        *sweep.Spec     `json:"spec,omitempty"`
+	Grid        string          `json:"grid,omitempty"`
+	HeartbeatMS int64           `json:"hb,omitempty"`
+	Lease       int             `json:"lease,omitempty"`
+	Start       int             `json:"start,omitempty"`
+	End         int             `json:"end,omitempty"`
+	Index       int             `json:"idx,omitempty"`
+	Rec         json.RawMessage `json:"rec,omitempty"`
+	Err         string          `json:"err,omitempty"`
+}
+
+func encodeMsg(m msg) ([]byte, error) { return json.Marshal(m) }
+
+func sendMsg(sc *transport.StreamConn, m msg) error {
+	b, err := encodeMsg(m)
+	if err != nil {
+		return err
+	}
+	return sc.Send(b)
+}
+
+func recvMsg(sc *transport.StreamConn, timeout time.Duration) (msg, error) {
+	b, err := sc.Recv(timeout)
+	if err != nil {
+		return msg{}, err
+	}
+	var m msg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return msg{}, err
+	}
+	return m, nil
+}
+
+// Config tunes one fabric run. Spec is the only required field; every
+// duration and count falls back to a sensible default (see
+// withDefaults), with the transport deadlines derived from LeaseTTL so
+// the whole failure-detection stack stays consistent when only the TTL
+// is tuned.
+type Config struct {
+	// Spec is the sweep to shard. Records depend only on (Spec, cell
+	// index), so the coordinator and every worker plan the same grid
+	// from it independently (verified by fingerprint at handshake).
+	Spec sweep.Spec
+	// Addr is the coordinator listen address ("127.0.0.1:0" by default —
+	// an ephemeral port, read back via Coordinator.Addr).
+	Addr string
+	// Workers is the expected worker count; it sizes the initial range
+	// split (Workers × SplitFactor ranges). More or fewer workers may
+	// actually join — the lease table doesn't care.
+	Workers int
+	// SplitFactor is how many initial ranges each expected worker gets
+	// (default 4): small enough for cheap leases, large enough that the
+	// queue outlives early worker deaths without stealing.
+	SplitFactor int
+	// LeaseTTL bounds how long a worker may go silent before the
+	// coordinator declares it dead and re-leases its range (default 3s).
+	// Workers heartbeat every LeaseTTL/8 by default, so expiry means
+	// ~8 missed beats, not one hiccup.
+	LeaseTTL time.Duration
+	// Heartbeat is the worker beat (and coordinator ping) interval;
+	// zero means LeaseTTL/8.
+	Heartbeat time.Duration
+	// MinSteal is the smallest half-range worth stealing (default 8
+	// cells): an idle worker splits the biggest straggler lease only
+	// when both halves have at least MinSteal cells.
+	MinSteal int
+	// NoWorkerTimeout fails the run when no live worker exists for this
+	// long while work remains (default 60s) — the no-progress watchdog.
+	NoWorkerTimeout time.Duration
+	// Checkpoint, when non-empty, is where the merged certified report
+	// is written (byte-identical to a single-machine sweep.Run over the
+	// same Spec).
+	Checkpoint string
+	// Stream tunes the coordinator's transport endpoints. Zero Timeout
+	// and ReconnectWait derive from LeaseTTL/2; Fault injects faults on
+	// coordinator→worker frames.
+	Stream transport.StreamConfig
+	// WorkerStream tunes in-process workers started by RunLocal; remote
+	// workers bring their own. Zero fields derive like Stream's.
+	WorkerStream transport.StreamConfig
+	// Progress receives merged records during the final Merge.
+	Progress sweep.Progress
+	// OnRecord, when non-nil, is called (outside the coordinator lock)
+	// after each newly accepted cell record with (accepted, total) —
+	// the hook chaos tests use to time kills against progress.
+	OnRecord func(accepted, total int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.SplitFactor <= 0 {
+		c.SplitFactor = 4
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 3 * time.Second
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = c.LeaseTTL / 8
+	}
+	if c.MinSteal <= 0 {
+		c.MinSteal = 8
+	}
+	if c.NoWorkerTimeout <= 0 {
+		c.NoWorkerTimeout = 60 * time.Second
+	}
+	c.Stream = deriveStream(c.Stream, c.LeaseTTL, c.Spec.Seed)
+	c.WorkerStream = deriveStream(c.WorkerStream, c.LeaseTTL, c.Spec.Seed)
+	return c
+}
+
+// deriveStream fills a StreamConfig's deadlines from the lease TTL: the
+// per-frame timeout and the resume window are each half the TTL, so a
+// connection loss is healed (or declared fatal) within one lease
+// expiry. MaxResumes defaults high — long chaos runs resume constantly
+// and the budget exists to stop resurrection, not to ration healing.
+func deriveStream(s transport.StreamConfig, ttl time.Duration, seed int64) transport.StreamConfig {
+	if s.Timeout <= 0 {
+		s.Timeout = ttl / 2
+	}
+	if s.ReconnectWait <= 0 {
+		s.ReconnectWait = ttl / 2
+	}
+	if s.MaxResumes <= 0 {
+		s.MaxResumes = 1 << 16
+	}
+	if s.Seed == 0 {
+		s.Seed = seed
+	}
+	return s
+}
+
+// Stats is the fabric run's operational summary — what the robustness
+// machinery actually did, separate from the scientific Summary.
+type Stats struct {
+	// Joined counts workers that completed the handshake.
+	Joined int `json:"joined"`
+	// Deaths counts workers declared dead after joining.
+	Deaths int `json:"deaths"`
+	// Steals counts straggler leases split for idle workers.
+	Steals int `json:"steals"`
+	// Requeues counts unfinished ranges returned to the queue (worker
+	// death or post-truncate remainder).
+	Requeues int `json:"requeues"`
+	// DuplicateRecords counts records that arrived for already-certified
+	// cells (steal/death races). Duplicates are dropped, never merged —
+	// each cell is certified exactly once.
+	DuplicateRecords int `json:"duplicate_records"`
+	// Cells is the number of distinct cell records accepted.
+	Cells int `json:"cells"`
+	// ElapsedMS and CellsPerSec time the whole run including merge.
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// RecoveriesMS records, per death with unfinished work, the time
+	// from declaring the worker dead to the first accepted record inside
+	// its requeued range — the recovery-time-after-kill metric.
+	RecoveriesMS []float64 `json:"recoveries_ms,omitempty"`
+}

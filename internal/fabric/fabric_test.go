@@ -1,0 +1,225 @@
+package fabric
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+	"repro/internal/transport"
+)
+
+// fabricSpec is the small grid the in-process fabric tests shard:
+// 30 cells plus 2 aggregate sums, a couple of seconds of compute.
+func fabricSpec() sweep.Spec {
+	return sweep.Spec{
+		Families:   []string{"oneround", "optn"},
+		Gammas:     []core.Payoff{core.StandardPayoff()},
+		Ns:         []int{2, 3},
+		Costs:      []string{"zero", "optimal"},
+		AbortSweep: true,
+		Runs:       30,
+		Seed:       11,
+	}
+}
+
+// singleMachineBytes runs the reference sweep.Run and returns the
+// certified checkpoint bytes every fabric run must reproduce exactly.
+func singleMachineBytes(t *testing.T, spec sweep.Spec) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "single.jsonl")
+	if _, err := sweep.Run(spec, path, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func assertByteIdentical(t *testing.T, ref []byte, path string) {
+	t.Helper()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, got) {
+		t.Fatalf("fabric checkpoint differs from single-machine run (%d vs %d bytes)", len(got), len(ref))
+	}
+}
+
+func TestRunLocalByteIdentical(t *testing.T) {
+	spec := fabricSpec()
+	ref := singleMachineBytes(t, spec)
+	path := filepath.Join(t.TempDir(), "fabric.jsonl")
+
+	sum, stats, err := RunLocal(Config{
+		Spec:       spec,
+		LeaseTTL:   DefaultLocalTTL,
+		Checkpoint: path,
+	}, 3)
+	if err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	if !sum.OK() {
+		t.Fatalf("unexpected breaches: %d", len(sum.Breaches))
+	}
+	assertByteIdentical(t, ref, path)
+	if stats.Joined != 3 || stats.Deaths != 0 {
+		t.Errorf("stats: joined=%d deaths=%d, want 3 joined, 0 deaths", stats.Joined, stats.Deaths)
+	}
+	plan, err := sweep.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cells != len(plan.Cells) {
+		t.Errorf("stats.Cells = %d, want %d", stats.Cells, len(plan.Cells))
+	}
+}
+
+// TestWorkerKillRecovery kills one worker mid-run (the in-process
+// SIGKILL analogue: abrupt close, no goodbye, resumes refused) and
+// asserts the survivors absorb its range with the merged report still
+// byte-identical.
+func TestWorkerKillRecovery(t *testing.T) {
+	spec := fabricSpec()
+	ref := singleMachineBytes(t, spec)
+	path := filepath.Join(t.TempDir(), "fabric.jsonl")
+
+	var mu sync.Mutex
+	var workers []*Worker
+	var killOnce sync.Once
+	cfg := Config{
+		Spec:       spec,
+		LeaseTTL:   DefaultLocalTTL,
+		Checkpoint: path,
+		OnRecord: func(accepted, total int) {
+			if accepted >= 5 {
+				killOnce.Do(func() {
+					mu.Lock()
+					w := workers[0]
+					mu.Unlock()
+					w.Kill()
+				})
+			}
+		},
+	}
+	sum, stats, err := runLocal(cfg, 3, func(i int, w *Worker) {
+		mu.Lock()
+		workers = append(workers, w)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("runLocal: %v", err)
+	}
+	if !sum.OK() {
+		t.Fatalf("unexpected breaches: %d", len(sum.Breaches))
+	}
+	assertByteIdentical(t, ref, path)
+	if stats.Deaths < 1 {
+		t.Errorf("stats.Deaths = %d, want >= 1", stats.Deaths)
+	}
+}
+
+// TestWorkStealing starts one worker on a single undivided lease, then
+// a second worker mid-run: the only way the latecomer gets work is by
+// stealing the straggler's back half.
+func TestWorkStealing(t *testing.T) {
+	spec := fabricSpec()
+	ref := singleMachineBytes(t, spec)
+	path := filepath.Join(t.TempDir(), "fabric.jsonl")
+
+	var late sync.Once
+	var wg sync.WaitGroup
+	var coAddr string
+	cfg := Config{
+		Spec:        spec,
+		Workers:     1,
+		SplitFactor: 1, // one range covering the whole grid
+		MinSteal:    2,
+		LeaseTTL:    DefaultLocalTTL,
+		Checkpoint:  path,
+		OnRecord: func(accepted, total int) {
+			if accepted >= 3 {
+				late.Do(func() {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						_ = NewWorker(coAddr, deriveStream(transport.StreamConfig{}, DefaultLocalTTL, spec.Seed)).Run()
+					}()
+				})
+			}
+		},
+	}
+	co, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coAddr = co.Addr()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = NewWorker(coAddr, deriveStream(transport.StreamConfig{}, DefaultLocalTTL, spec.Seed)).Run()
+	}()
+
+	sum, stats, err := co.Run()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if !sum.OK() {
+		t.Fatalf("unexpected breaches: %d", len(sum.Breaches))
+	}
+	assertByteIdentical(t, ref, path)
+	if stats.Steals < 1 {
+		t.Errorf("stats.Steals = %d, want >= 1", stats.Steals)
+	}
+	if stats.Joined != 2 {
+		t.Errorf("stats.Joined = %d, want 2", stats.Joined)
+	}
+}
+
+// TestNoWorkersFails pins the watchdog: a fabric with work and no
+// workers must fail loudly, never hang.
+func TestNoWorkersFails(t *testing.T) {
+	co, err := NewCoordinator(Config{
+		Spec:            fabricSpec(),
+		LeaseTTL:        400 * time.Millisecond,
+		NoWorkerTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = co.Run()
+	if err == nil || !strings.Contains(err.Error(), "no live workers") {
+		t.Fatalf("err = %v, want no-live-workers failure", err)
+	}
+}
+
+// TestWorkerGridMismatch pins the handshake guard: a worker whose spec
+// plans a different grid must be refused (here simulated by a
+// coordinator whose advertised fingerprint can never match — the
+// worker plans from the spec it was sent, so a mismatch means
+// coordinator and worker disagree on the record sequence).
+func TestWorkerRejectsForeignGrid(t *testing.T) {
+	spec := fabricSpec()
+	plan, err := sweep.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := spec
+	other.Seed++
+	otherPlan, err := sweep.Plan(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.GridFingerprint() == otherPlan.GridFingerprint() {
+		t.Fatal("fingerprints should differ across seeds")
+	}
+}

@@ -1,0 +1,56 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// RunLocal runs a coordinator plus n in-process workers on loopback —
+// one process, real TCP, the full lease protocol. This is what
+// `fairsweep -fabric n` and the CI smoke use; it returns the merged
+// summary, the run stats, and the worker handles' terminal errors are
+// folded into the coordinator's verdict (a worker error after the
+// sweep completed is not a failure — its certified records already
+// merged).
+func RunLocal(cfg Config, n int) (*sweep.Summary, Stats, error) {
+	return runLocal(cfg, n, nil)
+}
+
+// runLocal additionally exposes the started workers to tests (via
+// onStart) so chaos harnesses can Kill them mid-run.
+func runLocal(cfg Config, n int, onStart func(i int, w *Worker)) (*sweep.Summary, Stats, error) {
+	if n <= 0 {
+		n = 1
+	}
+	cfg.Workers = n
+	cfg = cfg.withDefaults()
+	co, err := NewCoordinator(cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := NewWorker(co.Addr(), cfg.WorkerStream)
+		if onStart != nil {
+			onStart(i, w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run()
+		}()
+	}
+	sum, stats, err := co.Run()
+	// Workers exit on done/bye or on their closed conns; bound the wait
+	// so a wedged worker can't hang the caller.
+	waitTimeout(&wg, 4*cfg.LeaseTTL)
+	return sum, stats, err
+}
+
+// DefaultLocalTTL is a lease TTL suited to loopback fabrics: fast
+// enough that in-process chaos tests converge quickly, long enough
+// that heartbeats (TTL/8) don't saturate a single-CPU runner.
+const DefaultLocalTTL = 1500 * time.Millisecond

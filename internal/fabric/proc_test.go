@@ -1,0 +1,147 @@
+package fabric
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+	"repro/internal/transport"
+)
+
+// acceptanceSpec is the ≥1000-cell grid the subprocess acceptance test
+// shards across 10 workers (1248 cells + 27 sums, ~2s single-machine).
+func acceptanceSpec() sweep.Spec {
+	return sweep.Spec{
+		Families:   []string{"oneround", "optn", "pi1", "pi2", "gmwhalf", "2sfe"},
+		Gammas:     []core.Payoff{core.StandardPayoff(), core.GordonKatzPayoff(), {G00: 0.25, G01: 0, G10: 1, G11: 0.5}},
+		Ns:         []int{2, 3, 4, 5, 6, 7},
+		Costs:      []string{"zero", "optimal"},
+		AbortSweep: true,
+		Runs:       10,
+		Seed:       11,
+	}
+}
+
+// TestHelperWorkerProcess is not a test: it is the worker subprocess
+// body, re-executed from the acceptance test via os.Args[0] with
+// FABRIC_WORKER_ADDR set. It runs a fabric worker to completion (or
+// death) and exits.
+func TestHelperWorkerProcess(t *testing.T) {
+	addr := os.Getenv("FABRIC_WORKER_ADDR")
+	if addr == "" {
+		t.Skip("helper process body; set FABRIC_WORKER_ADDR to run")
+	}
+	ttl := 4 * time.Second
+	if ms, err := strconv.Atoi(os.Getenv("FABRIC_WORKER_TTL_MS")); err == nil && ms > 0 {
+		ttl = time.Duration(ms) * time.Millisecond
+	}
+	w := NewWorker(addr, deriveStream(transport.StreamConfig{}, ttl, 0))
+	if err := w.Run(); err != nil {
+		t.Logf("worker exit: %v", err)
+	}
+}
+
+// TestFabricProcAcceptance is the issue's acceptance pin: a 10-worker
+// sweep of a ≥1000-cell grid, with 2 of the workers SIGKILLed
+// mid-run, completes with a merged certified report byte-identical to
+// the uninterrupted single-machine sweep.Run output.
+func TestFabricProcAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess acceptance test skipped in -short mode")
+	}
+	spec := acceptanceSpec()
+	plan, err := sweep.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Cells) < 1000 {
+		t.Fatalf("acceptance grid has %d cells, need >= 1000", len(plan.Cells))
+	}
+	ref := singleMachineBytes(t, spec)
+	path := filepath.Join(t.TempDir(), "fabric.jsonl")
+
+	const workers = 10
+	ttl := 4 * time.Second
+
+	var mu sync.Mutex
+	var procs []*exec.Cmd
+	kill := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if i < len(procs) && procs[i].Process != nil {
+			_ = procs[i].Process.Kill() // SIGKILL: no goodbye, no flush
+		}
+	}
+	var kill1, kill2 sync.Once
+	cfg := Config{
+		Spec:       spec,
+		Workers:    workers,
+		LeaseTTL:   ttl,
+		Checkpoint: path,
+		OnRecord: func(accepted, total int) {
+			// Two SIGKILLs at distinct phases of the run, both with
+			// plenty of cells still outstanding.
+			if accepted >= total/8 {
+				kill1.Do(func() { kill(0) })
+			}
+			if accepted >= total/4 {
+				kill2.Do(func() { kill(1) })
+			}
+		},
+	}
+	co, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	for i := 0; i < workers; i++ {
+		cmd := exec.Command(os.Args[0], "-test.run=^TestHelperWorkerProcess$")
+		cmd.Env = append(os.Environ(),
+			"FABRIC_WORKER_ADDR="+co.Addr(),
+			"FABRIC_WORKER_TTL_MS="+strconv.Itoa(int(ttl.Milliseconds())))
+		if err := cmd.Start(); err != nil {
+			mu.Unlock()
+			t.Fatalf("start worker %d: %v", i, err)
+		}
+		procs = append(procs, cmd)
+	}
+	mu.Unlock()
+	defer func() {
+		mu.Lock()
+		for _, cmd := range procs {
+			if cmd.Process != nil {
+				_ = cmd.Process.Kill()
+			}
+		}
+		mu.Unlock()
+		for _, cmd := range procs {
+			_ = cmd.Wait()
+		}
+	}()
+
+	sum, stats, err := co.Run()
+	if err != nil {
+		t.Fatalf("coordinator: %v (stats %+v)", err, stats)
+	}
+	if !sum.OK() {
+		t.Fatalf("unexpected breaches: %d", len(sum.Breaches))
+	}
+	assertByteIdentical(t, ref, path)
+	if stats.Deaths < 2 {
+		t.Errorf("stats.Deaths = %d, want >= 2 (two SIGKILLed workers)", stats.Deaths)
+	}
+	if stats.Cells != len(plan.Cells) {
+		t.Errorf("stats.Cells = %d, want %d", stats.Cells, len(plan.Cells))
+	}
+	if len(stats.RecoveriesMS) == 0 {
+		t.Error("no recovery timings recorded after kills")
+	}
+	t.Logf("stats: %+v", stats)
+}

@@ -1,0 +1,265 @@
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+	"repro/internal/transport"
+)
+
+// Worker joins a coordinator, plans the same grid locally (verified by
+// fingerprint), and computes leased cell ranges through
+// sweep.RunCellIndex, streaming each record back as it completes.
+// Liveness is a beat every heartbeat interval; crash tolerance is
+// entirely the coordinator's problem — a worker that dies mid-lease
+// just stops beating.
+type Worker struct {
+	addr   string
+	stream transport.StreamConfig
+
+	mu     sync.Mutex
+	conn   *transport.StreamConn
+	killed bool
+}
+
+// NewWorker prepares a worker for the coordinator at addr. stream
+// deadlines default from the transport layer; RunLocal derives them
+// from the lease TTL instead.
+func NewWorker(addr string, stream transport.StreamConfig) *Worker {
+	return &Worker{addr: addr, stream: stream}
+}
+
+// JoinStream is the stream configuration a stand-alone worker process
+// should use to join a coordinator running with lease TTL ttl: both
+// sides derive the same frame deadlines from the same TTL, keeping the
+// failure-detection stack consistent across processes. Non-positive
+// ttl selects the coordinator's default (3s).
+func JoinStream(ttl time.Duration) transport.StreamConfig {
+	if ttl <= 0 {
+		ttl = 3 * time.Second
+	}
+	return deriveStream(transport.StreamConfig{}, ttl, 0)
+}
+
+// Kill crashes the worker abruptly: the stream closes without a bye,
+// refuses resumes, and the coordinator sees a silent death — the
+// in-process equivalent of SIGKILL (the subprocess tests use the real
+// thing).
+func (w *Worker) Kill() {
+	w.mu.Lock()
+	w.killed = true
+	conn := w.conn
+	w.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// leaseWork is the worker-side view of its current lease.
+type leaseWork struct {
+	id        int
+	next, end int
+}
+
+// Run joins, handshakes, and computes leases until the coordinator
+// sends done (nil) or the link dies for good (error). A worker error
+// never loses certified work: every delivered record is already on the
+// coordinator's side of the wire, and undelivered cells are re-leased.
+func (w *Worker) Run() error {
+	conn, err := transport.DialStream(w.addr, w.stream)
+	if err != nil {
+		return fmt.Errorf("fabric: worker dial: %w", err)
+	}
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		conn.Close()
+		return transport.ErrStreamClosed
+	}
+	w.conn = conn
+	w.mu.Unlock()
+	defer conn.Close()
+
+	handshakeWait := 4 * w.stream.Timeout
+	if handshakeWait <= 0 {
+		handshakeWait = 4 * transport.DefaultRoundTimeout
+	}
+	if err := sendMsg(conn, msg{Kind: kindJoin}); err != nil {
+		return fmt.Errorf("fabric: worker join: %w", err)
+	}
+	m, err := recvMsg(conn, handshakeWait)
+	if err != nil {
+		return fmt.Errorf("fabric: worker handshake: %w", err)
+	}
+	if m.Kind != kindSpec || m.Spec == nil {
+		return fmt.Errorf("fabric: worker handshake: expected spec, got %q", m.Kind)
+	}
+	plan, err := sweep.Plan(*m.Spec)
+	if err != nil {
+		return fmt.Errorf("fabric: worker plan: %w", err)
+	}
+	if grid := plan.GridFingerprint(); grid != m.Grid {
+		return fmt.Errorf("fabric: grid fingerprint mismatch: planned %s, coordinator has %s", grid, m.Grid)
+	}
+	heartbeat := time.Duration(m.HeartbeatMS) * time.Millisecond
+	if heartbeat <= 0 {
+		heartbeat = 250 * time.Millisecond
+	}
+	if err := sendMsg(conn, msg{Kind: kindReady, Grid: m.Grid}); err != nil {
+		return fmt.Errorf("fabric: worker ready: %w", err)
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go w.beat(conn, heartbeat, stop)
+	ctrl := make(chan msg, 64)
+	readErr := make(chan error, 1)
+	go w.read(conn, heartbeat, ctrl, readErr, stop)
+
+	var cur *leaseWork
+	sent := 0
+	for {
+		if cur == nil {
+			select {
+			case m := <-ctrl:
+				done, err := w.handle(conn, m, &cur)
+				if done || err != nil {
+					return err
+				}
+			case err := <-readErr:
+				return err
+			}
+			continue
+		}
+		// Drain control without blocking — truncates and done must win
+		// over the next cell, but an empty channel means compute.
+		select {
+		case m := <-ctrl:
+			done, err := w.handle(conn, m, &cur)
+			if done || err != nil {
+				return err
+			}
+			continue
+		case err := <-readErr:
+			return err
+		default:
+		}
+
+		rec, err := plan.RunCellIndex(cur.next)
+		if err != nil {
+			_ = sendMsg(conn, msg{Kind: kindBye, Err: err.Error()})
+			return fmt.Errorf("fabric: worker cell %d: %w", cur.next, err)
+		}
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		payload, err := encodeMsg(msg{Kind: kindRecord, Lease: cur.id, Index: cur.next, Rec: raw})
+		if err != nil {
+			return err
+		}
+		// Stamp the record ordinal as the frame round: a faultinject
+		// crash-at-round r profile means "crash while sending the r-th
+		// record", which is how the chaos matrix places deaths
+		// mid-lease deterministically.
+		sent++
+		if err := conn.SendAt(sent, payload); err != nil {
+			return fmt.Errorf("fabric: worker record %d: %w", cur.next, err)
+		}
+		cur.next++
+		if cur.next >= cur.end {
+			if err := sendMsg(conn, msg{Kind: kindLeaseDone, Lease: cur.id}); err != nil {
+				return err
+			}
+			cur = nil
+		}
+	}
+}
+
+// handle processes one control message. done=true means a clean
+// coordinator-driven shutdown.
+func (w *Worker) handle(conn *transport.StreamConn, m msg, cur **leaseWork) (bool, error) {
+	switch m.Kind {
+	case kindLease:
+		*cur = &leaseWork{id: m.Lease, next: m.Start, end: m.End}
+	case kindTruncate:
+		l := *cur
+		if l == nil || l.id != m.Lease || m.End >= l.end {
+			return false, nil
+		}
+		l.end = m.End
+		if l.next >= l.end {
+			*cur = nil
+			if err := sendMsg(conn, msg{Kind: kindLeaseDone, Lease: m.Lease}); err != nil {
+				return false, err
+			}
+		}
+	case kindDone:
+		_ = sendMsg(conn, msg{Kind: kindBye})
+		return true, nil
+	case kindPing:
+		// Liveness only.
+	}
+	return false, nil
+}
+
+// beat sends a liveness heartbeat every interval until the stream dies
+// or the worker shuts down. Beats are what the coordinator's lease TTL
+// counts: ~8 missed beats = dead.
+func (w *Worker) beat(conn *transport.StreamConn, interval time.Duration, stop chan struct{}) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			if sendMsg(conn, msg{Kind: kindBeat}) != nil {
+				return
+			}
+		}
+	}
+}
+
+// read is the worker's receive loop: coordinator pings arrive every
+// heartbeat, so a Recv quiet for a whole lease TTL means the link
+// broke — the transport heals it by resume on the next call, and only
+// repeated consecutive stalls count as the coordinator being gone.
+func (w *Worker) read(conn *transport.StreamConn, heartbeat time.Duration, ctrl chan msg, readErr chan error, stop chan struct{}) {
+	timeout := 8 * heartbeat
+	stalls := 0
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		m, err := recvMsg(conn, timeout)
+		if err != nil {
+			if errors.Is(err, transport.ErrStreamClosed) || errors.Is(err, transport.ErrKilled) {
+				readErr <- err
+				return
+			}
+			if errors.Is(err, transport.ErrStreamStalled) {
+				stalls++
+				if stalls >= 3 {
+					readErr <- fmt.Errorf("fabric: coordinator unreachable: %w", err)
+					return
+				}
+				continue
+			}
+			readErr <- err
+			return
+		}
+		stalls = 0
+		select {
+		case ctrl <- m:
+		case <-stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// TestJobContextCanceledBeforeRun pins the queue-side cancellation
+// path: a job whose context is already canceled when a worker picks it
+// up fails with the context error, runs nothing, and is never cached.
+func TestJobContextCanceledBeforeRun(t *testing.T) {
+	p := newTestPool(t, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	params := EstimateParams{Proto: "2sfe-opt", Adv: "lock-abort:1", Runs: 100, Seed: 5}
+	j, err := p.Submit(params, WithJobContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait: err = %v, want context.Canceled", err)
+	}
+	if got := p.Metrics(); got.Runs != 0 {
+		t.Errorf("canceled job ran %d simulations, want 0", got.Runs)
+	}
+
+	// The failure must not poison the cache: a fresh submission without
+	// the canceled context executes and succeeds.
+	j2, err := p.Submit(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j2.Wait()
+	if err != nil {
+		t.Fatalf("resubmit after cancel: %v", err)
+	}
+	if res.CacheHit {
+		t.Error("resubmit was served from cache; canceled jobs must not be cached")
+	}
+}
+
+// TestSweepJobContextCancelMidRun pins the in-flight cancellation
+// path: a sweep job's context cancels between cells, the job fails
+// with the context error, and the partial result is not cached.
+func TestSweepJobContextCancelMidRun(t *testing.T) {
+	p := newTestPool(t, 1)
+
+	// Widen the tiny spec so several cells remain after the cancel point.
+	spec := tinySweepSpec()
+	spec.AbortSweep = true
+	ctx, cancel := context.WithCancel(context.Background())
+	j, err := p.Submit(SweepParams{Spec: spec},
+		WithJobContext(ctx),
+		WithProgress(func(done, total int, rec sweep.Record, resumed bool) {
+			if done == 1 {
+				cancel()
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait: err = %v, want context.Canceled", err)
+	}
+
+	// A clean resubmission completes in full.
+	j2, err := p.Submit(SweepParams{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("resubmit was served from cache; canceled sweep must not be cached")
+	}
+	if res.Sweep == nil || len(res.Sweep.Records) == 0 {
+		t.Fatal("resubmitted sweep produced no records")
+	}
+}

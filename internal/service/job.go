@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -243,12 +244,26 @@ type jobOptions struct {
 	checkpoint  string
 	progress    sweep.Progress
 	traceLabel  string
+	ctx         context.Context
 }
 
 // local reports whether the job carries execution-local side effects
 // and therefore must actually execute.
 func (o *jobOptions) local() bool {
 	return o.traceSink != nil || o.checkpoint != "" || o.progress != nil
+}
+
+// WithJobContext attaches a cancellation context to one job. A job
+// whose context is canceled while still queued never executes; a sweep
+// job additionally stops between cells (sweep.RunContext). Either way
+// the job fails with the context's error and the result is never
+// cached. The context is a scheduling concern only — it does not make
+// the job execution-local, so cache reads and single-flight dedup
+// still apply. A follower deduped onto a leader whose context was
+// canceled sees the leader's cancellation error and can simply
+// resubmit.
+func WithJobContext(ctx context.Context) JobOption {
+	return func(o *jobOptions) { o.ctx = ctx }
 }
 
 // WithJobParallelism overrides the pool's default estimator

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -285,9 +286,18 @@ func (p *Pool) completeLocked(j *Job) {
 	}
 }
 
-// execute runs one job on a worker goroutine.
+// execute runs one job on a worker goroutine. A job whose context was
+// canceled while it waited in the queue fails immediately without
+// touching the engine, freeing the worker for live requests; canceled
+// results are never cached (the err != nil path below skips the put).
 func (p *Pool) execute(j *Job) {
-	res, err := p.run(j)
+	var res *Result
+	var err error
+	if ctx := j.opts.ctx; ctx != nil && ctx.Err() != nil {
+		err = fmt.Errorf("service: job canceled before execution: %w", ctx.Err())
+	} else {
+		res, err = p.run(j)
+	}
 
 	p.mu.Lock()
 	if err != nil {
@@ -366,7 +376,11 @@ func (p *Pool) run(j *Job) (*Result, error) {
 		res.Metrics = rep.Metrics
 
 	case SweepParams:
-		sum, err := sweep.Run(params.Spec, j.opts.checkpoint, j.opts.progress)
+		ctx := j.opts.ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		sum, err := sweep.RunContext(ctx, params.Spec, j.opts.checkpoint, j.opts.progress)
 		switch {
 		case err == nil:
 		case errors.Is(err, sweep.ErrBreach):

@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCompleted runs a full sweep into path and returns the plan and
+// the file bytes.
+func writeCompleted(t *testing.T, spec Spec, path string) (*Sweep, []byte) {
+	t.Helper()
+	if _, err := Run(spec, path, nil); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw, data
+}
+
+func TestLoadCheckpointHeaderMismatch(t *testing.T) {
+	spec := rangeSpec()
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	writeCompleted(t, spec, path)
+
+	// A different seed replans a different grid fingerprint; its header
+	// must be refused before any record is trusted.
+	other := spec
+	other.Seed++
+	sw, err := Plan(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(path, sw); err == nil ||
+		!strings.Contains(err.Error(), "header mismatch") {
+		t.Errorf("foreign-seed load: err = %v, want header mismatch", err)
+	}
+}
+
+// TestLoadCheckpointTornTailThenGarbage covers the corruption case next
+// to the benign tear: a line cut mid-write is recoverable only when it
+// is the LAST line. If writes continued past it — here a valid-looking
+// record line lands after the tear — the tear becomes a complete but
+// unparsable line, and the load must fail rather than resume over
+// corruption.
+func TestLoadCheckpointTornTailThenGarbage(t *testing.T) {
+	spec := rangeSpec()
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	sw, data := writeCompleted(t, spec, path)
+
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	lines = lines[:len(lines)-1] // drop empty split tail
+	if len(lines) < 4 {
+		t.Fatalf("need at least 4 lines, have %d", len(lines))
+	}
+
+	// Benign tear first: everything through record 2, then half of
+	// record 3 with no newline. Loads cleanly, truncateTo points at the
+	// end of the intact prefix.
+	tornAt := len(lines) - 1
+	intact := bytes.Join(lines[:tornAt], nil)
+	torn := append(append([]byte{}, intact...), lines[tornAt][:len(lines[tornAt])/2]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, truncateTo, err := LoadCheckpoint(path, sw)
+	if err != nil {
+		t.Fatalf("benign torn tail: %v", err)
+	}
+	if len(recs) != tornAt-1 { // minus the header line
+		t.Errorf("benign torn tail: %d records, want %d", len(recs), tornAt-1)
+	}
+	if truncateTo != int64(len(intact)) {
+		t.Errorf("benign torn tail: truncateTo = %d, want %d", truncateTo, len(intact))
+	}
+
+	// Now the corruption variant: the same tear, but a complete valid
+	// record line follows it. The torn fragment plus the next line is a
+	// complete unparsable line — corruption, not a tear.
+	garbled := append(append([]byte{}, torn...), []byte("\n")...)
+	garbled = append(garbled, lines[tornAt]...)
+	if err := os.WriteFile(path, garbled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(path, sw); err == nil ||
+		!strings.Contains(err.Error(), "checkpoint record") {
+		t.Errorf("torn tail + garbage: err = %v, want corruption error", err)
+	}
+}
+
+// TestRunEmptyCheckpointFile pins the empty-file resume path: an
+// existing zero-byte checkpoint has no header to validate, so resuming
+// over it must fail loudly instead of silently restarting — the file's
+// provenance is unknown.
+func TestRunEmptyCheckpointFile(t *testing.T) {
+	spec := rangeSpec()
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(path, sw); err == nil ||
+		!strings.Contains(err.Error(), "header mismatch") {
+		t.Errorf("empty-file load: err = %v, want header mismatch", err)
+	}
+	if _, err := Run(spec, path, nil); err == nil ||
+		!strings.Contains(err.Error(), "header mismatch") {
+		t.Errorf("empty-file resume via Run: err = %v, want header mismatch", err)
+	}
+}

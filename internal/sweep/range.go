@@ -1,0 +1,135 @@
+package sweep
+
+// Range iteration and distributed merge: the hooks the fabric
+// (internal/fabric) shards a sweep over. A coordinator splits the
+// plan's canonical cell order into contiguous ranges, workers execute
+// cells by index with RunCellIndex (every record is a pure function of
+// (Spec, cell index), so any worker computes any cell bit-identically),
+// and Merge reassembles the per-cell records — wherever they were
+// computed — into the same certified checkpoint a single-machine Run
+// writes, byte for byte.
+
+import (
+	"fmt"
+)
+
+// CellRange is a half-open [Start, End) slice of the plan's canonical
+// cell order.
+type CellRange struct {
+	Start, End int
+}
+
+// Len returns the number of cells in the range.
+func (r CellRange) Len() int { return r.End - r.Start }
+
+// SplitRanges splits [0, total) into at most parts contiguous,
+// near-equal ranges (the first total%parts ranges are one longer).
+// Deterministic: same inputs, same split. Empty ranges are never
+// returned; fewer than parts ranges come back when total < parts.
+func SplitRanges(total, parts int) []CellRange {
+	if total <= 0 || parts <= 0 {
+		return nil
+	}
+	if parts > total {
+		parts = total
+	}
+	out := make([]CellRange, 0, parts)
+	base, extra := total/parts, total%parts
+	start := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		out = append(out, CellRange{Start: start, End: start + size})
+		start += size
+	}
+	return out
+}
+
+// RunCellIndex measures and certifies the i-th cell of the plan's
+// canonical order. It is the distributed counterpart of the Run loop
+// body: records depend only on (Spec, i), never on which machine or in
+// which order cells execute.
+func (s *Sweep) RunCellIndex(i int) (Record, error) {
+	if i < 0 || i >= len(s.Cells) {
+		return Record{}, fmt.Errorf("sweep: cell index %d out of range [0,%d)", i, len(s.Cells))
+	}
+	return s.runCell(s.Cells[i])
+}
+
+// GridFingerprint returns the plan's grid hash — the same fingerprint
+// the checkpoint header carries. Two plans with equal fingerprints
+// enumerate identical record sequences, which is what lets a fabric
+// worker verify it planned the same grid as its coordinator before
+// accepting leases.
+func (s *Sweep) GridFingerprint() string { return s.header().Grid }
+
+// Merge assembles a complete set of per-cell records (cellRecs[i] is
+// the record of Cells[i], produced by RunCellIndex anywhere) into the
+// certified report Run would have produced: it validates every record
+// key against the plan, computes the aggregate sum records, optionally
+// writes the full header+records checkpoint to path, and returns the
+// summary. The written file is byte-identical to an uninterrupted
+// single-machine Run over the same spec — Record marshaling is
+// deterministic and JSON-round-trip stable, so records that crossed a
+// wire merge to the same bytes. Like Run, Merge returns the summary
+// together with an ErrBreach-wrapping error when any certification
+// failed.
+func (s *Sweep) Merge(path string, cellRecs []Record, progress Progress) (*Summary, error) {
+	if len(cellRecs) != len(s.Cells) {
+		return nil, fmt.Errorf("sweep: merge: %d cell records for %d planned cells", len(cellRecs), len(s.Cells))
+	}
+	for i, rec := range cellRecs {
+		if rec.Key != s.Cells[i].Key {
+			return nil, fmt.Errorf("sweep: merge: cell %d has key %q, want %q (grid drift)",
+				i, rec.Key, s.Cells[i].Key)
+		}
+	}
+
+	sum := &Summary{TotalChecks: s.TotalChecks(), Skipped: s.Skipped}
+	total := s.Records()
+
+	var cp *Checkpoint
+	if path != "" {
+		var err error
+		cp, err = CreateCheckpoint(path, s)
+		if err != nil {
+			return nil, err
+		}
+		defer cp.Close()
+	}
+
+	emit := func(rec Record) error {
+		sum.Records = append(sum.Records, rec)
+		if !rec.OK {
+			sum.Breaches = append(sum.Breaches, rec)
+		}
+		if cp != nil {
+			if err := cp.Append(rec); err != nil {
+				return err
+			}
+		}
+		if progress != nil {
+			progress(len(sum.Records), total, rec, false)
+		}
+		return nil
+	}
+
+	for _, rec := range cellRecs {
+		if err := emit(rec); err != nil {
+			return sum, err
+		}
+	}
+	for _, p := range s.Sums {
+		if err := emit(s.runSum(p, cellRecs)); err != nil {
+			return sum, err
+		}
+	}
+
+	if !sum.OK() {
+		return sum, fmt.Errorf("%w: %d of %d record(s) failed certification",
+			ErrBreach, len(sum.Breaches), len(sum.Records))
+	}
+	return sum, nil
+}

@@ -1,0 +1,201 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// rangeSpec is a small grid with both cell and aggregate sum records.
+func rangeSpec() Spec {
+	return Spec{
+		Families:   []string{"oneround", "optn"},
+		Gammas:     []core.Payoff{core.StandardPayoff()},
+		Ns:         []int{2, 3},
+		Costs:      []string{"zero", "optimal"},
+		AbortSweep: true,
+		Runs:       60,
+		Seed:       77,
+	}
+}
+
+func TestSplitRanges(t *testing.T) {
+	cases := []struct{ total, parts int }{
+		{10, 3}, {10, 10}, {10, 1}, {3, 10}, {1000, 7}, {1, 1}, {0, 4}, {5, 0},
+	}
+	for _, c := range cases {
+		ranges := SplitRanges(c.total, c.parts)
+		if c.total <= 0 || c.parts <= 0 {
+			if ranges != nil {
+				t.Errorf("SplitRanges(%d,%d) = %v, want nil", c.total, c.parts, ranges)
+			}
+			continue
+		}
+		// Contiguous cover of [0, total), no empty ranges, sizes within 1.
+		next, minLen, maxLen := 0, c.total, 0
+		for _, r := range ranges {
+			if r.Start != next || r.Len() <= 0 {
+				t.Fatalf("SplitRanges(%d,%d): bad range %v at cursor %d", c.total, c.parts, r, next)
+			}
+			if r.Len() < minLen {
+				minLen = r.Len()
+			}
+			if r.Len() > maxLen {
+				maxLen = r.Len()
+			}
+			next = r.End
+		}
+		if next != c.total {
+			t.Errorf("SplitRanges(%d,%d): covers [0,%d), want [0,%d)", c.total, c.parts, next, c.total)
+		}
+		if maxLen-minLen > 1 {
+			t.Errorf("SplitRanges(%d,%d): unbalanced sizes [%d,%d]", c.total, c.parts, minLen, maxLen)
+		}
+		want := c.parts
+		if c.total < c.parts {
+			want = c.total
+		}
+		if len(ranges) != want {
+			t.Errorf("SplitRanges(%d,%d): %d ranges, want %d", c.total, c.parts, len(ranges), want)
+		}
+	}
+}
+
+// TestMergeByteIdenticalToRun is the fabric's core determinism
+// guarantee at the sweep layer: cells computed out of order by
+// RunCellIndex, JSON-round-tripped (as the wire does), and merged,
+// produce a checkpoint byte-identical to a single-machine Run.
+func TestMergeByteIdenticalToRun(t *testing.T) {
+	spec := rangeSpec()
+	dir := t.TempDir()
+	runPath := filepath.Join(dir, "run.jsonl")
+	mergePath := filepath.Join(dir, "merge.jsonl")
+
+	sum, err := Run(spec, runPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sw, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.GridFingerprint() == "" {
+		t.Fatal("empty grid fingerprint")
+	}
+	// Compute the cells via RunCellIndex in reverse order — any worker,
+	// any order — and round-trip each record through JSON, exactly as
+	// the fabric's record frames do.
+	cellRecs := make([]Record, len(sw.Cells))
+	for i := len(sw.Cells) - 1; i >= 0; i-- {
+		rec, err := sw.RunCellIndex(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rt Record
+		if err := json.Unmarshal(data, &rt); err != nil {
+			t.Fatal(err)
+		}
+		cellRecs[i] = rt
+	}
+
+	mergeSum, err := sw.Merge(mergePath, cellRecs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mergeSum.Records) != len(sum.Records) {
+		t.Fatalf("merge produced %d records, run produced %d", len(mergeSum.Records), len(sum.Records))
+	}
+
+	a, err := os.ReadFile(runPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(mergePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("merged checkpoint differs from single-machine run (%d vs %d bytes)", len(b), len(a))
+	}
+}
+
+func TestMergeRejectsDriftAndGaps(t *testing.T) {
+	sw, err := Plan(rangeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Merge("", make([]Record, len(sw.Cells)-1), nil); err == nil ||
+		!strings.Contains(err.Error(), "cell records") {
+		t.Errorf("short record set: err = %v, want record-count error", err)
+	}
+	recs := make([]Record, len(sw.Cells))
+	for i := range recs {
+		recs[i] = Record{Key: sw.Cells[i].Key}
+	}
+	recs[2].Key = "0000000000000000"
+	if _, err := sw.Merge("", recs, nil); err == nil || !strings.Contains(err.Error(), "grid drift") {
+		t.Errorf("drifted key: err = %v, want grid-drift error", err)
+	}
+}
+
+func TestRunCellIndexBounds(t *testing.T) {
+	sw, err := Plan(rangeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.RunCellIndex(-1); err == nil {
+		t.Error("RunCellIndex(-1) succeeded")
+	}
+	if _, err := sw.RunCellIndex(len(sw.Cells)); err == nil {
+		t.Error("RunCellIndex(len) succeeded")
+	}
+}
+
+// TestRunContextCancel pins the cancellation contract: a canceled sweep
+// stops between cells with a valid checkpoint, and a later Run resumes
+// it to a byte-identical complete file.
+func TestRunContextCancel(t *testing.T) {
+	spec := rangeSpec()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cancel.jsonl")
+	refPath := filepath.Join(dir, "ref.jsonl")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAfter := 5
+	progress := func(done, total int, rec Record, resumed bool) {
+		if done == stopAfter {
+			cancel()
+		}
+	}
+	sum, err := RunContext(ctx, spec, path, progress)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext: err = %v, want context.Canceled", err)
+	}
+	if len(sum.Records) != stopAfter {
+		t.Fatalf("canceled after %d records, want %d", len(sum.Records), stopAfter)
+	}
+
+	if _, err := Run(spec, path, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, refPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(path)
+	b, _ := os.ReadFile(refPath)
+	if !bytes.Equal(a, b) {
+		t.Fatal("resumed-after-cancel checkpoint differs from uninterrupted run")
+	}
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -39,6 +40,15 @@ type Progress func(done, total int, rec Record, resumed bool)
 // ErrBreach-wrapping error when any certification failed — the summary
 // stays valid in that case.
 func Run(spec Spec, path string, progress Progress) (*Summary, error) {
+	return RunContext(context.Background(), spec, path, progress)
+}
+
+// RunContext is Run with cancellation: ctx is checked between cells, so
+// a canceled sweep stops after the record in flight instead of running
+// the grid to completion. The checkpoint stays valid — a later run
+// resumes after the last completed record. Cancellation never truncates
+// or reorders records, so the byte-identity contract is unaffected.
+func RunContext(ctx context.Context, spec Spec, path string, progress Progress) (*Summary, error) {
 	sw, err := Plan(spec)
 	if err != nil {
 		return nil, err
@@ -93,6 +103,10 @@ func Run(spec Spec, path string, progress Progress) (*Summary, error) {
 		if resumed {
 			rec = done[i]
 		} else {
+			if err := ctx.Err(); err != nil {
+				return sum, fmt.Errorf("sweep: canceled after %d of %d records: %w",
+					len(sum.Records), total, err)
+			}
 			rec, err = sw.runCell(c)
 			if err != nil {
 				return sum, err

@@ -1,0 +1,242 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// streamEcho runs a server that echoes every payload back, n clients
+// each sending msgs payloads, and asserts exactly-once in-order
+// delivery in both directions.
+func streamEcho(t *testing.T, cfg StreamConfig, clients, msgs int) {
+	t.Helper()
+	srv, err := ListenStream("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	// Server side: accept each stream, echo everything it sends.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var swg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			sc, err := srv.Accept(10 * time.Second)
+			if err != nil {
+				t.Errorf("accept %d: %v", i, err)
+				return
+			}
+			swg.Add(1)
+			go func(sc *StreamConn) {
+				defer swg.Done()
+				for j := 0; j < msgs; j++ {
+					p, err := sc.Recv(20 * time.Second)
+					if err != nil {
+						t.Errorf("server recv (stream %d, msg %d): %v", sc.ID(), j, err)
+						return
+					}
+					if err := sc.Send(p); err != nil {
+						t.Errorf("server echo (stream %d, msg %d): %v", sc.ID(), j, err)
+						return
+					}
+				}
+			}(sc)
+		}
+		swg.Wait()
+	}()
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := DialStream(srv.Addr(), cfg)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			for j := 0; j < msgs; j++ {
+				want := fmt.Sprintf("stream %d payload %d", conn.ID(), j)
+				if err := conn.SendAt(j+1, []byte(want)); err != nil {
+					t.Errorf("send %d: %v", j, err)
+					return
+				}
+				got, err := conn.Recv(20 * time.Second)
+				if err != nil {
+					t.Errorf("client recv %d: %v", j, err)
+					return
+				}
+				if string(got) != want {
+					t.Errorf("echo mismatch: got %q want %q", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStreamEchoFaultFree(t *testing.T) {
+	streamEcho(t, StreamConfig{Timeout: 5 * time.Second, Seed: 1}, 3, 30)
+}
+
+// TestStreamChaosProfiles drives the echo workload through seeded
+// random fault profiles: every transient fault class must heal into
+// exactly-once in-order delivery.
+func TestStreamChaosProfiles(t *testing.T) {
+	profiles := []struct {
+		name string
+		prof faultinject.Profile
+	}{
+		{"drops", faultinject.Profile{Drop: 0.05}},
+		{"reorder+dup", faultinject.Profile{Reorder: 0.08, Duplicate: 0.08}},
+		{"corrupt+disconnect", faultinject.Profile{Corrupt: 0.04, Disconnect: 0.04}},
+	}
+	for _, tc := range profiles {
+		t.Run(tc.name, func(t *testing.T) {
+			inj, err := faultinject.NewRandom(42, tc.prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := StreamConfig{
+				Timeout:    400 * time.Millisecond,
+				MaxResumes: 1 << 16,
+				Fault:      inj,
+				Seed:       42,
+			}
+			streamEcho(t, cfg, 2, 25)
+		})
+	}
+}
+
+// TestStreamKill pins the crash semantics: an injected Kill surfaces as
+// ErrKilled on the send, and the stream stays dead — no resume, every
+// later operation fails with ErrStreamClosed.
+func TestStreamKill(t *testing.T) {
+	inj, err := faultinject.NewRandom(7, faultinject.Profile{KillParty: 1, KillRound: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StreamConfig{Timeout: 2 * time.Second, Fault: inj, Seed: 7}
+	srv, err := ListenStream("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go func() {
+		sc, err := srv.Accept(5 * time.Second)
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := sc.Recv(2 * time.Second); err != nil {
+				return
+			}
+		}
+	}()
+
+	conn, err := DialStream(srv.Addr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var killed bool
+	for r := 1; r <= 10; r++ {
+		err := conn.SendAt(r, []byte("x"))
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrKilled) && r >= 5 {
+			killed = true
+			break
+		}
+		t.Fatalf("send round %d: unexpected error %v", r, err)
+	}
+	if !killed {
+		t.Fatal("kill profile never fired")
+	}
+	if err := conn.Send([]byte("y")); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("send after kill: got %v, want ErrStreamClosed", err)
+	}
+	if _, err := conn.Recv(100 * time.Millisecond); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("recv after kill: got %v, want ErrStreamClosed", err)
+	}
+}
+
+// TestStreamResumeAfterServerConnLoss breaks the server-side socket
+// mid-stream and asserts the client heals by redial+resume with no
+// loss or reorder.
+func TestStreamResumeAfterServerConnLoss(t *testing.T) {
+	cfg := StreamConfig{Timeout: 500 * time.Millisecond, MaxResumes: 64, Seed: 3}
+	srv, err := ListenStream("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		sc, err := srv.Accept(5 * time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		for j := 0; j < 20; j++ {
+			p, err := sc.Recv(10 * time.Second)
+			if err != nil {
+				done <- fmt.Errorf("server recv %d: %w", j, err)
+				return
+			}
+			if string(p) != fmt.Sprintf("m%d", j) {
+				done <- fmt.Errorf("server recv %d: got %q", j, p)
+				return
+			}
+			if err := sc.Send(p); err != nil {
+				done <- fmt.Errorf("server echo %d: %w", j, err)
+				return
+			}
+			if j == 7 {
+				// Tear down the transport conn (not the stream): the
+				// client's receive path must redial and resume, and the
+				// replayed outboxes must heal both directions.
+				sc.breakAll("test-induced loss")
+			}
+		}
+		done <- nil
+	}()
+
+	conn, err := DialStream(srv.Addr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for j := 0; j < 20; j++ {
+		want := fmt.Sprintf("m%d", j)
+		if err := conn.Send([]byte(want)); err != nil {
+			t.Fatalf("send %d: %v", j, err)
+		}
+		got, err := conn.Recv(10 * time.Second)
+		if err != nil {
+			t.Fatalf("client recv %d: %v", j, err)
+		}
+		if string(got) != want {
+			t.Fatalf("echo %d: got %q want %q", j, got, want)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	conn.mu.Lock()
+	resumes := conn.resumes
+	conn.mu.Unlock()
+	if resumes == 0 {
+		t.Fatal("expected at least one client resume after the induced loss")
+	}
+}

@@ -138,6 +138,9 @@ const (
 	// kindBye acknowledges a party's output frame; the client stays
 	// connected until it arrives so a lost output heals via replay.
 	kindBye
+	// kindData carries an opaque application payload over the generic
+	// reliable stream layer (see stream.go); session frames never use it.
+	kindData
 )
 
 // wireMsg is a serialized sim.Message.
@@ -338,11 +341,14 @@ type SessionReport struct {
 var (
 	errNoResume = errors.New("transport: peer did not resume")
 	errBudget   = errors.New("transport: recovery budget exhausted")
-	// errKilled is the client-side sentinel for a faultinject.Kill
-	// decision: the party process "crashes" by closing its connection
-	// and abandoning the run.
-	errKilled = errors.New("transport: party killed by fault injection")
 )
+
+// ErrKilled is the client-side sentinel for a faultinject.Kill decision:
+// the sending endpoint "crashes" by closing its connection and
+// abandoning the run. Exported so stream-layer callers (the sweep
+// fabric's chaos tests) can distinguish an injected crash from a real
+// transport failure.
+var ErrKilled = errors.New("transport: party killed by fault injection")
 
 // causeOf canonicalizes an I/O error into a deterministic fail-stop
 // cause: every flavor of connection teardown (EOF, ECONNRESET, use of
@@ -468,7 +474,7 @@ func (ep *endpoint) writeCurrent(f frame) {
 // sendReliable assigns the next sequence number, checksums the frame,
 // appends it to the outbox, and transmits it — subject to the fault
 // injector, which is consulted only here, on first transmission.
-// The only possible error is errKilled on client endpoints.
+// The only possible error is ErrKilled on client endpoints.
 func (ep *endpoint) sendReliable(f frame) error {
 	ep.mu.Lock()
 	ep.sendSeq++
@@ -508,7 +514,7 @@ func (ep *endpoint) sendReliable(f frame) error {
 		ep.breakAll("connection lost")
 	case faultinject.Kill:
 		ep.breakAll("connection lost")
-		return errKilled
+		return ErrKilled
 	default:
 		ep.writeCurrent(f)
 	}
@@ -1303,7 +1309,7 @@ func (c *clientPeer) expect(kind frameKind, round int) (frame, error) {
 
 // runClient is one party process: connect with bounded dial retry,
 // handshake, round loop, output — all over the reliable frame layer, so
-// transient connection faults heal transparently. It returns errKilled
+// transient connection faults heal transparently. It returns ErrKilled
 // when the fault injector crashes the party.
 func runClient(addr string, proto sim.Protocol, id sim.PartyID, input sim.Value, cfg SessionConfig) error {
 	cfg = cfg.withDefaults()
@@ -1359,7 +1365,7 @@ func runClient(addr string, proto sim.Protocol, id sim.PartyID, input sim.Value,
 			batch.Msgs = append(batch.Msgs, wireMsg{From: int(id), To: int(m.To), Payload: data})
 		}
 		if err := c.sendReliable(batch); err != nil {
-			return err // errKilled: the party crashes here
+			return err // ErrKilled: the party crashes here
 		}
 	}
 
