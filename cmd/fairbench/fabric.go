@@ -39,10 +39,12 @@ type fabricReport struct {
 
 // serviceDoc mirrors BENCH_service.json: the selfcheck history is
 // carried opaquely (fairnessd owns it — see selfcheckTrajectory's
-// matching Fabric passthrough), and this side owns the fabric key.
+// matching Fabric/Search passthroughs), and this side owns the fabric
+// and search keys.
 type serviceDoc struct {
-	History json.RawMessage `json:"history,omitempty"`
-	Fabric  *fabricReport   `json:"fabric,omitempty"`
+	History json.RawMessage    `json:"history,omitempty"`
+	Fabric  *fabricReport      `json:"fabric,omitempty"`
+	Search  *searchBenchReport `json:"search,omitempty"`
 }
 
 // fabricBenchSpec is the benchmark grid: broad enough that leases

@@ -17,6 +17,7 @@
 //
 //	fairbench [-runs N] [-seed S] [-o BENCH_estimator.json]
 //	fairbench -fabric [-fabric-workers N] [-fabric-runs R] [-service-o BENCH_service.json]
+//	fairbench -search [-min-savings X] [-service-o BENCH_service.json]
 //
 // -fabric benchmarks the distributed sweep fabric instead: the same
 // grid is swept single-machine and then across N in-process workers
@@ -24,6 +25,13 @@
 // byte-identical, and cells/sec plus recovery-time-after-kill land in
 // the fabric section of BENCH_service.json (the selfcheck history
 // already there is preserved).
+//
+// -search benchmarks the best-response search engine: every acceptance
+// family is raced to its certified best response and compared against
+// exhaustive enumeration of the same space; the savings ratios land in
+// the search section of BENCH_service.json, and the run fails if any
+// family falls below -min-savings (default 10×) or any certified
+// winner disagrees with the comparator.
 package main
 
 import (
@@ -190,12 +198,17 @@ func run(args []string) error {
 	fabricBench := fs.Bool("fabric", false, "benchmark the distributed sweep fabric instead of the estimator")
 	fabricWorkers := fs.Int("fabric-workers", 4, "in-process fabric workers (-fabric mode)")
 	fabricRuns := fs.Int("fabric-runs", 60, "Monte-Carlo runs per sweep cell (-fabric mode)")
-	serviceOut := fs.String("service-o", "BENCH_service.json", "fabric report file (-fabric mode)")
+	serviceOut := fs.String("service-o", "BENCH_service.json", "fabric/search report file (-fabric and -search modes)")
+	searchBench := fs.Bool("search", false, "benchmark the best-response search engine against exhaustive enumeration")
+	minSavings := fs.Float64("min-savings", 10, "fail -search mode below this racing-vs-exhaustive savings ratio")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *fabricBench {
 		return runFabricBench(*fabricWorkers, *fabricRuns, est.Seed, *serviceOut)
+	}
+	if *searchBench {
+		return runSearchBench(*minSavings, est.Seed, *serviceOut)
 	}
 
 	cpus := runtime.NumCPU()

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/search"
+	"repro/internal/service"
+)
+
+// searchBenchEntry is one family's racing-vs-exhaustive comparison.
+type searchBenchEntry struct {
+	Proto          string  `json:"proto"`
+	Space          string  `json:"space"`
+	Arms           int     `json:"arms"`
+	Best           string  `json:"best"`
+	Utility        string  `json:"utility"`
+	Waves          int     `json:"waves"`
+	TotalRuns      int64   `json:"total_runs"`
+	ExhaustiveRuns int64   `json:"exhaustive_runs"`
+	Savings        float64 `json:"savings"`
+	// Agrees reports that the racing winner's certified utility matches
+	// the exhaustive comparator's: exactly equal when the winners share a
+	// name (both certify at the same arm seed), within combined
+	// half-widths across a tie class.
+	Agrees bool `json:"agrees_with_exhaustive"`
+}
+
+// searchBenchReport is the "search" section of BENCH_service.json.
+type searchBenchReport struct {
+	Generated   string             `json:"generated"`
+	GoVersion   string             `json:"go_version"`
+	CPUs        int                `json:"cpus"`
+	Seed        int64              `json:"seed"`
+	MinSavings  float64            `json:"min_savings_required"`
+	MinObserved float64            `json:"min_observed_savings"`
+	Entries     []searchBenchEntry `json:"entries"`
+}
+
+// searchBenchFamilies are the acceptance families: the proof-optimal
+// adversary of each is known in closed form, so recovering it at a
+// fraction of the exhaustive cost is the whole point of the engine.
+var searchBenchFamilies = []string{"2sfe-opt", "pi1", "pi2", "gk-polydomain:2"}
+
+// searchBenchOptions mirrors the acceptance test's racing schedule.
+var searchBenchOptions = search.Options{
+	Wave: 100, Growth: 2, RaceRuns: 600, FinalRuns: 6000, Delta: 0.05,
+}
+
+// runSearchBench races every acceptance family against its exhaustive
+// comparator, verifies the certified winners agree, and writes the
+// search section of outPath (preserving the selfcheck history and
+// fabric section already there). It fails if any family's savings
+// ratio falls below minSavings or any winner disagrees.
+func runSearchBench(minSavings float64, seed int64, outPath string) error {
+	rep := &searchBenchReport{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		CPUs:        runtime.NumCPU(),
+		Seed:        seed,
+		MinSavings:  minSavings,
+		MinObserved: math.Inf(1),
+	}
+	for _, protoName := range searchBenchFamilies {
+		proto, sampler, err := service.BuildProtocol(protoName)
+		if err != nil {
+			return err
+		}
+		space, err := service.BuildSpace(service.SpaceRaw, protoName)
+		if err != nil {
+			return err
+		}
+		gamma := service.DefaultPayoff(protoName)
+		raced, err := search.Run(proto, space, gamma, sampler, seed, searchBenchOptions)
+		if err != nil {
+			return fmt.Errorf("%s: racing: %w", protoName, err)
+		}
+		exh := searchBenchOptions
+		exh.Exhaustive = true
+		ground, err := search.Run(proto, space, gamma, sampler, seed, exh)
+		if err != nil {
+			return fmt.Errorf("%s: exhaustive: %w", protoName, err)
+		}
+		agrees := math.Abs(raced.BestReport.Utility.Mean-ground.BestReport.Utility.Mean) <=
+			raced.BestReport.Utility.HalfWidth+ground.BestReport.Utility.HalfWidth
+		if raced.Best == ground.Best {
+			agrees = raced.BestReport.Utility.Mean == ground.BestReport.Utility.Mean
+		}
+		e := searchBenchEntry{
+			Proto: protoName, Space: space.Describe(), Arms: space.Len(),
+			Best: raced.Best, Utility: raced.BestReport.Utility.String(),
+			Waves: raced.Waves, TotalRuns: raced.TotalRuns,
+			ExhaustiveRuns: raced.ExhaustiveRuns, Savings: raced.Savings(),
+			Agrees: agrees,
+		}
+		rep.Entries = append(rep.Entries, e)
+		rep.MinObserved = math.Min(rep.MinObserved, e.Savings)
+		fmt.Printf("%-16s best %-20s u=%s  %6d vs %7d runs  %5.1f× savings  agrees=%v\n",
+			protoName, raced.Best, raced.BestReport.Utility,
+			raced.TotalRuns, raced.ExhaustiveRuns, raced.Savings(), agrees)
+	}
+
+	var doc serviceDoc
+	if data, err := os.ReadFile(outPath); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("unrecognized schema in %s: %w", outPath, err)
+		}
+	}
+	doc.Search = rep
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote search section to %s (min savings %.1f×, floor %.1f×)\n",
+		outPath, rep.MinObserved, minSavings)
+
+	for _, e := range rep.Entries {
+		if !e.Agrees {
+			return fmt.Errorf("%s: racing winner %q disagrees with exhaustive enumeration", e.Proto, e.Best)
+		}
+	}
+	if rep.MinObserved < minSavings {
+		return fmt.Errorf("savings floor breached: %.1f× < required %.1f×", rep.MinObserved, minSavings)
+	}
+	return nil
+}

@@ -8,6 +8,7 @@
 //
 //	POST /v1/estimate  {"proto","adv","gamma"?,"runs","seed"}  → utility report (sync)
 //	POST /v1/sup       {"proto","advs",...}                    → sup-search report (sync)
+//	POST /v1/search    {"proto","space"?,...}                  → 202 {"job_id"}; poll /v1/jobs/{id}
 //	POST /v1/sweep     {"spec":{...}}                          → 202 {"job_id"}; poll /v1/jobs/{id}
 //	GET  /v1/jobs/{id}                                         → job status + sweep summary
 //	POST /v1/session   {"proto","inputs","seed"}               → one session over loopback TCP

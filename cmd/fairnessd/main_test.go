@@ -15,6 +15,7 @@ import (
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/protocols/contract"
+	"repro/internal/search"
 	"repro/internal/service"
 	"repro/internal/sweep"
 )
@@ -262,6 +263,104 @@ func TestSweepAsync(t *testing.T) {
 		final.Sweep.Breaches != len(want.Breaches) || !final.Sweep.OK {
 		t.Fatalf("sweep view %+v disagrees with direct run (records=%d checks=%d breaches=%d)",
 			final.Sweep, len(want.Records), want.TotalChecks, len(want.Breaches))
+	}
+}
+
+// TestSearchAsync exercises POST /v1/search end to end: 202 + job ID,
+// poll to completion, the view carries the same certified winner a
+// direct search.Run finds, and resubmission is a cache hit.
+func TestSearchAsync(t *testing.T) {
+	ts, _ := newTestServer(t)
+	params := service.SearchParams{
+		Proto: "pi1", Wave: 40, RaceRuns: 200, FinalRuns: 400, Seed: 11,
+	}
+
+	proto, sampler, err := service.BuildProtocol(params.Proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := service.BuildSpace(params.Space, params.Proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := search.Run(proto, space, service.DefaultPayoff(params.Proto), sampler, params.Seed, params.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	poll := func(id uint64) jobView {
+		t.Helper()
+		var v jobView
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", ts.URL, id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := io.ReadAll(r.Body)
+			_ = r.Body.Close()
+			if r.StatusCode != http.StatusOK {
+				t.Fatalf("poll status %d: %s", r.StatusCode, data)
+			}
+			if err := json.Unmarshal(data, &v); err != nil {
+				t.Fatal(err)
+			}
+			if v.Status != "running" {
+				return v
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("search job did not finish in time")
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/search", params)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var accepted jobView
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	final := poll(accepted.JobID)
+	if final.Status != "done" || final.Search == nil {
+		t.Fatalf("job = %+v, want done with search view", final)
+	}
+	if final.Search.Best != want.Best {
+		t.Fatalf("daemon best %q, want %q", final.Search.Best, want.Best)
+	}
+	if final.Search.Utility.Mean != want.BestReport.Utility.Mean ||
+		final.Search.TotalRuns != want.TotalRuns || final.Search.Waves != want.Waves {
+		t.Fatalf("search view %+v disagrees with direct run (mean=%g runs=%d waves=%d)",
+			final.Search, want.BestReport.Utility.Mean, want.TotalRuns, want.Waves)
+	}
+	if final.Search.CacheHit {
+		t.Fatal("first search submission claims a cache hit")
+	}
+
+	resp2, body2 := postJSON(t, ts.URL+"/v1/search", params)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit status %d: %s", resp2.StatusCode, body2)
+	}
+	var accepted2 jobView
+	if err := json.Unmarshal(body2, &accepted2); err != nil {
+		t.Fatal(err)
+	}
+	final2 := poll(accepted2.JobID)
+	if final2.Search == nil || !final2.Search.CacheHit {
+		t.Fatalf("resubmission job = %+v, want cache hit", final2)
+	}
+	cached := *final2.Search
+	cached.CacheHit = false
+	if cached != *final.Search {
+		t.Fatalf("cached search view differs beyond the hit flag: %+v vs %+v", final2.Search, final.Search)
+	}
+
+	// Malformed search params are rejected at submission, not queued.
+	bad, badBody := postJSON(t, ts.URL+"/v1/search", service.SearchParams{Proto: "nsfe-opt:3"})
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("raw space on a 3-party protocol: status %d, body %s", bad.StatusCode, badBody)
 	}
 }
 

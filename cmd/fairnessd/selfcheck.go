@@ -40,6 +40,7 @@ type selfcheckReport struct {
 type selfcheckTrajectory struct {
 	History []selfcheckReport `json:"history"`
 	Fabric  json.RawMessage   `json:"fabric,omitempty"`
+	Search  json.RawMessage   `json:"search,omitempty"`
 }
 
 // selfcheckPoints are the estimation parameter points the harness

@@ -49,6 +49,7 @@ func newServer(pool *service.Pool, chaos *cliflags.Chaos, defaultRuns int, maxBo
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("POST /v1/sup", s.handleSup)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /v1/session", s.handleSession)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -272,6 +273,21 @@ type jobView struct {
 	Error  string `json:"error,omitempty"`
 	// Sweep is set once a sweep job is done.
 	Sweep *sweepView `json:"sweep,omitempty"`
+	// Search is set once a search job is done.
+	Search *searchView `json:"search,omitempty"`
+}
+
+// searchView summarizes a finished best-response search job.
+type searchView struct {
+	Best           string   `json:"best"`
+	Utility        statView `json:"utility"`
+	Arms           int      `json:"arms"`
+	Waves          int      `json:"waves"`
+	TotalRuns      int64    `json:"total_runs"`
+	ExhaustiveRuns int64    `json:"exhaustive_runs"`
+	Savings        float64  `json:"savings"`
+	Replayed       int      `json:"replayed,omitempty"`
+	CacheHit       bool     `json:"cache_hit"`
 }
 
 // sweepView summarizes a finished sweep job.
@@ -303,6 +319,23 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, viewOf(job))
 }
 
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var params service.SearchParams
+	if !s.decodeBody(w, r, &params) {
+		return
+	}
+	// Async like sweep: a search can race a large space for minutes, so
+	// the job is deliberately NOT tied to r.Context() — the 202 response
+	// ends the request and the client polls GET /v1/jobs/{id}. Repeated
+	// submissions with equal (params, seed) are cache hits.
+	job, err := s.pool.Submit(params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, viewOf(job))
+}
+
 func viewOf(job *service.Job) jobView {
 	v := jobView{JobID: job.ID, Kind: string(job.Kind), Status: "running"}
 	if !job.Finished() {
@@ -315,6 +348,21 @@ func viewOf(job *service.Job) jobView {
 		return v
 	}
 	v.Status = "done"
+	if res.Search != nil {
+		sr := res.Search
+		v.Search = &searchView{
+			Best: sr.Best,
+			Utility: statView{
+				Mean:      sr.BestReport.Utility.Mean,
+				HalfWidth: sr.BestReport.Utility.HalfWidth,
+				N:         sr.BestReport.Utility.N,
+			},
+			Arms: len(sr.Arms), Waves: sr.Waves,
+			TotalRuns: sr.TotalRuns, ExhaustiveRuns: sr.ExhaustiveRuns,
+			Savings: sr.Savings(), Replayed: sr.Replayed,
+			CacheHit: res.CacheHit,
+		}
+	}
 	if res.Sweep != nil {
 		v.Sweep = &sweepView{
 			Records:     len(res.Sweep.Records),

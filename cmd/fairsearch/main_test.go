@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	if err := run([]string{"-proto", "pi1", "-sup", "200", "-runs", "400", "-seed", "11"}); err != nil {
+		t.Fatalf("smoke search failed: %v", err)
+	}
+}
+
+func TestRunBadProto(t *testing.T) {
+	if err := run([]string{"-proto", "nope"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestRunBadSpace(t *testing.T) {
+	if err := run([]string{"-proto", "pi1", "-space", "fancy"}); err == nil {
+		t.Fatal("unknown space accepted")
+	}
+}
+
+// TestRunCheckpointReplay reruns a checkpointed search and requires the
+// second invocation to leave the checkpoint byte-identical: the whole
+// schedule replays from the file, nothing is recomputed differently.
+func TestRunCheckpointReplay(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "search.jsonl")
+	args := []string{"-proto", "pi1", "-sup", "200", "-runs", "400", "-seed", "11", "-search-checkpoint", cp}
+	if err := run(args); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	first, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("checkpoint is empty after a completed search")
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+	second, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("checkpoint changed across a pure replay")
+	}
+}

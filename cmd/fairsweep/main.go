@@ -124,6 +124,7 @@ func parseSpec(args []string) (spec sweep.Spec, checkpoint string, quiet, verbos
 	delta := fs.Float64("delta", 0, "sweep-wide false-breach probability budget")
 	maxRuns := fs.Int("max-runs", 0, "adaptive run-count ceiling")
 	slack := fs.Float64("slack", 0, "flat extra certification tolerance")
+	supSearch := fs.Bool("sup-search", false, "compute sup cells with the racing search engine (keyed \"sup-search\")")
 	noCompiled := fs.Bool("no-compiled-plans", false, "pin the estimator to the interpreter (debugging; records are identical)")
 	noAbort := fs.Bool("no-abort-sweep", false, "disable the abort-at-round attacker dimension")
 	cp := fs.String("checkpoint", "", "JSONL checkpoint path (resumes if the file exists)")
@@ -183,6 +184,9 @@ func parseSpec(args []string) (spec sweep.Spec, checkpoint string, quiet, verbos
 	}
 	if est.Given("sup") {
 		spec.SupRuns = est.Sup
+	}
+	if *supSearch {
+		spec.SupSearch = true
 	}
 	if given["slack"] {
 		spec.Slack = *slack

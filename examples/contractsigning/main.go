@@ -31,8 +31,8 @@ func main() {
 		{"Π1 (fixed order)", fairness.Pi1{}},
 		{"Π2 (coin-tossed order)", fairness.Pi2{}},
 	} {
-		space := fairness.TwoPartySpace(e.proto.NumRounds())
-		sup, err := fairness.SupUtility(e.proto, space, gamma, sampler, 1500, 11)
+		space := fairness.SliceSpace(fairness.TwoPartySpace(e.proto.NumRounds()))
+		sup, err := fairness.SupUtilitySpace(e.proto, space, gamma, sampler, 1500, 11)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/protocols/gordonkatz"
 	"repro/internal/protocols/multiparty"
 	"repro/internal/protocols/twoparty"
+	"repro/internal/search"
 	"repro/internal/sim"
 	"repro/internal/sim/trace"
 	"repro/internal/stats"
@@ -58,6 +59,17 @@ type (
 	SupReport = core.SupReport
 	// NamedAdversary pairs a strategy with a label.
 	NamedAdversary = core.NamedAdversary
+	// StrategySpace is a lazily enumerable strategy space — the domain
+	// of the Definition 1 sup as SupUtilitySpace and the best-response
+	// search engine see it.
+	StrategySpace = core.StrategySpace
+	// SliceSpace adapts an eager []NamedAdversary to StrategySpace.
+	SliceSpace = core.SliceSpace
+	// BoundedSpace is a StrategySpace with axes, coordinates, and static
+	// per-strategy utility upper bounds for branch-and-bound pruning.
+	BoundedSpace = core.BoundedSpace
+	// StrategyAxis is one dimension of a structured strategy space.
+	StrategyAxis = core.Axis
 	// InputSampler draws one input vector per run (the environment Z).
 	InputSampler = core.InputSampler
 	// InputSamplerInto is the allocation-free InputSampler variant used
@@ -169,9 +181,13 @@ var (
 	// The report is bit-identical for any option combination (see the
 	// determinism contract in internal/core).
 	EstimateUtility = core.EstimateUtility
-	// SupUtility approximates sup_A u_A(Π, A) over a strategy space;
-	// it takes the same options as EstimateUtility.
+	// SupUtility approximates sup_A u_A(Π, A) over an eager strategy
+	// slice; it is the documented one-line adapter over SupUtilitySpace
+	// via SliceSpace and takes the same options as EstimateUtility.
 	SupUtility = core.SupUtility
+	// SupUtilitySpace approximates sup_A u_A(Π, A) over a StrategySpace
+	// by exhaustive enumeration (use Search for racing elimination).
+	SupUtilitySpace = core.SupUtilitySpace
 	// WithParallelism sets the estimation worker count (<= 0 selects
 	// DefaultParallelism).
 	WithParallelism = core.WithParallelism
@@ -251,6 +267,37 @@ var (
 	MultiPartyTSpace = adversary.MultiPartyTSpace
 	// MultiPartySpace is the full multi-party strategy space.
 	MultiPartySpace = adversary.MultiPartySpace
+	// NewRawTwoParty is the raw two-party BoundedSpace (corrupted set ×
+	// abort round × input substitution) the search engine races over.
+	NewRawTwoParty = adversary.NewRawTwoParty
+	// WithSubstitutions adds an input-substitution axis to NewRawTwoParty.
+	WithSubstitutions = adversary.WithSubstitutions
+	// WithFirstHit adds a protocol-specific first-hit arm to
+	// NewRawTwoParty (e.g. fairness.NewFirstHit for Gordon–Katz).
+	WithFirstHit = adversary.WithFirstHit
+)
+
+// Best-response search (racing + branch-and-bound over strategy
+// spaces; see internal/search and DESIGN.md §11).
+type (
+	// SearchOptions tunes the racing schedule (wave sizes, elimination
+	// confidence δ, beam width, checkpoint path).
+	SearchOptions = search.Options
+	// SearchReport is a search outcome: the certified best response,
+	// per-arm results, and the run-savings accounting.
+	SearchReport = search.Report
+	// SearchArm is one strategy's fate inside a search.
+	SearchArm = search.ArmResult
+	// RawSpaceOption configures NewRawTwoParty.
+	RawSpaceOption = adversary.RawOption
+)
+
+var (
+	// Search races a StrategySpace to its best response, certifying the
+	// winner at full resolution while eliminating dominated arms early.
+	Search = search.Run
+	// SearchContext is Search with cancellation.
+	SearchContext = search.RunContext
 )
 
 // Two-party protocols.

@@ -104,6 +104,31 @@ func (e *Estimation) Given(name string) bool {
 	return given
 }
 
+// Search is the parsed shared best-response-search flag block used by
+// fairsearch, fairsweep -sup-search, and fairnessd.
+type Search struct {
+	// Arms is the racing beam width (-arms, 0 = no cap).
+	Arms int
+	// ElimDelta is the search-wide elimination error budget (-elim-delta):
+	// with probability ≥ 1−δ no elimination removed a best arm.
+	ElimDelta float64
+	// Checkpoint is the search checkpoint path (-search-checkpoint).
+	Checkpoint string
+}
+
+// RegisterSearch registers the shared search flag block on fs with the
+// canonical defaults (no beam cap, δ = 0.05, no checkpoint).
+func RegisterSearch(fs *flag.FlagSet) *Search {
+	s := &Search{}
+	fs.IntVar(&s.Arms, "arms", 0,
+		"racing beam width: admit at most this many arms by static bound (0 = all)")
+	fs.Float64Var(&s.ElimDelta, "elim-delta", 0.05,
+		"search-wide elimination error budget δ (racing never removes a best arm with probability ≥ 1−δ)")
+	fs.StringVar(&s.Checkpoint, "search-checkpoint", "",
+		"stream search records to this JSONL file, resuming if it exists")
+	return s
+}
+
 // Chaos is the parsed shared chaos flag block: the seeded fault profile
 // applied to transport sessions.
 type Chaos struct {

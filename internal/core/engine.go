@@ -360,23 +360,43 @@ func EstimateUtility(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
 	return rep, nil
 }
 
-// SupUtility approximates sup_A u_A(Π, A) over a finite strategy space —
-// the left-hand side of Definition 1 restricted to the documented
-// strategies (which, for the protocols studied here, include the
-// proof-optimal attackers). Each strategy keeps the canonical
-// per-strategy seed (seed + i*7919), so every per-strategy report — and
-// the best-strategy selection, which breaks utility ties in slice order —
-// is independent of parallelism. The strategies in advs must be distinct
-// instances (as every space in package adversary supplies); each worker
-// estimates a clone when the strategy is cloneable and otherwise owns
-// the instance exclusively while its estimate runs. With a single
-// strategy (or a non-parallel space) and parallelism > 1, the
-// parallelism is spent inside each strategy's run loop instead.
+// SupUtility approximates sup_A u_A(Π, A) over an eager strategy slice.
+// It is the documented one-line adapter over SupUtilitySpace — the
+// legacy signature every pre-StrategySpace caller used — and produces
+// bit-identical reports to it (the frozen sup matrices in the package
+// tests pin this).
 func SupUtility(proto sim.Protocol, advs []NamedAdversary, gamma Payoff,
 	sampler InputSampler, runs int, seed int64, opts ...Option) (SupReport, error) {
+	return SupUtilitySpace(proto, SliceSpace(advs), gamma, sampler, runs, seed, opts...)
+}
+
+// SupUtilitySpace approximates sup_A u_A(Π, A) over a finite strategy
+// space — the left-hand side of Definition 1 restricted to the space's
+// strategies (which, for the protocols studied here, include the
+// proof-optimal attackers). This is the exhaustive evaluation: every
+// strategy is estimated at the full run count. For large raw spaces,
+// the racing/branch-and-bound engine in internal/search reaches the
+// same best strategy at a fraction of the runs.
+//
+// Each strategy keeps the canonical per-strategy seed (seed + i*7919),
+// so every per-strategy report — and the best-strategy selection, which
+// breaks utility ties in space order — is independent of parallelism.
+// Each worker estimates a clone when the strategy is cloneable and
+// otherwise owns the instance exclusively while its estimate runs. With
+// a single strategy (or a non-parallel space) and parallelism > 1, the
+// parallelism is spent inside each strategy's run loop instead.
+func SupUtilitySpace(proto sim.Protocol, space StrategySpace, gamma Payoff,
+	sampler InputSampler, runs int, seed int64, opts ...Option) (SupReport, error) {
 	o := resolveOptions(opts)
-	if len(advs) == 0 {
+	if space == nil || space.Len() == 0 {
 		return SupReport{}, errors.New("core: empty strategy space")
+	}
+	// Materialize the enumeration once: the exhaustive evaluation visits
+	// every index anyway, and a single At call per index preserves the
+	// instance-exclusivity contract for lazily constructed strategies.
+	advs := make([]NamedAdversary, space.Len())
+	for i := range advs {
+		advs[i] = space.At(i)
 	}
 	perStrategy := func(name string) ObserverFactory {
 		if o.supFactory != nil {

@@ -110,8 +110,9 @@ func (c Config) estimate(proto sim.Protocol, adv sim.Adversary, g core.Payoff,
 	return rep, err
 }
 
-// sup is core.SupUtility at the configured parallelism.
-func (c Config) sup(proto sim.Protocol, advs []core.NamedAdversary, g core.Payoff,
+// sup is core.SupUtilitySpace at the configured parallelism. Eager
+// strategy slices pass through core.SliceSpace at the call site.
+func (c Config) sup(proto sim.Protocol, space core.StrategySpace, g core.Payoff,
 	sampler core.InputSampler, runs int, seed int64) (core.SupReport, error) {
 	opts := []core.Option{core.WithParallelism(c.Parallelism)}
 	if c.Trace != nil {
@@ -119,7 +120,7 @@ func (c Config) sup(proto sim.Protocol, advs []core.NamedAdversary, g core.Payof
 			return c.Trace.Recorder(trace.Meta{Strategy: strategy, Run: run})
 		}))
 	}
-	rep, err := core.SupUtility(proto, advs, g, sampler, runs, seed, opts...)
+	rep, err := core.SupUtilitySpace(proto, space, g, sampler, runs, seed, opts...)
 	if err == nil && c.Metrics != nil {
 		c.Metrics.Add(rep.Metrics)
 	}

@@ -36,7 +36,7 @@ func E13Ablations(cfg Config) (Result, error) {
 	// Order-bias sweep.
 	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
 		p := twoparty.NewBiasedOrder(twoparty.Swap(), q)
-		sup, err := cfg.sup(p, []core.NamedAdversary{
+		sup, err := cfg.sup(p, core.SliceSpace{
 			{Name: "lock-p1", Adv: adversary.NewLockAbort(1)},
 			{Name: "lock-p2", Adv: adversary.NewLockAbort(2)},
 		}, g, swapSampler, cfg.Runs, cfg.Seed+int64(q*100))
@@ -74,7 +74,7 @@ func E13Ablations(cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		sup, err := cfg.sup(proto, []core.NamedAdversary{
+		sup, err := cfg.sup(proto, core.SliceSpace{
 			{Name: "lock-p1", Adv: adversary.NewLockAbort(1)},
 			{Name: "lock-p2", Adv: adversary.NewLockAbort(2)},
 			{Name: "complete-p1", Adv: adversary.NewStatic(1)},

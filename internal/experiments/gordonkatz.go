@@ -128,7 +128,7 @@ func E12PartialFairnessSeparation(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	// Lemma 27 (½-security): sup utility over the space stays ≤ 1/2.
-	advs := []core.NamedAdversary{
+	advs := core.SliceSpace{
 		{Name: "lock-p1", Adv: adversary.NewLockAbort(1)},
 		{Name: "lock-p2", Adv: adversary.NewLockAbort(2)},
 		{Name: "leak-extractor", Adv: gordonkatz.NewLeakExtractor()},

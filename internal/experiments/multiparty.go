@@ -36,7 +36,7 @@ func perTSup(p sim.Protocol, g core.Payoff, n int, cfg Config,
 	for t := 1; t < n; t++ {
 		space := adversary.MultiPartyTSpace(n, t, p.NumRounds())
 		space = append(space, extra[t]...)
-		sup, err := cfg.sup(p, space, g, nSampler(n), cfg.SupRuns, cfg.Seed+int64(100*t))
+		sup, err := cfg.sup(p, core.SliceSpace(space), g, nSampler(n), cfg.SupRuns, cfg.Seed+int64(100*t))
 		if err != nil {
 			return nil, err
 		}

@@ -63,7 +63,7 @@ func E15SubstrateGap(cfg Config) (Result, error) {
 
 	// The fair wrapper for the same function.
 	fair := twoparty.New(twoparty.Millionaires())
-	wrapped, err := cfg.sup(fair, adversary.TwoPartySpace(fair.NumRounds()), g,
+	wrapped, err := cfg.sup(fair, core.SliceSpace(adversary.TwoPartySpace(fair.NumRounds())), g,
 		sampler, cfg.SupRuns, cfg.Seed+4)
 	if err != nil {
 		return Result{}, err

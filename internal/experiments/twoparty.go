@@ -31,12 +31,12 @@ func E01ContractSigning(cfg Config) (Result, error) {
 		Title: "Contract signing: Π2 is twice as fair as Π1",
 		Claim: "Introduction; Π1 → γ10, Π2 → (γ10+γ11)/2",
 	}
-	sup1, err := cfg.sup(contract.Pi1{}, adversary.TwoPartySpace(contract.Pi1{}.NumRounds()),
+	sup1, err := cfg.sup(contract.Pi1{}, core.SliceSpace(adversary.TwoPartySpace(contract.Pi1{}.NumRounds())),
 		g, contractSampler, cfg.SupRuns, cfg.Seed)
 	if err != nil {
 		return Result{}, err
 	}
-	sup2, err := cfg.sup(contract.Pi2{}, adversary.TwoPartySpace(contract.Pi2{}.NumRounds()),
+	sup2, err := cfg.sup(contract.Pi2{}, core.SliceSpace(adversary.TwoPartySpace(contract.Pi2{}.NumRounds())),
 		g, contractSampler, cfg.SupRuns, cfg.Seed+1)
 	if err != nil {
 		return Result{}, err
@@ -62,7 +62,7 @@ func E02TwoPartyUpper(cfg Config) (Result, error) {
 		Title: "ΠOpt-2SFE upper bound",
 		Claim: "Theorem 3: u_A(ΠOpt-2SFE, A) ≤ (γ10+γ11)/2",
 	}
-	sup, err := cfg.sup(p, adversary.TwoPartySpace(p.NumRounds()), g, swapSampler, cfg.SupRuns, cfg.Seed+2)
+	sup, err := cfg.sup(p, core.SliceSpace(adversary.TwoPartySpace(p.NumRounds())), g, swapSampler, cfg.SupRuns, cfg.Seed+2)
 	if err != nil {
 		return Result{}, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/search"
 	"repro/internal/sim"
 	"repro/internal/sim/trace"
 	"repro/internal/sweep"
@@ -22,6 +23,8 @@ const (
 	KindEstimate Kind = "estimate"
 	// KindSup searches the sup-utility over a strategy space.
 	KindSup Kind = "sup"
+	// KindSearch races a strategy space to its certified best response.
+	KindSearch Kind = "search"
 	// KindSweep runs a bound-certifying parameter sweep.
 	KindSweep Kind = "sweep"
 	// KindExperiment runs paper-reproduction experiments (E01..E12).
@@ -161,8 +164,8 @@ func (p SweepParams) paramString() string {
 	for i, g := range s.Gammas {
 		gs[i] = gammaString(g)
 	}
-	return fmt.Sprintf("sweep|fam=%v|g=%v|n=%v|t=%v|p=%v|cost=%v|abort=%t|sup=%d|runs=%d|hw=%g|delta=%g|min=%d|max=%d|slack=%g",
-		s.Families, gs, s.Ns, s.Ts, s.Ps, s.Costs, s.AbortSweep, s.SupRuns,
+	return fmt.Sprintf("sweep|fam=%v|g=%v|n=%v|t=%v|p=%v|cost=%v|abort=%t|sup=%d|supsearch=%t|runs=%d|hw=%g|delta=%g|min=%d|max=%d|slack=%g",
+		s.Families, gs, s.Ns, s.Ts, s.Ps, s.Costs, s.AbortSweep, s.SupRuns, s.SupSearch,
 		s.Runs, s.TargetHW, s.Delta, s.MinRuns, s.MaxRuns, s.Slack)
 }
 
@@ -215,6 +218,8 @@ type Result struct {
 	Estimate *core.UtilityReport
 	// Sup is set for KindSup jobs.
 	Sup *core.SupReport
+	// Search is set for KindSearch jobs.
+	Search *search.Report
 	// Sweep is set for KindSweep jobs. A sweep that breached a bound
 	// still produces a summary; Breached records that outcome.
 	Sweep    *sweep.Summary
@@ -286,9 +291,9 @@ func WithTraceLabel(label string) JobOption {
 	return func(o *jobOptions) { o.traceLabel = label }
 }
 
-// WithCheckpoint streams a sweep job's records to a JSONL checkpoint,
-// resuming if the file exists. Sweep jobs with a checkpoint skip the
-// cache read.
+// WithCheckpoint streams a sweep or search job's records to a JSONL
+// checkpoint, resuming if the file exists. Jobs with a checkpoint skip
+// the cache read.
 func WithCheckpoint(path string) JobOption {
 	return func(o *jobOptions) { o.checkpoint = path }
 }

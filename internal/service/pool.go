@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/search"
 	"repro/internal/sim"
 	"repro/internal/sim/trace"
 	"repro/internal/sweep"
@@ -353,13 +354,13 @@ func (p *Pool) run(j *Job) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		advs := make([]core.NamedAdversary, len(params.Advs))
+		space := make(core.SliceSpace, len(params.Advs))
 		for i, name := range params.Advs {
 			adv, err := BuildAdversary(name, proto.NumParties())
 			if err != nil {
 				return nil, err
 			}
-			advs[i] = core.NamedAdversary{Name: name, Adv: adv}
+			space[i] = core.NamedAdversary{Name: name, Adv: adv}
 		}
 		opts := []core.Option{core.WithParallelism(j.opts.parallelism)}
 		if sink := j.opts.traceSink; sink != nil {
@@ -367,12 +368,36 @@ func (p *Pool) run(j *Job) (*Result, error) {
 				return sink.Recorder(trace.Meta{Strategy: strategy, Run: run})
 			}))
 		}
-		rep, err := core.SupUtility(proto, advs, resolvePayoff(params.Gamma, params.Proto),
+		rep, err := core.SupUtilitySpace(proto, space, resolvePayoff(params.Gamma, params.Proto),
 			sampler, params.Runs, params.Seed, opts...)
 		if err != nil {
 			return nil, err
 		}
 		res.Sup = &rep
+		res.Metrics = rep.Metrics
+
+	case SearchParams:
+		proto, sampler, err := BuildProtocol(params.Proto)
+		if err != nil {
+			return nil, err
+		}
+		space, err := BuildSpace(params.Space, params.Proto)
+		if err != nil {
+			return nil, err
+		}
+		ctx := j.opts.ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		o := params.Options()
+		o.Parallelism = j.opts.parallelism
+		o.Checkpoint = j.opts.checkpoint
+		rep, err := search.RunContext(ctx, proto, space, resolvePayoff(params.Gamma, params.Proto),
+			sampler, params.Seed, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Search = rep
 		res.Metrics = rep.Metrics
 
 	case SweepParams:

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWilsonIntervalDegenerate pins the interval ends for the two
+// degenerate arms the search engine's eliminations must survive: an arm
+// with zero successes and an arm with all successes. The lower end of
+// the all-success interval must stay strictly below 1 (and the upper
+// end of the no-success interval strictly above 0) for every finite n —
+// Wilson never certifies a probability of exactly 0 or 1 from finitely
+// many samples, which is what keeps a temporarily perfect arm from
+// killing a true-optimal rival on noise.
+func TestWilsonIntervalDegenerate(t *testing.T) {
+	for _, n := range []int64{1, 2, 7, 100, 1 << 20, 1 << 40, math.MaxInt64 / 2, math.MaxInt64} {
+		lo, hi, err := WilsonInterval(0, n)
+		if err != nil {
+			t.Fatalf("WilsonInterval(0, %d): %v", n, err)
+		}
+		if lo != 0 {
+			t.Errorf("WilsonInterval(0, %d): lo = %g, want 0", n, lo)
+		}
+		if !(hi > 0) || !(hi <= 1) {
+			t.Errorf("WilsonInterval(0, %d): hi = %g, want in (0, 1]", n, hi)
+		}
+		lo, hi, err = WilsonInterval(n, n)
+		if err != nil {
+			t.Fatalf("WilsonInterval(%d, %d): %v", n, n, err)
+		}
+		if !(hi <= 1) || !(hi >= lo) || !(lo >= 0) {
+			t.Errorf("WilsonInterval(%d, %d) = [%g, %g], want an ordered sub-[0,1] interval", n, n, lo, hi)
+		}
+		// Wilson never certifies exactly 1 from finitely many samples —
+		// until n is so large that the true lower end rounds to 1 in
+		// float64 (≈ z²/2n below one ulp). Assert strictness in the whole
+		// regime where it is representable.
+		if n <= 1<<40 && !(lo < 1) {
+			t.Errorf("WilsonInterval(%d, %d): lo = %g, want strictly below 1", n, n, lo)
+		}
+	}
+}
+
+// TestWilsonScoreProperties is the property sweep over n up to the
+// int64 boundary: intervals are always within [0, 1], ordered, contain
+// the point estimate, shrink with n, and widen with z. No count here
+// can overflow — WilsonScore works in float64 throughout.
+func TestWilsonScoreProperties(t *testing.T) {
+	ns := []int64{1, 3, 10, 1000, 1 << 31, 1 << 62, math.MaxInt64 - 1, math.MaxInt64}
+	ps := []float64{0, 0.001, 0.25, 0.5, 0.75, 0.999, 1}
+	zs := []float64{0.5, 1.96, 3.3, 5}
+	for _, n := range ns {
+		for _, p := range ps {
+			prevHalf := math.Inf(1)
+			for _, z := range zs {
+				lo, hi := WilsonScore(p, n, z)
+				if math.IsNaN(lo) || math.IsNaN(hi) {
+					t.Fatalf("WilsonScore(%g, %d, %g) = NaN interval", p, n, z)
+				}
+				if lo < 0 || hi > 1 || lo > hi {
+					t.Fatalf("WilsonScore(%g, %d, %g) = [%g, %g], not an ordered [0,1] interval", p, n, z, lo, hi)
+				}
+				if p < lo-1e-12 || p > hi+1e-12 {
+					t.Errorf("WilsonScore(%g, %d, %g) = [%g, %g] excludes the point estimate", p, n, z, lo, hi)
+				}
+				_ = prevHalf
+			}
+			// Monotone in z at fixed (p, n): a stricter confidence demand
+			// can only widen the interval.
+			lo1, hi1 := WilsonScore(p, n, 1.0)
+			lo2, hi2 := WilsonScore(p, n, 4.0)
+			if hi2-lo2 < hi1-lo1-1e-12 {
+				t.Errorf("WilsonScore(%g, %d): z=4 interval narrower than z=1", p, n)
+			}
+		}
+	}
+	// Monotone in n at fixed (p, z): more samples never widen.
+	for _, p := range ps {
+		prev := math.Inf(1)
+		for _, n := range ns {
+			lo, hi := WilsonScore(p, n, 1.96)
+			if hi-lo > prev+1e-12 {
+				t.Errorf("WilsonScore(%g, %d, 1.96): interval widened with more samples", p, n)
+			}
+			prev = hi - lo
+		}
+	}
+	// Degenerate z values saturate instead of corrupting the interval.
+	if lo, hi := WilsonScore(0.5, 100, math.Inf(1)); lo != 0 || hi != 1 {
+		t.Errorf("WilsonScore(0.5, 100, +Inf) = [%g, %g], want [0, 1]", lo, hi)
+	}
+	if lo, hi := WilsonScore(0.5, 0, 1.96); lo != 0 || hi != 1 {
+		t.Errorf("WilsonScore with n=0 = [%g, %g], want the vacuous [0, 1]", lo, hi)
+	}
+}
+
+// TestWilsonScoreMatchesWilsonInterval pins the refactor: the legacy
+// 95% WilsonInterval must be bit-identical to WilsonScore at z = 1.96
+// (the sweep's certified gk records depend on these exact bits).
+func TestWilsonScoreMatchesWilsonInterval(t *testing.T) {
+	for _, n := range []int64{1, 10, 500, 20000, 1 << 40} {
+		for _, s := range []int64{0, 1, n / 3, n / 2, n - 1, n} {
+			if s < 0 {
+				continue
+			}
+			lo1, hi1, err := WilsonInterval(s, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo2, hi2 := WilsonScore(float64(s)/float64(n), n, 1.96)
+			if lo1 != lo2 || hi1 != hi2 {
+				t.Errorf("WilsonInterval(%d, %d) = [%g, %g] but WilsonScore = [%g, %g]",
+					s, n, lo1, hi1, lo2, hi2)
+			}
+		}
+	}
+}
+
+// TestSamplesForSaturates pins the overflow fix: demands beyond int32
+// clamp to MaxInt32 instead of converting an over-range float to int
+// (which wraps platform-dependently), and valid demands stay exact.
+func TestSamplesForSaturates(t *testing.T) {
+	cases := []struct {
+		eps, delta float64
+		want       int
+	}{
+		{0, 0.05, math.MaxInt32},
+		{-1, 0.05, math.MaxInt32},
+		{1e-9, 0.05, math.MaxInt32}, // ~1.8e18 demanded: clamp
+		{1e-300, 0.05, math.MaxInt32},
+		{0.05, 0, math.MaxInt32},    // delta=0: infinite demand, clamp
+		{0.05, -0.5, math.MaxInt32}, // NaN from log of negative: clamp
+		{1, 0.05, 2},                // ceil(ln(40)/2) = 2
+		{10, 0.5, 1},                // demand below one sample floors at 1
+	}
+	for _, c := range cases {
+		if got := SamplesFor(c.eps, c.delta); got != c.want {
+			t.Errorf("SamplesFor(%g, %g) = %d, want %d", c.eps, c.delta, got, c.want)
+		}
+	}
+	// Exactness in the normal regime, against the closed form.
+	got := SamplesFor(0.05, 0.01)
+	want := int(math.Ceil(math.Log(2/0.01) / (2 * 0.05 * 0.05)))
+	if got != want {
+		t.Errorf("SamplesFor(0.05, 0.01) = %d, want %d", got, want)
+	}
+	if got := SamplesFor(1e-5, 1e-3); got <= 0 {
+		t.Errorf("SamplesFor(1e-5, 1e-3) = %d, must be positive (overflow guard)", got)
+	}
+}
+
+// TestZQuantile pins the union-bound z conversion: the classic 95%
+// two-sided z, monotonicity in delta, and the saturating ends.
+func TestZQuantile(t *testing.T) {
+	if z := ZQuantile(0.05); math.Abs(z-1.959964) > 1e-5 {
+		t.Errorf("ZQuantile(0.05) = %g, want ≈1.95996", z)
+	}
+	if z := ZQuantile(0.01); math.Abs(z-2.575829) > 1e-5 {
+		t.Errorf("ZQuantile(0.01) = %g, want ≈2.57583", z)
+	}
+	prev := math.Inf(1)
+	for _, d := range []float64{1e-12, 1e-6, 0.001, 0.05, 0.5, 0.99} {
+		z := ZQuantile(d)
+		if z >= prev {
+			t.Errorf("ZQuantile(%g) = %g, not decreasing (prev %g)", d, z, prev)
+		}
+		prev = z
+	}
+	if z := ZQuantile(1); z != 0 {
+		t.Errorf("ZQuantile(1) = %g, want 0", z)
+	}
+	if z := ZQuantile(0); !math.IsInf(z, 1) {
+		t.Errorf("ZQuantile(0) = %g, want +Inf", z)
+	}
+	if z := ZQuantile(-0.1); !math.IsInf(z, 1) {
+		t.Errorf("ZQuantile(-0.1) = %g, want +Inf", z)
+	}
+}

@@ -159,11 +159,41 @@ func HoeffdingHalfWidth(n int64, delta float64) float64 {
 // Hoeffding half-width of at most eps at confidence 1-delta. The sweep
 // engine (internal/sweep) uses it for adaptive sampling: per-cell run
 // counts are sized to a target half-width instead of a flat count.
+//
+// The result saturates at MaxInt32: a tiny positive eps (or a
+// vanishing delta) yields an astronomically large float count whose
+// naive int conversion would overflow the platform int — the search
+// engine's union-bound δ′ = δ/#checks reaches that regime at scale —
+// so unrepresentable demands clamp instead of wrapping negative.
 func SamplesFor(eps, delta float64) int {
 	if eps <= 0 {
 		return math.MaxInt32
 	}
-	return int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+	n := math.Ceil(math.Log(2/delta) / (2 * eps * eps))
+	if !(n < math.MaxInt32) { // also catches NaN from a non-positive delta
+		return math.MaxInt32
+	}
+	if n < 1 {
+		return 1
+	}
+	return int(n)
+}
+
+// ZQuantile returns the two-sided normal quantile z such that a
+// standard normal lies in [−z, z] with probability 1 − delta:
+// z = √2 · erfinv(1 − delta). It converts a union-bound per-check
+// budget δ′ into the z used by WilsonScore, so elimination decisions
+// made many times over a search still hold jointly with probability
+// ≥ 1 − δ. Out-of-range deltas saturate: delta ≥ 1 gives 0 (no
+// confidence demanded), delta ≤ 0 gives +Inf (certainty demanded).
+func ZQuantile(delta float64) float64 {
+	if delta >= 1 {
+		return 0
+	}
+	if delta <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt2 * math.Erfinv(1-delta)
 }
 
 // Counter tallies categorical outcomes (e.g. the events E00..E11) and
@@ -216,18 +246,38 @@ func WilsonInterval(successes, n int64) (lo, hi float64, err error) {
 	if n == 0 {
 		return 0, 0, ErrNoSamples
 	}
-	const z = 1.96
-	p := float64(successes) / float64(n)
+	lo, hi = WilsonScore(float64(successes)/float64(n), n, 1.96)
+	return lo, hi, nil
+}
+
+// WilsonScore is the generalized Wilson interval: success rate p ∈
+// [0, 1] (fractional rates are allowed — a [lo, hi]-bounded utility
+// scaled to [0, 1] yields one), sample count n, and an explicit normal
+// quantile z (see ZQuantile for deriving z from a union-bound budget).
+// The search engine's racing eliminations run on these intervals. All
+// arithmetic is in float64 — n only ever enters as float64(n), so
+// counts near the int64 boundary neither overflow nor panic; they just
+// produce the (correctly tiny) interval. Results are clamped to [0, 1].
+func WilsonScore(p float64, n int64, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
 	nf := float64(n)
 	denom := 1 + z*z/nf
 	center := (p + z*z/(2*nf)) / denom
 	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
 	lo, hi = center-half, center+half
-	if lo < 0 {
+	if lo < 0 || math.IsNaN(lo) {
 		lo = 0
 	}
-	if hi > 1 {
+	if hi > 1 || math.IsNaN(hi) {
 		hi = 1
 	}
-	return lo, hi, nil
+	return lo, hi
 }

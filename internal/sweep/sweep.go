@@ -35,6 +35,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/search"
 	"repro/internal/stats"
 )
 
@@ -65,9 +66,16 @@ type Spec struct {
 	// r = 1..NumRounds+1 — the grid's round dimension.
 	AbortSweep bool
 	// SupRuns, when > 0, adds one sup-search cell per (family, γ, n, t)
-	// running core.SupUtility over the standard strategy space with this
-	// many runs per strategy.
+	// running core.SupUtilitySpace over the standard strategy space with
+	// this many runs per strategy.
 	SupRuns int
+	// SupSearch computes the sup cells with the racing best-response
+	// search engine (internal/search) instead of exhaustive enumeration:
+	// the certified winner is estimated at SupRuns resolution, dominated
+	// strategies are eliminated early. Cells get Adv "sup-search" — a
+	// distinct key — so records never collide with the frozen "sup"
+	// matrix.
+	SupSearch bool
 
 	// Runs is the flat per-cell run count; 0 selects adaptive sampling.
 	Runs int
@@ -130,7 +138,8 @@ type Cell struct {
 	Gamma  core.Payoff
 	N, T   int
 	// Adv names the attacker: "lock", "setup", "gmwsetup", "abort@r",
-	// "firsthit", or "sup" (a sup-search over the standard space).
+	// "firsthit", "sup" (an exhaustive sup-search over the standard
+	// space), or "sup-search" (the same sup via the racing engine).
 	Adv  string
 	Cost string
 	// P is the Gordon–Katz 1/p parameter (gk family only).
@@ -222,7 +231,11 @@ func (s Spec) advsFor(family string, rounds int) []string {
 		}
 	}
 	if s.SupRuns > 0 {
-		advs = append(advs, "sup")
+		if s.SupSearch {
+			advs = append(advs, "sup-search")
+		} else {
+			advs = append(advs, "sup")
+		}
 	}
 	return advs
 }
@@ -443,7 +456,7 @@ func Plan(spec Spec) (*Sweep, error) {
 	sw.deltaPrime = spec.Delta / float64(sw.totalChecks)
 	for i := range sw.Cells {
 		c := &sw.Cells[i]
-		if c.Adv == "sup" {
+		if c.Adv == "sup" || c.Adv == "sup-search" {
 			c.Runs = spec.SupRuns
 		} else if spec.Runs > 0 {
 			c.Runs = spec.Runs
@@ -497,15 +510,33 @@ func (s *Sweep) runCell(c Cell) (Record, error) {
 
 	var rep core.UtilityReport
 	note := ""
-	if c.Adv == "sup" {
+	switch {
+	case c.Adv == "sup":
 		space := buildSpace(c, proto)
-		sup, err := core.SupUtility(proto, space, c.Gamma, sampler, c.Runs, c.Seed, opts...)
+		sup, err := core.SupUtilitySpace(proto, core.SliceSpace(space), c.Gamma, sampler, c.Runs, c.Seed, opts...)
 		if err != nil {
 			return Record{}, fmt.Errorf("sweep: cell %s: %w", c.Key, err)
 		}
 		rep = sup.BestReport
 		note = "best: " + sup.Best
-	} else {
+	case c.Adv == "sup-search":
+		// The racing engine certifies the winner at the same c.Runs
+		// resolution the exhaustive sup cell would use — the margin
+		// arithmetic below sees an estimate of identical sample size —
+		// while racing spends at most c.Runs per eliminated rival.
+		so := search.Options{
+			RaceRuns: c.Runs, FinalRuns: c.Runs,
+			Parallelism:     s.Spec.Parallelism,
+			BatchSize:       s.Spec.BatchSize,
+			NoCompiledPlans: s.Spec.NoCompiledPlans,
+		}
+		srep, err := search.Run(proto, core.SliceSpace(buildSpace(c, proto)), c.Gamma, sampler, c.Seed, so)
+		if err != nil {
+			return Record{}, fmt.Errorf("sweep: cell %s: %w", c.Key, err)
+		}
+		rep = srep.BestReport
+		note = fmt.Sprintf("best: %s (raced %d/%d runs)", srep.Best, srep.TotalRuns, srep.ExhaustiveRuns)
+	default:
 		adv, err := buildAdversary(c)
 		if err != nil {
 			return Record{}, err

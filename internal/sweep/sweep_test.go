@@ -3,8 +3,10 @@ package sweep
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -177,6 +179,72 @@ func TestSupCells(t *testing.T) {
 	}
 	if !supSeen {
 		t.Fatal("no sup cells in grid with SupRuns set")
+	}
+}
+
+// TestSupSearchCells pins the racing sup path: with Spec.SupSearch the
+// grid emits "sup-search" cells — fresh keys, so frozen "sup" records
+// can never be confused with raced ones — that certify the same winning
+// strategy the exhaustive sup cell finds, race strictly fewer runs than
+// enumeration would, and reproduce byte-for-byte.
+func TestSupSearchCells(t *testing.T) {
+	spec := Spec{
+		Families: []string{"pi1"},
+		Gammas:   []core.Payoff{core.StandardPayoff()},
+		Ns:       []int{2},
+		Costs:    []string{"zero"},
+		Runs:     200,
+		SupRuns:  200,
+		Seed:     7,
+	}
+	exh, err := Run(spec, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.SupSearch = true
+	raced, err := Run(spec, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestOf := func(sum *Summary, adv string) map[string]string {
+		out := map[string]string{}
+		for _, r := range sum.Records {
+			if r.Adv != adv {
+				continue
+			}
+			name := strings.TrimPrefix(r.Note, "best: ")
+			if i := strings.Index(name, " ("); i >= 0 {
+				name = name[:i]
+			}
+			out[fmt.Sprintf("%s/n%d/t%d", r.Family, r.N, r.T)] = name
+		}
+		return out
+	}
+	want := bestOf(exh, "sup")
+	got := bestOf(raced, "sup-search")
+	if len(want) == 0 || len(got) == 0 {
+		t.Fatalf("missing sup cells: exhaustive=%d raced=%d", len(want), len(got))
+	}
+	for cell, name := range want {
+		if got[cell] != name {
+			t.Errorf("cell %s: raced best %q, want exhaustive best %q", cell, got[cell], name)
+		}
+	}
+	for _, r := range raced.Records {
+		if r.Adv == "sup-search" && !strings.Contains(r.Note, "raced") {
+			t.Errorf("sup-search record %s lacks racing note: %q", r.Key, r.Note)
+		}
+	}
+	if !raced.OK() {
+		t.Fatalf("raced sweep breached: %+v", raced.Breaches)
+	}
+
+	again, err := Run(spec, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(raced.Records, again.Records) {
+		t.Fatal("sup-search records are not reproducible across runs")
 	}
 }
 
