@@ -18,6 +18,7 @@
 //	fairbench [-runs N] [-seed S] [-o BENCH_estimator.json]
 //	fairbench -fabric [-fabric-workers N] [-fabric-runs R] [-service-o BENCH_service.json]
 //	fairbench -search [-min-savings X] [-service-o BENCH_service.json]
+//	fairbench -vr [-vr-min-cv X] [-vr-min-crn Y] [-o BENCH_estimator.json]
 //
 // -fabric benchmarks the distributed sweep fabric instead: the same
 // grid is swept single-machine and then across N in-process workers
@@ -92,6 +93,10 @@ type report struct {
 	// and it, not CPUs, bounds the achievable speedup.
 	GOMAXPROCS int              `json:"gomaxprocs"`
 	Workloads  []workloadReport `json:"workloads"`
+	// VarianceReduction is set by -vr invocations (which carry no
+	// throughput workloads); absent from every other report, so
+	// pre-existing trajectory entries keep loading unchanged.
+	VarianceReduction *vrReport `json:"variance_reduction,omitempty"`
 }
 
 // trajectory is the BENCH_estimator.json document: every invocation's
@@ -201,6 +206,9 @@ func run(args []string) error {
 	serviceOut := fs.String("service-o", "BENCH_service.json", "fabric/search report file (-fabric and -search modes)")
 	searchBench := fs.Bool("search", false, "benchmark the best-response search engine against exhaustive enumeration")
 	minSavings := fs.Float64("min-savings", 10, "fail -search mode below this racing-vs-exhaustive savings ratio")
+	vrBench := fs.Bool("vr", false, "benchmark the variance-reduction estimators (control variates, CRN pairing, stratification)")
+	vrMinCV := fs.Float64("vr-min-cv", 3, "fail -vr mode below this control-variate runs-reduction ratio")
+	vrMinCRN := fs.Float64("vr-min-crn", 1.5, "fail -vr mode below this CRN paired-delta runs-reduction ratio")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -209,6 +217,9 @@ func run(args []string) error {
 	}
 	if *searchBench {
 		return runSearchBench(*minSavings, est.Seed, *serviceOut)
+	}
+	if *vrBench {
+		return runVRBench(est.Runs, est.Seed, *vrMinCV, *vrMinCRN, *out)
 	}
 
 	cpus := runtime.NumCPU()

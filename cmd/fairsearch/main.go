@@ -64,6 +64,8 @@ func run(args []string) error {
 		Parallel:  true,
 	})
 	sf := cliflags.RegisterSearch(fs)
+	paired := fs.Bool("paired-seeds", false,
+		"race arms on common random numbers (CRN): paired eliminations kill dominated arms earlier; changes report bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,7 +94,7 @@ func run(args []string) error {
 		Wave: *wave, Growth: *growth,
 		RaceRuns: est.Sup, FinalRuns: est.Runs,
 		Delta: sf.ElimDelta, MaxArms: sf.Arms,
-		Exhaustive: *exhaustive, Seed: est.Seed,
+		Exhaustive: *exhaustive, PairedSeeds: *paired, Seed: est.Seed,
 	}, opts...)
 	if err != nil {
 		return err

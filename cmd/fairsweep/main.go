@@ -125,6 +125,7 @@ func parseSpec(args []string) (spec sweep.Spec, checkpoint string, quiet, verbos
 	maxRuns := fs.Int("max-runs", 0, "adaptive run-count ceiling")
 	slack := fs.Float64("slack", 0, "flat extra certification tolerance")
 	supSearch := fs.Bool("sup-search", false, "compute sup cells with the racing search engine (keyed \"sup-search\")")
+	vr := cliflags.RegisterVariance(fs)
 	noCompiled := fs.Bool("no-compiled-plans", false, "pin the estimator to the interpreter (debugging; records are identical)")
 	noAbort := fs.Bool("no-abort-sweep", false, "disable the abort-at-round attacker dimension")
 	cp := fs.String("checkpoint", "", "JSONL checkpoint path (resumes if the file exists)")
@@ -203,6 +204,12 @@ func parseSpec(args []string) (spec sweep.Spec, checkpoint string, quiet, verbos
 	if *noAbort {
 		spec.AbortSweep = false
 	}
+	if vr.PairedSeeds {
+		spec.PairedSeeds = true
+	}
+	if vr.ControlVariates {
+		spec.ControlVariates = true
+	}
 	fab = fabricOptions{
 		coordinator: *coordinator, workers: *workers,
 		worker: *workerMode, join: *join,
@@ -230,6 +237,12 @@ func run(args []string) int {
 		return runWorker(fab)
 	}
 	if fab.coordinator != "" || fab.local > 0 {
+		if spec.PairedSeeds {
+			// Paired delta records reduce two cells' per-run event logs at
+			// once; range workers only hold their own cells' logs.
+			fmt.Fprintln(os.Stderr, "fairsweep: -paired-seeds sweeps cannot run on the fabric; run single-machine")
+			return 2
+		}
 		return runFabric(spec, checkpoint, quiet, fab)
 	}
 

@@ -129,6 +129,32 @@ func RegisterSearch(fs *flag.FlagSet) *Search {
 	return s
 }
 
+// Variance is the parsed shared variance-reduction flag block used by
+// fairsweep and fairsearch: the statistical levers of DESIGN.md §12.
+// Both are off by default; with both off every record and report is
+// byte-identical to the frozen matrices.
+type Variance struct {
+	// PairedSeeds enables common-random-numbers run seeding
+	// (-paired-seeds): cells or racing arms share per-run coin
+	// sequences, so cross-cell deltas and racing eliminations certify
+	// from paired differences at far fewer runs.
+	PairedSeeds bool
+	// ControlVariates enables exact-residual estimation
+	// (-control-variate) on cells backed by an exact law (the
+	// Gordon–Katz first-hit cells).
+	ControlVariates bool
+}
+
+// RegisterVariance registers the variance-reduction flag block on fs.
+func RegisterVariance(fs *flag.FlagSet) *Variance {
+	v := &Variance{}
+	fs.BoolVar(&v.PairedSeeds, "paired-seeds", false,
+		"pair run seeds across cells/arms (common random numbers): adds certified delta records, changes record bytes")
+	fs.BoolVar(&v.ControlVariates, "control-variate", false,
+		"estimate only the residual against exact laws where one exists (Gordon–Katz first-hit): changes record bytes")
+	return v
+}
+
 // Chaos is the parsed shared chaos flag block: the seeded fault profile
 // applied to transport sessions.
 type Chaos struct {

@@ -15,18 +15,28 @@ import (
 
 // Option configures an estimation. The zero configuration — no options —
 // uses one worker per CPU, the default batch size, and no observers;
-// results are independent of every option (see EstimateUtility), so
-// options tune performance and instrumentation, never the estimate.
+// results are independent of every scheduling option (see
+// EstimateUtility), so those options tune performance and
+// instrumentation, never the estimate. The only exceptions are the
+// explicitly statistical options in variance.go — WithControlVariate
+// and WithPairedSeeds — which change the estimator or the coin
+// sequences by design and are all off by default.
 type Option func(*options)
 
 type options struct {
-	parallelism int
-	batchSize   int
-	factory     ObserverFactory
-	supFactory  SupObserverFactory
-	metrics     *sim.Metrics
-	noCompiled  bool
-	samplerInto InputSamplerInto
+	parallelism  int
+	batchSize    int
+	factory      ObserverFactory
+	supFactory   SupObserverFactory
+	metrics      *sim.Metrics
+	noCompiled   bool
+	samplerInto  InputSamplerInto
+	cv           *ControlVariate
+	paired       bool
+	pairedMaster int64
+	pairedOffset int
+	eventLog     []Event
+	strata       *AbortRoundTally
 }
 
 // WithParallelism sets the worker count: 1 forces a single worker,
@@ -114,6 +124,13 @@ type preparedRun struct {
 // time under the lock, so run i receives the same job no matter how
 // many workers lease batches or in what order they arrive — without
 // materializing an O(runs) job slice up front.
+//
+// In paired (common-random-numbers) mode the single sequential stream
+// is replaced by one per-run stream per job: the reusable source is
+// reseeded to PairedRunSeed(master, offset + i) and the run's inputs
+// and simulation seed are drawn from it, so run i's coins depend only
+// on (master, offset + i) — never on the estimation's own seed or on
+// how many runs precede it in this estimation.
 type batcher struct {
 	mu          sync.Mutex
 	seeder      *rand.Rand
@@ -121,6 +138,12 @@ type batcher struct {
 	samplerInto InputSamplerInto
 	next        int
 	runs        int
+
+	paired bool
+	master int64
+	offset int
+	src    *rng.Source
+	prng   *rand.Rand
 }
 
 // fill leases the next batch into buf (up to cap(buf) jobs), returning
@@ -137,12 +160,17 @@ func (b *batcher) fill(buf []preparedRun) (int, []preparedRun) {
 	}
 	buf = buf[:k]
 	for i := range buf {
-		if b.samplerInto != nil {
-			buf[i].inputs = b.samplerInto(b.seeder, buf[i].inputs[:0])
-		} else {
-			buf[i].inputs = b.sampler(b.seeder)
+		draw := b.seeder
+		if b.paired {
+			b.src.Seed(PairedRunSeed(b.master, b.offset+base+i))
+			draw = b.prng
 		}
-		buf[i].seed = b.seeder.Int63()
+		if b.samplerInto != nil {
+			buf[i].inputs = b.samplerInto(draw, buf[i].inputs[:0])
+		} else {
+			buf[i].inputs = b.sampler(draw)
+		}
+		buf[i].seed = draw.Int63()
 	}
 	b.next += k
 	return base, buf
@@ -189,16 +217,26 @@ func (t *runTally) merge(o runTally) {
 
 // report reduces the merged counts to a UtilityReport. Mean and every
 // frequency are bit-identical to the legacy per-sample tally for the
-// paper's dyadic payoff vectors (see stats.EstimateFromCounts).
-func (t *runTally) report(gamma Payoff, runs int) (UtilityReport, error) {
+// paper's dyadic payoff vectors (see stats.EstimateFromCounts). With a
+// control variate, the estimate runs over the residual payoffs
+// γ(E) − C(E) and the mean is re-centred by the control's exact
+// expectation; the half-width is the residual's. Event frequencies and
+// the auxiliary rates are unaffected either way.
+func (t *runTally) report(gamma Payoff, runs int, cv *ControlVariate) (UtilityReport, error) {
 	events := Events()
 	var values [4]float64
 	for i, e := range events {
 		values[i] = gamma.Of(e)
+		if cv != nil {
+			values[i] -= cv.EventValue[i]
+		}
 	}
 	est, err := stats.EstimateFromCounts(values[:], t.events[:])
 	if err != nil {
 		return UtilityReport{}, err
+	}
+	if cv != nil {
+		est.Mean += cv.Mean
 	}
 	freq := make(map[Event]float64, 4)
 	for i, e := range events {
@@ -231,13 +269,20 @@ type simRunner interface {
 // proto under payoff gamma by repeated seeded simulation: the empirical
 // version of Equation (2) for a fixed (adversary, environment) pair.
 //
-// The estimate is a pure function of (runs, seed): every option —
-// parallelism, batch size, observers — changes how the runs are
-// scheduled, never what they compute. Workers lease batches of
+// The estimate is a pure function of (runs, seed): every scheduling
+// option — parallelism, batch size, observers — changes how the runs
+// are scheduled, never what they compute. Workers lease batches of
 // (inputs, seed) jobs drawn in the canonical master-stream order,
 // replay them on per-worker sim.Arenas (reused execution state, no
 // per-run allocation), and keep integer outcome tallies that merge
 // order-independently into the report.
+//
+// The statistical options are the deliberate exception to that purity:
+// WithPairedSeeds swaps the (runs, seed) coin stream for a shared
+// common-random-numbers master stream, and WithControlVariate changes
+// the estimator itself (same expectation, smaller variance). Both are
+// off by default; with them off the report stays byte-identical to the
+// frozen contract.
 func EstimateUtility(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
 	sampler InputSampler, runs int, seed int64, opts ...Option) (UtilityReport, error) {
 	o := resolveOptions(opts)
@@ -287,6 +332,14 @@ func EstimateUtility(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
 	}
 
 	b := &batcher{seeder: rng.New(seed), sampler: sampler, samplerInto: o.samplerInto, runs: runs}
+	if o.paired {
+		b.paired, b.master, b.offset = true, o.pairedMaster, o.pairedOffset
+		b.src = rng.NewSource(0)
+		b.prng = rand.New(b.src)
+	}
+	if o.eventLog != nil && len(o.eventLog) < runs {
+		return UtilityReport{}, fmt.Errorf("core: event log holds %d slots for %d runs", len(o.eventLog), runs)
+	}
 	tallies := make([]runTally, workers)
 	workerMetrics := make([]sim.Metrics, workers)
 	errLists := make([][]runError, workers)
@@ -318,7 +371,15 @@ func EstimateUtility(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
 					}
 					tr, err := arena.Run(jobs[j].inputs, worker, jobs[j].seed, obs...)
 					if err == nil {
-						err = tallies[w].add(Classify(tr))
+						oc := Classify(tr)
+						if err = tallies[w].add(oc); err == nil {
+							if o.eventLog != nil {
+								o.eventLog[i] = oc.Event
+							}
+							if o.strata != nil {
+								o.strata.add(roundAborted(worker), oc.Event)
+							}
+						}
 					}
 					if err != nil {
 						errLists[w] = append(errLists[w], runError{run: i, err: err})
@@ -349,7 +410,7 @@ func EstimateUtility(proto sim.Protocol, adv sim.Adversary, gamma Payoff,
 		total.merge(tallies[w])
 		merged.Add(workerMetrics[w])
 	}
-	rep, err := total.report(gamma, runs)
+	rep, err := total.report(gamma, runs, o.cv)
 	if err != nil {
 		return UtilityReport{}, err
 	}

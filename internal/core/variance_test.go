@@ -1,0 +1,261 @@
+package core_test
+
+// Engine-level tests for the variance-reduction options: control
+// variates (exact-residual estimation), common-random-numbers pairing,
+// and abort-round stratification tallies. Everything here exercises the
+// contract DESIGN.md §12 states: the options change coin streams or the
+// estimator, never the estimand, and with all of them off the engine is
+// untouched (the frozen byte-identity matrices in internal/sweep and
+// internal/search pin that half).
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/protocols/gordonkatz"
+	"repro/internal/protocols/twoparty"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func uniform2(r *rand.Rand) []sim.Value {
+	return []sim.Value{uint64(r.Intn(1 << 20)), uint64(r.Intn(1 << 20))}
+}
+
+// TestGKFirstHitControlMean pins the control's exact law: E[C] is the
+// payoff's γ10 times the first-hit probability, and the control pays
+// γ10 exactly on E10 runs and nothing elsewhere.
+func TestGKFirstHitControlMean(t *testing.T) {
+	gamma := core.Payoff{G00: 0.1, G01: 0.2, G10: 0.8, G11: 0.4}
+	cv := core.GKFirstHitControl(gamma, 8, 0.5)
+	if want := 0.8 * core.GKFirstHitExact(8, 0.5); cv.Mean != want {
+		t.Errorf("control mean %v, want %v", cv.Mean, want)
+	}
+	want := [4]float64{core.E10 - 1: 0.8}
+	if cv.EventValue != want {
+		t.Errorf("control event values %v, want %v", cv.EventValue, want)
+	}
+}
+
+// TestControlVariateExactResidual: at the paper's Gordon–Katz payoff
+// the first-hit control absorbs the entire payoff, so the residual is
+// identically zero — the estimate equals the exact first-hit law with
+// half-width exactly 0 at any run count, while the event frequencies
+// (untouched by the control) still reflect the simulated runs.
+func TestControlVariateExactResidual(t *testing.T) {
+	proto, err := gordonkatz.NewPolyDomain(gordonkatz.AND(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := core.GordonKatzPayoff()
+	cv := core.GKFirstHitControl(gamma, proto.NumRounds()/2, 0.5)
+	const runs = 60
+	rep, err := core.EstimateUtility(proto, gordonkatz.NewFirstHit(1), gamma,
+		core.FixedInputs(uint64(1), uint64(1)), runs, 3, core.WithControlVariate(cv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := core.GKFirstHitExact(proto.NumRounds()/2, 0.5)
+	if rep.Utility.Mean != exact {
+		t.Errorf("residual estimate mean %v, want exact law %v", rep.Utility.Mean, exact)
+	}
+	if rep.Utility.HalfWidth != 0 {
+		t.Errorf("zero residual: half-width %v, want exactly 0", rep.Utility.HalfWidth)
+	}
+	plain, err := core.EstimateUtility(proto, gordonkatz.NewFirstHit(1), gamma,
+		core.FixedInputs(uint64(1), uint64(1)), runs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range core.Events() {
+		if rep.EventFreq[e] != plain.EventFreq[e] {
+			t.Errorf("event %v freq %v differs from plain %v — the control must not touch frequencies",
+				e, rep.EventFreq[e], plain.EventFreq[e])
+		}
+	}
+}
+
+// TestControlVariateZeroIsIdentity: the zero control (no event value,
+// mean 0) must reproduce the plain estimate exactly — subtracting
+// nothing and re-centring by zero is the identity on every field.
+func TestControlVariateZeroIsIdentity(t *testing.T) {
+	proto := twoparty.New(twoparty.Swap())
+	gamma := core.StandardPayoff()
+	plain, err := core.EstimateUtility(proto, adversary.NewAbortAt(2, 1), gamma, uniform2, 150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := core.EstimateUtility(proto, adversary.NewAbortAt(2, 1), gamma, uniform2, 150, 5,
+		core.WithControlVariate(core.ControlVariate{Name: "zero"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Utility != plain.Utility {
+		t.Errorf("zero control changed the estimate: %+v vs %+v", cv.Utility, plain.Utility)
+	}
+}
+
+// pairedLog runs a paired estimation and returns the per-run event log.
+func pairedLog(t *testing.T, adv sim.Adversary, master int64, offset, runs int, seed int64, par int) []core.Event {
+	t.Helper()
+	log := make([]core.Event, runs)
+	_, err := core.EstimateUtility(twoparty.New(twoparty.Swap()), adv, core.StandardPayoff(),
+		uniform2, runs, seed,
+		core.WithPairedSeeds(master), core.WithPairedOffset(offset),
+		core.WithEventLog(log), core.WithParallelism(par))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// TestPairedSeedsIndependentOfSeedAndParallelism: under CRN pairing,
+// run i's coins are a function of (master, offset+i) alone — the
+// estimation's own seed and worker count must not move a single event.
+func TestPairedSeedsIndependentOfSeedAndParallelism(t *testing.T) {
+	const master, runs = 99, 200
+	base := pairedLog(t, adversary.NewAbortAt(2, 1), master, 0, runs, 1, 1)
+	otherSeed := pairedLog(t, adversary.NewAbortAt(2, 1), master, 0, runs, 12345, 1)
+	parallel := pairedLog(t, adversary.NewAbortAt(2, 1), master, 0, runs, 777, 4)
+	for i := range base {
+		if base[i] != otherSeed[i] || base[i] != parallel[i] {
+			t.Fatalf("run %d: events %v / %v / %v diverge across seed and parallelism", i, base[i], otherSeed[i], parallel[i])
+		}
+	}
+}
+
+// TestPairedOffsetSplitInvariance: two estimations covering [0,30) and
+// [30,60) of the master stream must reproduce one estimation over
+// [0,60) run for run — the property the search engine's growing waves
+// rely on to extend an arm's sample without replaying its prefix.
+func TestPairedOffsetSplitInvariance(t *testing.T) {
+	const master = 4242
+	whole := pairedLog(t, adversary.NewAbortAt(1, 1), master, 0, 60, 1, 1)
+	head := pairedLog(t, adversary.NewAbortAt(1, 1), master, 0, 30, 2, 1)
+	tail := pairedLog(t, adversary.NewAbortAt(1, 1), master, 30, 30, 3, 1)
+	for i := 0; i < 30; i++ {
+		if whole[i] != head[i] {
+			t.Fatalf("run %d: %v != head %v", i, whole[i], head[i])
+		}
+		if whole[30+i] != tail[i] {
+			t.Fatalf("run %d: %v != tail %v", 30+i, whole[30+i], tail[i])
+		}
+	}
+}
+
+// TestEventLogTooShort: a log with fewer slots than runs must be
+// rejected eagerly, not written out of bounds.
+func TestEventLogTooShort(t *testing.T) {
+	log := make([]core.Event, 5)
+	_, err := core.EstimateUtility(twoparty.New(twoparty.Swap()), adversary.NewAbortAt(1, 1),
+		core.StandardPayoff(), uniform2, 10, 1, core.WithEventLog(log))
+	if err == nil {
+		t.Fatal("expected an error for a short event log")
+	}
+}
+
+// TestAbortRoundStrataTally: the tally must partition exactly the
+// estimation's runs by reported abort round — a fixed-round aborter
+// lands every run in its round's stratum, and a strategy without the
+// RoundAborter capability (sim.Passive) lands everything in stratum 0.
+func TestAbortRoundStrataTally(t *testing.T) {
+	proto := twoparty.New(twoparty.Swap())
+	const runs = 120
+	tally := core.NewAbortRoundTally()
+	rep, err := core.EstimateUtility(proto, adversary.NewAbortAt(2, 1), core.StandardPayoff(),
+		uniform2, runs, 9, core.WithAbortRoundStrata(tally), core.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tally.Total(); got != runs {
+		t.Fatalf("tally holds %d runs, want %d", got, runs)
+	}
+	rounds := tally.Rounds()
+	if len(rounds) != 1 || rounds[0] != 2 {
+		t.Fatalf("abort-at-2 strata rounds %v, want [2]", rounds)
+	}
+	counts := tally.Counts(2)
+	for i, e := range core.Events() {
+		if want := rep.EventFreq[e] * runs; math.Abs(float64(counts[i])-want) > 1e-9 {
+			t.Errorf("stratum 2 event %v count %d, want %g", e, counts[i], want)
+		}
+	}
+
+	passive := core.NewAbortRoundTally()
+	if _, err := core.EstimateUtility(proto, sim.Passive{}, core.StandardPayoff(),
+		uniform2, 40, 9, core.WithAbortRoundStrata(passive)); err != nil {
+		t.Fatal(err)
+	}
+	if rounds := passive.Rounds(); len(rounds) != 1 || rounds[0] != 0 {
+		t.Errorf("capability-less strategy strata rounds %v, want [0]", rounds)
+	}
+}
+
+// TestAbortRoundStrataReduce closes the loop with stats: reducing a
+// first-hit tally through StratifiedEstimate with proportional
+// empirical weights reproduces the pooled mean (the post-stratification
+// identity), on a workload whose abort round actually varies.
+func TestAbortRoundStrataReduce(t *testing.T) {
+	proto, err := gordonkatz.NewPolyDomain(gordonkatz.AND(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := core.StandardPayoff()
+	const runs = 400
+	tally := core.NewAbortRoundTally()
+	rep, err := core.EstimateUtility(proto, gordonkatz.NewFirstHit(1), gamma,
+		core.FixedInputs(uint64(1), uint64(1)), runs, 11, core.WithAbortRoundStrata(tally))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := tally.Rounds()
+	if len(rounds) < 2 {
+		t.Fatalf("first-hit strata rounds %v, want at least two strata", rounds)
+	}
+	values := []float64{gamma.Of(core.E00), gamma.Of(core.E01), gamma.Of(core.E10), gamma.Of(core.E11)}
+	var strata []stats.Stratum
+	for _, round := range rounds {
+		c := tally.Counts(round)
+		var n int64
+		for _, v := range c {
+			n += v
+		}
+		strata = append(strata, stats.Stratum{
+			Weight: float64(n) / float64(runs),
+			Values: values,
+			Counts: c[:],
+		})
+	}
+	est, err := stats.StratifiedEstimate(strata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-rep.Utility.Mean) > 1e-12 {
+		t.Errorf("stratified mean %v != pooled mean %v", est.Mean, rep.Utility.Mean)
+	}
+}
+
+// TestPairedRunSeed pins the CRN seed derivation's basic properties:
+// deterministic, non-negative (a rand seed), and index-sensitive.
+func TestPairedRunSeed(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := core.PairedRunSeed(7, i)
+		if s < 0 {
+			t.Fatalf("PairedRunSeed(7, %d) = %d, want non-negative", i, s)
+		}
+		if s != core.PairedRunSeed(7, i) {
+			t.Fatalf("PairedRunSeed(7, %d) not deterministic", i)
+		}
+		if seen[s] {
+			t.Fatalf("PairedRunSeed(7, %d) = %d collides within the first 100 indices", i, s)
+		}
+		seen[s] = true
+	}
+	if core.PairedRunSeed(1, 0) == core.PairedRunSeed(2, 0) {
+		t.Error("different masters must give different run seeds")
+	}
+}

@@ -60,7 +60,9 @@ func (e Estimate) MatchesWithin(bound, slack float64) bool {
 }
 
 // MeanEstimate computes the sample mean with a normal-approximation 95%
-// confidence interval (1.96 · s/√n).
+// confidence interval (1.96 · s/√n). A single sample carries no variance
+// information, so its half-width is +Inf — one run must never certify a
+// bound through LeqWithin.
 func MeanEstimate(samples []float64) (Estimate, error) {
 	n := len(samples)
 	if n == 0 {
@@ -71,15 +73,15 @@ func MeanEstimate(samples []float64) (Estimate, error) {
 		sum += s
 	}
 	mean := sum / float64(n)
+	if n == 1 {
+		return Estimate{Mean: mean, HalfWidth: math.Inf(1), N: 1}, nil
+	}
 	var ss float64
 	for _, s := range samples {
 		d := s - mean
 		ss += d * d
 	}
-	variance := 0.0
-	if n > 1 {
-		variance = ss / float64(n-1)
-	}
+	variance := ss / float64(n-1)
 	hw := 1.96 * math.Sqrt(variance/float64(n))
 	return Estimate{Mean: mean, HalfWidth: hw, N: int64(n)}, nil
 }
@@ -118,15 +120,16 @@ func EstimateFromCounts(values []float64, counts []int64) (Estimate, error) {
 		sum += float64(c) * values[i]
 	}
 	mean := sum / float64(n)
+	if n == 1 {
+		// One sample: no variance information, never false certainty.
+		return Estimate{Mean: mean, HalfWidth: math.Inf(1), N: 1}, nil
+	}
 	var ss float64
 	for i, c := range counts {
 		d := values[i] - mean
 		ss += float64(c) * (d * d)
 	}
-	variance := 0.0
-	if n > 1 {
-		variance = ss / float64(n-1)
-	}
+	variance := ss / float64(n-1)
 	hw := 1.96 * math.Sqrt(variance/float64(n))
 	return Estimate{Mean: mean, HalfWidth: hw, N: n}, nil
 }
@@ -136,9 +139,19 @@ func EstimateFromCounts(values []float64, counts []int64) (Estimate, error) {
 // (half-width sqrt(ln(2/0.05) / (2n))), which is distribution-free. The
 // counts are int64 so streaming tallies keep their exact totals on
 // 32-bit builds; untyped int literals still work unchanged.
+//
+// Out-of-range counts saturate the way WilsonScore clamps its rate: a
+// success count below 0 or above n yields the boundary probability (0 or
+// 1) instead of a rate outside [0, 1], and n ≤ 0 is ErrNoSamples.
 func BernoulliEstimate(successes, n int64) (Estimate, error) {
-	if n == 0 {
+	if n <= 0 {
 		return Estimate{}, ErrNoSamples
+	}
+	if successes < 0 {
+		successes = 0
+	}
+	if successes > n {
+		successes = n
 	}
 	p := float64(successes) / float64(n)
 	hw := HoeffdingHalfWidth(n, 0.05)
@@ -148,9 +161,21 @@ func BernoulliEstimate(successes, n int64) (Estimate, error) {
 // HoeffdingHalfWidth returns the half-width t such that a mean of n
 // [0,1]-bounded samples deviates from its expectation by more than t with
 // probability at most delta: t = sqrt(ln(2/delta) / (2n)).
+//
+// Out-of-range deltas saturate like ZQuantile instead of leaking NaN
+// into every downstream LeqWithin: delta ≤ 0 (or NaN) demands certainty
+// and yields +Inf, delta ≥ 2 demands nothing and yields 0. Every delta
+// in (0, 2) — in particular the whole meaningful (0, 1) range — keeps
+// the exact closed form, bit for bit.
 func HoeffdingHalfWidth(n int64, delta float64) float64 {
 	if n <= 0 {
 		return math.Inf(1)
+	}
+	if !(delta > 0) { // also catches NaN
+		return math.Inf(1)
+	}
+	if delta >= 2 {
+		return 0
 	}
 	return math.Sqrt(math.Log(2/delta) / (2 * float64(n)))
 }
@@ -199,7 +224,8 @@ func ZQuantile(delta float64) float64 {
 // Counter tallies categorical outcomes (e.g. the events E00..E11) and
 // produces per-category frequency estimates. Tallies are int64 so a
 // long-lived counter fed by many estimations never wraps on 32-bit
-// builds.
+// builds. The zero Counter is ready to use, like the rest of the
+// package: Add allocates the category map lazily.
 type Counter struct {
 	counts map[string]int64
 	total  int64
@@ -212,6 +238,9 @@ func NewCounter() *Counter {
 
 // Add records one occurrence of the category.
 func (c *Counter) Add(category string) {
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
 	c.counts[category]++
 	c.total++
 }

@@ -29,12 +29,18 @@ func TestMeanEstimateEmpty(t *testing.T) {
 }
 
 func TestMeanEstimateSingle(t *testing.T) {
+	// One sample carries no variance information: the half-width must be
+	// +Inf so a 1-run estimate can never certify a bound (the old
+	// half-width of 0 claimed an exact answer from a single run).
 	est, err := MeanEstimate([]float64{7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if est.Mean != 7 || est.HalfWidth != 0 {
+	if est.Mean != 7 || !math.IsInf(est.HalfWidth, 1) {
 		t.Errorf("single sample: got %+v", est)
+	}
+	if est.LeqWithin(6, 0) != true {
+		t.Errorf("an infinite interval must stay consistent with any bound")
 	}
 }
 

@@ -21,10 +21,12 @@ type Check struct {
 	OK     bool    `json:"ok"`
 }
 
-// Record is one checkpoint line: a measured cell ("cell") or an
-// aggregate per-t sum ("sum"). Records are pure functions of (Spec,
+// Record is one checkpoint line: a measured cell ("cell"), an
+// aggregate per-t sum ("sum"), or a paired cross-cell delta ("delta",
+// PairedSeeds sweeps only). Records are pure functions of (Spec,
 // Seed), which is what makes the JSONL stream byte-identical across
-// re-runs and resumes.
+// re-runs and resumes. Pair is set only on delta records (the second
+// member's cell key), so pre-existing record bytes are unchanged.
 type Record struct {
 	Kind      string     `json:"kind"`
 	Key       string     `json:"key"`
@@ -43,6 +45,7 @@ type Record struct {
 	Events    [4]float64 `json:"events,omitempty"`
 	Checks    []Check    `json:"checks"`
 	Note      string     `json:"note,omitempty"`
+	Pair      string     `json:"pair,omitempty"`
 	OK        bool       `json:"ok"`
 }
 
@@ -68,6 +71,9 @@ func (s *Sweep) header() header {
 	}
 	for _, p := range s.Sums {
 		keys += p.Key + "\n"
+	}
+	for _, d := range s.Deltas {
+		keys += d.Key + "\n"
 	}
 	return header{
 		Kind:    "sweep-header",
@@ -184,6 +190,9 @@ func LoadCheckpoint(path string, s *Sweep) (recs []Record, truncateTo int64, err
 	}
 	for _, p := range s.Sums {
 		wantKeys = append(wantKeys, p.Key)
+	}
+	for _, d := range s.Deltas {
+		wantKeys = append(wantKeys, d.Key)
 	}
 
 	offset := int64(nl + 1)

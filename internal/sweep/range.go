@@ -55,7 +55,7 @@ func (s *Sweep) RunCellIndex(i int) (Record, error) {
 	if i < 0 || i >= len(s.Cells) {
 		return Record{}, fmt.Errorf("sweep: cell index %d out of range [0,%d)", i, len(s.Cells))
 	}
-	return s.runCell(s.Cells[i])
+	return s.runCell(s.Cells[i], nil)
 }
 
 // GridFingerprint returns the plan's grid hash — the same fingerprint
@@ -77,6 +77,12 @@ func (s *Sweep) GridFingerprint() string { return s.header().Grid }
 // together with an ErrBreach-wrapping error when any certification
 // failed.
 func (s *Sweep) Merge(path string, cellRecs []Record, progress Progress) (*Summary, error) {
+	if len(s.Deltas) > 0 {
+		// Delta records reduce per-run event logs from two cells at once;
+		// a range worker only ever holds its own cells' logs, so paired
+		// sweeps with planned deltas must run on one machine.
+		return nil, fmt.Errorf("sweep: merge: paired-seed sweeps with %d planned delta record(s) cannot be merged from ranges; run them single-machine", len(s.Deltas))
+	}
 	if len(cellRecs) != len(s.Cells) {
 		return nil, fmt.Errorf("sweep: merge: %d cell records for %d planned cells", len(cellRecs), len(s.Cells))
 	}
